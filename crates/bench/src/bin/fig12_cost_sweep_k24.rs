@@ -1,0 +1,13 @@
+//! Figure 12: throughput vs relative cost α for hot-rack, skew[0.2,1],
+//! and permutation workloads at k = 24 (5184 hosts), flow-level.
+//! `OPERA_SCALE=full` runs k = 24; the default runs k = 12, which the
+//! paper shows has nearly identical performance-cost scaling (Appendix C).
+
+fn main() {
+    let k = if matches!(std::env::var("OPERA_SCALE").as_deref(), Ok("full") | Ok("FULL")) {
+        24
+    } else {
+        12
+    };
+    bench::cost_sweep::run(k);
+}

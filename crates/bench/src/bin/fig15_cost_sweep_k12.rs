@@ -1,0 +1,6 @@
+//! Figure 15: the k = 12 (648-host) version of the cost sweep — the
+//! paper's Appendix C shows it matches Figure 12's k = 24 scaling.
+
+fn main() {
+    bench::cost_sweep::run(12);
+}

@@ -1,0 +1,75 @@
+//! Shared α-sweep driver for Figures 12 and 15.
+
+use crate::f;
+use flowsim::models::Demand;
+use flowsim::{clos_throughput, max_concurrent_flow, opera_model};
+use simkit::SimRng;
+use topo::cost::{expander_racks, expander_uplinks};
+use topo::expander::{ExpanderParams, ExpanderTopology};
+use topo::opera::{OperaParams, OperaTopology};
+use workloads::gen::ScenarioGen;
+
+/// Run the three-workload sweep for ToR radix `k`.
+pub fn run(k: usize) {
+    let rate = 10.0;
+    let d_opera = k / 2;
+    let racks_opera = 3 * k * k / 4;
+    let hosts = racks_opera * d_opera;
+    let opera = OperaTopology::generate(OperaParams::from_radix(k, racks_opera), 5);
+    let duty = 0.98;
+
+    let alphas = [1.0, 1.25, 1.5, 1.75, 2.0];
+    let mut rng = SimRng::new(21);
+
+    // Demands per workload at Opera's rack granularity.
+    let wl_opera: Vec<(&str, Vec<Demand>)> = vec![
+        ("hotrack", ScenarioGen::hotrack_demands(d_opera, rate)),
+        (
+            "skew02",
+            ScenarioGen::skew_demands(racks_opera, 0.2, d_opera, rate, &mut rng),
+        ),
+        (
+            "permutation",
+            ScenarioGen::permutation_demands(racks_opera, d_opera, rate, &mut rng),
+        ),
+    ];
+
+    println!("# Figure 12-style sweep, k={k}, {hosts} hosts");
+    println!("workload,alpha,opera,expander,clos");
+    for (name, demands_o) in &wl_opera {
+        // Opera is α-independent: compute once.
+        let o = opera_model(&opera, demands_o, rate, duty, true).throughput_fraction();
+        for &alpha in &alphas {
+            // Cost-equivalent expander.
+            let u = expander_uplinks(alpha, k).clamp(3, k - 1);
+            let de = k - u;
+            let racks_e = expander_racks(hosts, k, u);
+            let exp = ExpanderTopology::generate(
+                ExpanderParams {
+                    racks: racks_e,
+                    uplinks: u,
+                    hosts_per_rack: de,
+                },
+                7,
+            );
+            // Map the workload onto the expander's rack count.
+            let mut rng_e = SimRng::new(31);
+            let demands_e: Vec<Demand> = match *name {
+                "hotrack" => ScenarioGen::hotrack_demands(de, rate),
+                "skew02" => ScenarioGen::skew_demands(racks_e, 0.2, de, rate, &mut rng_e),
+                _ => ScenarioGen::permutation_demands(racks_e, de, rate, &mut rng_e),
+            };
+            let tor: Vec<usize> = (0..racks_e).collect();
+            let e = max_concurrent_flow(exp.graph(), &tor, &demands_e, rate, de as f64 * rate, 60)
+                .lambda;
+            let c = clos_throughput(alpha);
+            println!("{name},{alpha},{},{},{}", f(o), f(e), f(c));
+        }
+    }
+    println!();
+    println!("# all-to-all shuffle reference (Opera's direct-path advantage)");
+    let a2a = ScenarioGen::all_to_all_demands(racks_opera, d_opera, rate, 1.0);
+    let o = opera_model(&opera, &a2a, rate, duty, true).throughput_fraction();
+    println!("all_to_all,opera,{}", f(o));
+}
+

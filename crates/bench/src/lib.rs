@@ -1,0 +1,118 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper. By default they run a *scaled-down* configuration so the whole
+//! suite completes in minutes on a laptop; set `OPERA_SCALE=full` to run
+//! the paper-scale networks (648 / 5184 hosts, 90 µs slices) where the
+//! binary supports it.
+
+pub mod cost_sweep;
+
+use opera::{OperaNetConfig, SliceTiming, StaticNetConfig, StaticTopologyKind};
+use topo::clos::ClosParams;
+use topo::expander::ExpanderParams;
+use topo::opera::OperaParams;
+
+/// Experiment scale selected via the `OPERA_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-friendly mini networks (default).
+    Mini,
+    /// The paper's configurations.
+    Full,
+}
+
+/// Read the scale from the environment.
+pub fn scale() -> Scale {
+    match std::env::var("OPERA_SCALE").as_deref() {
+        Ok("full") | Ok("FULL") => Scale::Full,
+        _ => Scale::Mini,
+    }
+}
+
+/// The cost-equivalent trio at mini scale (`k = 8`, 192 hosts):
+/// * Opera: 48 racks × 4 hosts, u = 4,
+/// * static expander: u = 5, d = 3, 64 racks (α = 5/3, slightly favoring
+///   the expander, mirroring the paper's u = 7 vs α = 1.3 choice),
+/// * folded Clos: 3:1, k = 8 (32 ToRs × 6 hosts).
+pub struct MiniTrio;
+
+impl MiniTrio {
+    /// Opera configuration.
+    pub fn opera() -> OperaNetConfig {
+        OperaNetConfig {
+            params: OperaParams {
+                racks: 48,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            timing: SliceTiming::fast_sim(),
+            bulk_threshold: 1_500_000,
+            ..OperaNetConfig::small_test()
+        }
+    }
+
+    /// Expander configuration.
+    pub fn expander() -> StaticNetConfig {
+        StaticNetConfig {
+            kind: StaticTopologyKind::Expander(ExpanderParams {
+                racks: 64,
+                uplinks: 5,
+                hosts_per_rack: 3,
+            }),
+            ..StaticNetConfig::small_expander()
+        }
+    }
+
+    /// Folded-Clos configuration.
+    pub fn clos() -> StaticNetConfig {
+        StaticNetConfig {
+            kind: StaticTopologyKind::FoldedClos(ClosParams {
+                radix: 8,
+                oversubscription: 3,
+            }),
+            ..StaticNetConfig::small_expander()
+        }
+    }
+
+    /// Host count shared by the trio (192, matched within rack rounding).
+    pub fn hosts() -> usize {
+        192
+    }
+}
+
+/// Paper-scale trio (648 / 650 / 648 hosts).
+pub struct PaperTrio;
+
+impl PaperTrio {
+    /// 648-host Opera.
+    pub fn opera() -> OperaNetConfig {
+        OperaNetConfig::paper_648()
+    }
+    /// 650-host u=7 expander.
+    pub fn expander() -> StaticNetConfig {
+        StaticNetConfig::paper_expander_650()
+    }
+    /// 648-host 3:1 Clos.
+    pub fn clos() -> StaticNetConfig {
+        StaticNetConfig::paper_clos_648()
+    }
+    /// Host count (Opera/Clos; the expander has 650).
+    pub fn hosts() -> usize {
+        648
+    }
+}
+
+/// Print a CSV header + rows (simple, greppable output format).
+pub fn print_csv(header: &str, rows: &[Vec<String>]) {
+    println!("{header}");
+    for r in rows {
+        println!("{}", r.join(","));
+    }
+}
+
+/// Format a float with 4 decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}

@@ -1,0 +1,264 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! An [`Instance`] is a set of capacitated links and a set of flows, each
+//! with a *fixed fractional route*: the load the flow places on each link
+//! per unit of its rate (e.g. ECMP splits put fractional load on many
+//! links). Progressive filling raises all unfrozen flow rates uniformly;
+//! when a link saturates, the flows crossing it freeze. The result is the
+//! unique max-min fair allocation for the fixed routing, optionally capped
+//! per-flow by a demand ceiling.
+
+/// Index of a link.
+pub type LinkId = usize;
+
+/// A flow-level problem instance.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    caps: Vec<f64>,
+    /// Per flow: sparse (link, load-per-unit-rate) pairs.
+    routes: Vec<Vec<(LinkId, f64)>>,
+    /// Per flow: maximum useful rate (demand), `f64::INFINITY` if elastic.
+    ceilings: Vec<f64>,
+}
+
+impl Instance {
+    /// Empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link with capacity `cap`; returns its id.
+    pub fn add_link(&mut self, cap: f64) -> LinkId {
+        assert!(cap >= 0.0 && cap.is_finite());
+        self.caps.push(cap);
+        self.caps.len() - 1
+    }
+
+    /// Add a flow with the given route loads and demand ceiling; returns
+    /// its index. Duplicate links in `route` are allowed (loads add).
+    pub fn add_flow(&mut self, route: Vec<(LinkId, f64)>, ceiling: f64) -> usize {
+        for &(l, w) in &route {
+            assert!(l < self.caps.len(), "route uses unknown link {l}");
+            assert!(w >= 0.0 && w.is_finite());
+        }
+        self.routes.push(route);
+        self.ceilings.push(ceiling);
+        self.routes.len() - 1
+    }
+
+    /// Number of links.
+    pub fn links(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Number of flows.
+    pub fn flows(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Remaining capacity per link after allocating `rates`.
+    pub fn residual(&self, rates: &[f64]) -> Vec<f64> {
+        let mut rem = self.caps.clone();
+        for (f, route) in self.routes.iter().enumerate() {
+            for &(l, w) in route {
+                rem[l] -= rates[f] * w;
+            }
+        }
+        for r in &mut rem {
+            if *r < 0.0 && *r > -1e-6 {
+                *r = 0.0;
+            }
+        }
+        rem
+    }
+}
+
+/// Compute the max-min fair rates of an instance.
+pub fn max_min_rates(inst: &Instance) -> Vec<f64> {
+    const EPS: f64 = 1e-12;
+    let nf = inst.flows();
+    let mut rates = vec![0.0; nf];
+    let mut frozen = vec![false; nf];
+    let mut rem = inst.caps.clone();
+
+    // Freeze zero-route flows immediately (they are unconstrained; treat
+    // their rate as their ceiling if finite, else 0).
+    for f in 0..nf {
+        if inst.routes[f].iter().all(|&(_, w)| w <= EPS) {
+            frozen[f] = true;
+            rates[f] = if inst.ceilings[f].is_finite() {
+                inst.ceilings[f]
+            } else {
+                0.0
+            };
+        }
+    }
+
+    loop {
+        // Load per link from unfrozen flows.
+        let mut load = vec![0.0; inst.links()];
+        let mut any = false;
+        for f in 0..nf {
+            if frozen[f] {
+                continue;
+            }
+            any = true;
+            for &(l, w) in &inst.routes[f] {
+                load[l] += w;
+            }
+        }
+        if !any {
+            break;
+        }
+        // Largest uniform increment permitted by links and ceilings.
+        let mut delta = f64::INFINITY;
+        for l in 0..inst.links() {
+            if load[l] > EPS {
+                delta = delta.min(rem[l] / load[l]);
+            }
+        }
+        for f in 0..nf {
+            if !frozen[f] && inst.ceilings[f].is_finite() {
+                delta = delta.min(inst.ceilings[f] - rates[f]);
+            }
+        }
+        if !delta.is_finite() {
+            // No binding constraint: elastic flows with no capacity limit.
+            break;
+        }
+        let delta = delta.max(0.0);
+        // Apply.
+        for f in 0..nf {
+            if frozen[f] {
+                continue;
+            }
+            rates[f] += delta;
+            for &(l, w) in &inst.routes[f] {
+                rem[l] -= delta * w;
+            }
+        }
+        // Freeze flows at saturated links or at their ceiling.
+        let mut progress = false;
+        for f in 0..nf {
+            if frozen[f] {
+                continue;
+            }
+            let at_ceiling =
+                inst.ceilings[f].is_finite() && rates[f] + EPS >= inst.ceilings[f];
+            let at_bottleneck = inst.routes[f]
+                .iter()
+                .any(|&(l, w)| w > EPS && rem[l] <= 1e-9);
+            if at_ceiling || at_bottleneck {
+                frozen[f] = true;
+                progress = true;
+            }
+        }
+        if !progress {
+            debug_assert!(delta > 0.0, "stuck without progress");
+            if delta <= 0.0 {
+                break;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn single_link_fair_share() {
+        let mut inst = Instance::new();
+        let l = inst.add_link(10.0);
+        for _ in 0..4 {
+            inst.add_flow(vec![(l, 1.0)], f64::INFINITY);
+        }
+        let r = max_min_rates(&inst);
+        assert!(r.iter().all(|&x| close(x, 2.5)), "{r:?}");
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Two links: A (cap 10) shared by f0,f1; B (cap 4) used by f1,f2.
+        // Max-min: f1,f2 get 2 (B bottleneck); f0 gets 8.
+        let mut inst = Instance::new();
+        let a = inst.add_link(10.0);
+        let b = inst.add_link(4.0);
+        inst.add_flow(vec![(a, 1.0)], f64::INFINITY);
+        inst.add_flow(vec![(a, 1.0), (b, 1.0)], f64::INFINITY);
+        inst.add_flow(vec![(b, 1.0)], f64::INFINITY);
+        let r = max_min_rates(&inst);
+        assert!(close(r[1], 2.0) && close(r[2], 2.0), "{r:?}");
+        assert!(close(r[0], 8.0), "{r:?}");
+    }
+
+    #[test]
+    fn ceiling_caps_rate() {
+        let mut inst = Instance::new();
+        let l = inst.add_link(10.0);
+        inst.add_flow(vec![(l, 1.0)], 1.0);
+        inst.add_flow(vec![(l, 1.0)], f64::INFINITY);
+        let r = max_min_rates(&inst);
+        assert!(close(r[0], 1.0), "{r:?}");
+        assert!(close(r[1], 9.0), "{r:?}");
+    }
+
+    #[test]
+    fn fractional_routes_weighted_load() {
+        // One flow split over two parallel links (weight 0.5 each), one
+        // flow pinned to the first link.
+        let mut inst = Instance::new();
+        let a = inst.add_link(10.0);
+        let b = inst.add_link(10.0);
+        inst.add_flow(vec![(a, 0.5), (b, 0.5)], f64::INFINITY);
+        inst.add_flow(vec![(a, 1.0)], f64::INFINITY);
+        let r = max_min_rates(&inst);
+        // Progressive fill: both rise; link a saturates when
+        // 0.5*x + x = 10 at x = 6.67 -> both freeze (split flow crosses a).
+        assert!(close(r[0], 20.0 / 3.0), "{r:?}");
+        assert!(close(r[1], 20.0 / 3.0), "{r:?}");
+    }
+
+    #[test]
+    fn vlb_double_charge() {
+        // A two-hop Valiant flow loads both hops: weight 1 on each of two
+        // links. Against a direct flow on one of them, each gets 5.
+        let mut inst = Instance::new();
+        let a = inst.add_link(10.0);
+        let b = inst.add_link(10.0);
+        inst.add_flow(vec![(a, 1.0), (b, 1.0)], f64::INFINITY);
+        inst.add_flow(vec![(b, 1.0)], f64::INFINITY);
+        let r = max_min_rates(&inst);
+        assert!(close(r[0], 5.0) && close(r[1], 5.0), "{r:?}");
+    }
+
+    #[test]
+    fn residual_accounts_allocations() {
+        let mut inst = Instance::new();
+        let l = inst.add_link(10.0);
+        inst.add_flow(vec![(l, 1.0)], 4.0);
+        let r = max_min_rates(&inst);
+        let rem = inst.residual(&r);
+        assert!(close(rem[0], 6.0));
+    }
+
+    #[test]
+    fn zero_route_flow_takes_ceiling() {
+        let mut inst = Instance::new();
+        inst.add_link(1.0);
+        inst.add_flow(vec![], 3.0);
+        let r = max_min_rates(&inst);
+        assert!(close(r[0], 3.0));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new();
+        assert!(max_min_rates(&inst).is_empty());
+    }
+}

@@ -1,0 +1,695 @@
+//! Nodes, ports, priority queues, links, and wiring.
+//!
+//! Every node (host NIC or switch) owns a set of output ports. A port has
+//! one strict-priority queue per [`Priority`] level, a link specification
+//! (rate + propagation delay), and a peer — the `(node, port)` at the other
+//! end of the cable. Peers can be *rewired at run time*, which is how
+//! circuit-switch reconfiguration is modeled: a rotor switch is not a
+//! simulated node, it is a time-varying wiring of ToR uplink ports.
+//!
+//! Transmission is store-and-forward: dequeuing a packet occupies the port
+//! for `size/rate` (serialization), and the packet arrives at the peer
+//! after serialization + propagation. Packets dequeued mid-slice keep the
+//! peer captured at dequeue time, so an in-flight packet is unaffected by a
+//! later rewire — matching the physical behavior the guard bands of §3.5
+//! protect.
+
+use crate::packet::{Packet, Priority, PRIORITY_LEVELS};
+use simkit::engine::EventContext;
+use simkit::time::serialization_ns;
+use simkit::SimTime;
+use std::collections::VecDeque;
+
+/// Node index within a fabric.
+pub type NodeId = usize;
+/// Port index within a node.
+pub type PortId = usize;
+
+/// Per-port queue capacities, bytes per priority level.
+///
+/// The paper's Opera configuration uses 12 KB data queues with an
+/// equal-sized header queue (§4.2.1) — see [`QueueConfig::opera_default`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// Capacity in bytes for each priority level's queue.
+    pub cap_bytes: [u64; PRIORITY_LEVELS],
+    /// Trim over-capacity low-latency data to headers instead of dropping
+    /// (NDP behavior).
+    pub trim: bool,
+}
+
+impl QueueConfig {
+    /// Opera defaults: 12 KB header queue, 12 KB low-latency data queue
+    /// (8 full packets), 24 KB bulk staging queue.
+    pub fn opera_default() -> Self {
+        QueueConfig {
+            cap_bytes: [12_000, 12_000, 24_000],
+            trim: true,
+        }
+    }
+
+    /// Effectively unbounded queues (host NIC staging, debugging).
+    pub fn unbounded() -> Self {
+        QueueConfig {
+            cap_bytes: [u64::MAX; PRIORITY_LEVELS],
+            trim: false,
+        }
+    }
+}
+
+/// Link properties of a port.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Line rate in Gb/s.
+    pub gbps: f64,
+    /// One-way propagation delay.
+    pub delay: SimTime,
+}
+
+impl LinkSpec {
+    /// The paper's defaults: 10 Gb/s, 500 ns (≈100 m fiber).
+    pub fn paper_default() -> Self {
+        LinkSpec {
+            gbps: 10.0,
+            delay: SimTime::from_ns(500),
+        }
+    }
+
+    /// Serialization time of `bytes` on this link.
+    pub fn serialize(&self, bytes: u32) -> SimTime {
+        SimTime::from_ns(serialization_ns(bytes as u64, self.gbps))
+    }
+}
+
+/// Result of [`Fabric::send`], so callers can react to loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Packet queued (or already transmitting).
+    Queued,
+    /// Data queue was full; packet trimmed to a header and queued at
+    /// control priority.
+    Trimmed,
+    /// Dropped: queue full (and trimming not applicable/also full).
+    Dropped,
+}
+
+#[derive(Debug)]
+struct Port {
+    queues: [VecDeque<Packet>; PRIORITY_LEVELS],
+    queued_bytes: [u64; PRIORITY_LEVELS],
+    cfg: QueueConfig,
+    link: LinkSpec,
+    peer: Option<(NodeId, PortId)>,
+    busy: bool,
+    failed: bool,
+}
+
+impl Port {
+    fn new(cfg: QueueConfig, link: LinkSpec) -> Self {
+        Port {
+            queues: Default::default(),
+            queued_bytes: [0; PRIORITY_LEVELS],
+            cfg,
+            link,
+            peer: None,
+            busy: false,
+            failed: false,
+        }
+    }
+
+    fn total_queued(&self) -> u64 {
+        self.queued_bytes.iter().sum()
+    }
+}
+
+/// Aggregate event counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricCounters {
+    /// Packets enqueued successfully.
+    pub queued: u64,
+    /// Low-latency data packets trimmed to headers.
+    pub trimmed: u64,
+    /// Packets dropped at full queues.
+    pub dropped: u64,
+    /// Packets transmitted into an unconnected ("dark") port and lost.
+    pub dark_drops: u64,
+    /// Packets lost on failed links.
+    pub failed_drops: u64,
+    /// Packets fully delivered to a peer node.
+    pub delivered: u64,
+}
+
+/// Events routed through the simulator for the fabric/logic pair.
+#[derive(Debug, Clone, Copy)]
+pub enum NetEvent {
+    /// Packet fully received at `node` via its `port`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port at the receiving node.
+        port: PortId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// `node`'s `port` finished serializing; it may start the next packet.
+    PortFree {
+        /// Transmitting node.
+        node: NodeId,
+        /// The now-idle port.
+        port: PortId,
+    },
+    /// Logic-defined timer.
+    Timer {
+        /// Opaque token chosen by the logic when scheduling.
+        token: u64,
+    },
+}
+
+/// The network fabric: all nodes, ports, and wiring.
+#[derive(Debug, Default)]
+pub struct Fabric {
+    nodes: Vec<Vec<Port>>,
+    /// Aggregate counters.
+    pub counters: FabricCounters,
+    /// Random per-packet loss: `(probability, rng)`. Applied to every
+    /// transmission, modeling transient physical-layer corruption.
+    loss: Option<(f64, simkit::SimRng)>,
+}
+
+impl Fabric {
+    /// An empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with `ports` identical ports; returns its id.
+    pub fn add_node(&mut self, ports: usize, cfg: QueueConfig, link: LinkSpec) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes
+            .push((0..ports).map(|_| Port::new(cfg, link)).collect());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the fabric has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ports on `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.nodes[node].len()
+    }
+
+    /// Connect `a.pa ↔ b.pb` (both directions). Panics if either port is
+    /// already wired — use [`Fabric::rewire`] for circuit reconfiguration.
+    pub fn connect(&mut self, a: NodeId, pa: PortId, b: NodeId, pb: PortId) {
+        assert!(self.nodes[a][pa].peer.is_none(), "port {a}.{pa} wired");
+        assert!(self.nodes[b][pb].peer.is_none(), "port {b}.{pb} wired");
+        self.nodes[a][pa].peer = Some((b, pb));
+        self.nodes[b][pb].peer = Some((a, pa));
+    }
+
+    /// Disconnect a port pair (both directions). No-op if unwired.
+    pub fn disconnect(&mut self, a: NodeId, pa: PortId) {
+        if let Some((b, pb)) = self.nodes[a][pa].peer.take() {
+            self.nodes[b][pb].peer = None;
+        }
+    }
+
+    /// Atomically repoint `a.pa ↔ b.pb`, detaching any previous peers —
+    /// circuit-switch reconfiguration.
+    pub fn rewire(&mut self, a: NodeId, pa: PortId, b: NodeId, pb: PortId) {
+        self.disconnect(a, pa);
+        self.disconnect(b, pb);
+        self.nodes[a][pa].peer = Some((b, pb));
+        self.nodes[b][pb].peer = Some((a, pa));
+    }
+
+    /// Current peer of a port.
+    pub fn peer(&self, node: NodeId, port: PortId) -> Option<(NodeId, PortId)> {
+        self.nodes[node][port].peer
+    }
+
+    /// Mark a port's link failed (packets sent are lost) — §5.5 fault
+    /// injection.
+    pub fn set_failed(&mut self, node: NodeId, port: PortId, failed: bool) {
+        self.nodes[node][port].failed = failed;
+    }
+
+    /// Enable uniform random packet loss with probability `p` on every
+    /// transmission (transient corruption; end-to-end recovery is the
+    /// transports' job). `p = 0` disables.
+    pub fn set_random_loss(&mut self, p: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.loss = if p > 0.0 {
+            Some((p, simkit::SimRng::new(seed)))
+        } else {
+            None
+        };
+    }
+
+    /// Bytes queued at a port across all priorities.
+    pub fn queued_bytes(&self, node: NodeId, port: PortId) -> u64 {
+        self.nodes[node][port].total_queued()
+    }
+
+    /// Bytes queued at one priority level.
+    pub fn queued_bytes_at(&self, node: NodeId, port: PortId, prio: Priority) -> u64 {
+        self.nodes[node][port].queued_bytes[prio as usize]
+    }
+
+    /// True while the port is serializing a packet.
+    pub fn is_busy(&self, node: NodeId, port: PortId) -> bool {
+        self.nodes[node][port].busy
+    }
+
+    /// The link spec of a port.
+    pub fn link(&self, node: NodeId, port: PortId) -> LinkSpec {
+        self.nodes[node][port].link
+    }
+
+    /// Enqueue `packet` for transmission out of `node.port`, starting
+    /// transmission immediately if the port is idle. Applies the port's
+    /// queue policy (trim / drop).
+    pub fn send(
+        &mut self,
+        ctx: &mut EventContext<'_, NetEvent>,
+        node: NodeId,
+        port: PortId,
+        packet: Packet,
+    ) -> SendOutcome {
+        let p = &mut self.nodes[node][port];
+        let lvl = packet.prio as usize;
+        let fits = p.queued_bytes[lvl] + packet.size as u64 <= p.cfg.cap_bytes[lvl];
+
+        let (packet, outcome) = if fits {
+            (packet, SendOutcome::Queued)
+        } else if p.cfg.trim && packet.prio == Priority::LowLatency && packet.payload() > 0 {
+            // NDP: cut the payload, keep the header at control priority.
+            let trimmed = packet.trim();
+            let clvl = trimmed.prio as usize;
+            if p.queued_bytes[clvl] + trimmed.size as u64 <= p.cfg.cap_bytes[clvl] {
+                (trimmed, SendOutcome::Trimmed)
+            } else {
+                self.counters.dropped += 1;
+                return SendOutcome::Dropped;
+            }
+        } else {
+            self.counters.dropped += 1;
+            return SendOutcome::Dropped;
+        };
+
+        let p = &mut self.nodes[node][port];
+        let lvl = packet.prio as usize;
+        p.queues[lvl].push_back(packet);
+        p.queued_bytes[lvl] += packet.size as u64;
+        match outcome {
+            SendOutcome::Trimmed => self.counters.trimmed += 1,
+            _ => self.counters.queued += 1,
+        }
+        if !p.busy {
+            self.start_tx(ctx, node, port);
+        }
+        outcome
+    }
+
+    /// Dequeue the highest-priority packet and put it on the wire.
+    fn start_tx(&mut self, ctx: &mut EventContext<'_, NetEvent>, node: NodeId, port: PortId) {
+        let p = &mut self.nodes[node][port];
+        debug_assert!(!p.busy);
+        let Some(lvl) = (0..PRIORITY_LEVELS).find(|&l| !p.queues[l].is_empty()) else {
+            return;
+        };
+        let packet = p.queues[lvl].pop_front().expect("non-empty");
+        p.queued_bytes[lvl] -= packet.size as u64;
+        p.busy = true;
+        let ser = p.link.serialize(packet.size);
+        let delay = p.link.delay;
+        let peer = p.peer;
+        let failed = p.failed;
+        ctx.schedule_in(ser, NetEvent::PortFree { node, port });
+        let corrupted = match &mut self.loss {
+            Some((p, rng)) => rng.chance(*p),
+            None => false,
+        };
+        match peer {
+            Some(_) if corrupted => self.counters.failed_drops += 1,
+            Some((pn, pp)) if !failed => {
+                self.counters.delivered += 1;
+                ctx.schedule_in(
+                    ser + delay,
+                    NetEvent::Arrive {
+                        node: pn,
+                        port: pp,
+                        packet,
+                    },
+                );
+            }
+            Some(_) => self.counters.failed_drops += 1,
+            None => self.counters.dark_drops += 1,
+        }
+    }
+
+    /// Handle a [`NetEvent::PortFree`]: mark idle and continue draining.
+    pub fn on_port_free(
+        &mut self,
+        ctx: &mut EventContext<'_, NetEvent>,
+        node: NodeId,
+        port: PortId,
+    ) {
+        let p = &mut self.nodes[node][port];
+        debug_assert!(p.busy);
+        p.busy = false;
+        if p.queues.iter().any(|q| !q.is_empty()) {
+            self.start_tx(ctx, node, port);
+        }
+    }
+
+    /// Drop every queued bulk packet at a port, returning them — used by
+    /// the RotorLB NACK path when a transmission window closes (§4.2.2).
+    pub fn drain_bulk(&mut self, node: NodeId, port: PortId) -> Vec<Packet> {
+        let p = &mut self.nodes[node][port];
+        let lvl = Priority::Bulk as usize;
+        p.queued_bytes[lvl] = 0;
+        p.queues[lvl].drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketKind, HEADER_SIZE, MTU};
+    use simkit::engine::{EventHandler, Simulator};
+
+    /// World capturing arrivals for fabric unit tests.
+    struct TestWorld {
+        fabric: Fabric,
+        arrivals: Vec<(u64, NodeId, Packet)>,
+    }
+
+    impl EventHandler for TestWorld {
+        type Event = NetEvent;
+        fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
+            match ev {
+                NetEvent::Arrive { node, packet, .. } => {
+                    self.arrivals.push((ctx.now().as_ns(), node, packet));
+                }
+                NetEvent::PortFree { node, port } => {
+                    self.fabric.on_port_free(ctx, node, port);
+                }
+                NetEvent::Timer { .. } => {}
+            }
+        }
+    }
+
+    fn two_nodes(cfg: QueueConfig) -> TestWorld {
+        let mut fabric = Fabric::new();
+        let a = fabric.add_node(1, cfg, LinkSpec::paper_default());
+        let b = fabric.add_node(1, cfg, LinkSpec::paper_default());
+        fabric.connect(a, 0, b, 0);
+        TestWorld {
+            fabric,
+            arrivals: vec![],
+        }
+    }
+
+    #[test]
+    fn single_packet_timing() {
+        let sim = run_burst(
+            QueueConfig::opera_default(),
+            vec![Packet::data(0, 0, 1, 0, MTU)],
+        );
+        let arr = &sim.world.inner.arrivals;
+        assert_eq!(arr.len(), 1);
+        // 1500B @ 10G = 1200ns ser + 500ns prop = 1700ns.
+        assert_eq!(arr[0].0, 1700);
+        assert_eq!(arr[0].1, 1);
+        assert_eq!(sim.world.inner.fabric.counters.queued, 1);
+        assert_eq!(sim.world.inner.fabric.counters.delivered, 1);
+    }
+
+    // Shared world that sends a burst at t=0.
+    struct BurstWorld {
+        inner: TestWorld,
+        burst: Vec<Packet>,
+    }
+    impl EventHandler for BurstWorld {
+        type Event = NetEvent;
+        fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
+            if let NetEvent::Timer { .. } = ev {
+                for pkt in self.burst.drain(..) {
+                    self.inner.fabric.send(ctx, 0, 0, pkt);
+                }
+            } else {
+                self.inner.handle_event(ev, ctx);
+            }
+        }
+    }
+
+    fn run_burst(cfg: QueueConfig, burst: Vec<Packet>) -> Simulator<BurstWorld> {
+        let mut sim = Simulator::new(BurstWorld {
+            inner: two_nodes(cfg),
+            burst,
+        });
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
+        sim.run();
+        sim
+    }
+
+    #[test]
+    fn priority_queue_orders_control_first() {
+        let burst = vec![
+            Packet::data(0, 0, 1, 0, MTU),
+            Packet::data(0, 0, 1, 1, MTU),
+            Packet::control(0, 0, 1, PacketKind::Pull { count: 1 }),
+        ];
+        let sim = run_burst(QueueConfig::opera_default(), burst);
+        let kinds: Vec<PacketKind> = sim
+            .world
+            .inner
+            .arrivals
+            .iter()
+            .map(|&(_, _, p)| p.kind)
+            .collect();
+        // First data packet was already serializing when the pull arrived;
+        // the pull then jumps the second data packet.
+        assert!(matches!(kinds[0], PacketKind::Data { seq: 0, .. }));
+        assert!(matches!(kinds[1], PacketKind::Pull { .. }));
+        assert!(matches!(kinds[2], PacketKind::Data { seq: 1, .. }));
+    }
+
+    #[test]
+    fn trimming_when_data_queue_full() {
+        // Queue capacity: 8 full packets (12KB). Send 1 (serializing) + 8
+        // (queued) + 1 (trimmed).
+        let burst: Vec<Packet> = (0..10).map(|s| Packet::data(0, 0, 1, s, MTU)).collect();
+        let sim = run_burst(QueueConfig::opera_default(), burst);
+        let arr = &sim.world.inner.arrivals;
+        assert_eq!(arr.len(), 10);
+        let trimmed: Vec<u32> = arr
+            .iter()
+            .filter(|&&(_, _, p)| p.is_trimmed())
+            .map(|&(_, _, p)| match p.kind {
+                PacketKind::Data { seq, .. } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(trimmed, vec![9]);
+        assert_eq!(sim.world.inner.fabric.counters.trimmed, 1);
+        // The trimmed header overtakes the queued full packets.
+        let order: Vec<bool> = arr.iter().map(|&(_, _, p)| p.is_trimmed()).collect();
+        assert!(order[1], "header should arrive right after first data");
+    }
+
+    #[test]
+    fn drop_when_no_trim() {
+        let cfg = QueueConfig {
+            cap_bytes: [HEADER_SIZE as u64, MTU as u64, 0],
+            trim: false,
+        };
+        let burst: Vec<Packet> = (0..3).map(|s| Packet::data(0, 0, 1, s, MTU)).collect();
+        let sim = run_burst(cfg, burst);
+        // 1 serializing + 1 queued + 1 dropped.
+        assert_eq!(sim.world.inner.arrivals.len(), 2);
+        assert_eq!(sim.world.inner.fabric.counters.dropped, 1);
+    }
+
+    #[test]
+    fn dark_port_drops() {
+        struct DarkWorld {
+            fabric: Fabric,
+        }
+        impl EventHandler for DarkWorld {
+            type Event = NetEvent;
+            fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
+                match ev {
+                    NetEvent::Timer { .. } => {
+                        let pkt = Packet::data(0, 0, 1, 0, MTU);
+                        self.fabric.send(ctx, 0, 0, pkt);
+                    }
+                    NetEvent::PortFree { node, port } => {
+                        self.fabric.on_port_free(ctx, node, port)
+                    }
+                    NetEvent::Arrive { .. } => panic!("nothing should arrive"),
+                }
+            }
+        }
+        let mut fabric = Fabric::new();
+        fabric.add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
+        let mut sim = Simulator::new(DarkWorld { fabric });
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
+        sim.run();
+        assert_eq!(sim.world.fabric.counters.dark_drops, 1);
+    }
+
+    #[test]
+    fn rewire_moves_traffic() {
+        struct RewireWorld {
+            inner: TestWorld,
+            phase: u8,
+        }
+        impl EventHandler for RewireWorld {
+            type Event = NetEvent;
+            fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
+                if let NetEvent::Timer { .. } = ev {
+                    match self.phase {
+                        0 => {
+                            let pkt = Packet::data(0, 0, 1, 0, MTU);
+                            self.inner.fabric.send(ctx, 0, 0, pkt);
+                        }
+                        1 => {
+                            // Rewire node 0 port 0 to node 2.
+                            self.inner.fabric.rewire(0, 0, 2, 0);
+                            let pkt = Packet::data(0, 0, 2, 1, MTU);
+                            self.inner.fabric.send(ctx, 0, 0, pkt);
+                        }
+                        _ => {}
+                    }
+                    self.phase += 1;
+                } else {
+                    self.inner.handle_event(ev, ctx);
+                }
+            }
+        }
+        let mut inner = two_nodes(QueueConfig::opera_default());
+        inner
+            .fabric
+            .add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
+        let mut sim = Simulator::new(RewireWorld { inner, phase: 0 });
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
+        sim.schedule_at(SimTime::from_us(10), NetEvent::Timer { token: 1 });
+        sim.run();
+        let arr = &sim.world.inner.arrivals;
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].1, 1, "first packet to original peer");
+        assert_eq!(arr[1].1, 2, "second packet to rewired peer");
+        // Old peer's port is now unwired.
+        assert_eq!(sim.world.inner.fabric.peer(1, 0), None);
+    }
+
+    #[test]
+    fn failed_link_loses_packets() {
+        let mut w = two_nodes(QueueConfig::opera_default());
+        w.fabric.set_failed(0, 0, true);
+        struct FailWorld {
+            inner: TestWorld,
+        }
+        impl EventHandler for FailWorld {
+            type Event = NetEvent;
+            fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
+                if let NetEvent::Timer { .. } = ev {
+                    let pkt = Packet::data(0, 0, 1, 0, MTU);
+                    self.inner.fabric.send(ctx, 0, 0, pkt);
+                } else {
+                    self.inner.handle_event(ev, ctx);
+                }
+            }
+        }
+        let mut sim = Simulator::new(FailWorld { inner: w });
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
+        sim.run();
+        assert!(sim.world.inner.arrivals.is_empty());
+        assert_eq!(sim.world.inner.fabric.counters.failed_drops, 1);
+    }
+
+    #[test]
+    fn back_to_back_serialization() {
+        let burst: Vec<Packet> = (0..3).map(|s| Packet::data(0, 0, 1, s, MTU)).collect();
+        let sim = run_burst(QueueConfig::opera_default(), burst);
+        let times: Vec<u64> = sim.world.inner.arrivals.iter().map(|a| a.0).collect();
+        // 1200ns serialization each, 500ns prop: arrivals at 1700, 2900, 4100.
+        assert_eq!(times, vec![1700, 2900, 4100]);
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_p() {
+        let mut w = two_nodes(QueueConfig::unbounded());
+        w.fabric.set_random_loss(0.25, 7);
+        struct LossWorld {
+            inner: TestWorld,
+        }
+        impl EventHandler for LossWorld {
+            type Event = NetEvent;
+            fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
+                if let NetEvent::Timer { .. } = ev {
+                    for s in 0..400 {
+                        self.inner
+                            .fabric
+                            .send(ctx, 0, 0, Packet::data(0, 0, 1, s, MTU));
+                    }
+                } else {
+                    self.inner.handle_event(ev, ctx);
+                }
+            }
+        }
+        let mut sim = Simulator::new(LossWorld { inner: w });
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
+        sim.run();
+        let got = sim.world.inner.arrivals.len();
+        assert!((240..=360).contains(&got), "arrivals {got} of 400 at p=0.25");
+        assert_eq!(
+            sim.world.inner.fabric.counters.failed_drops as usize,
+            400 - got
+        );
+    }
+
+    #[test]
+    fn drain_bulk_returns_packets() {
+        let mut fabric = Fabric::new();
+        let a = fabric.add_node(1, QueueConfig::unbounded(), LinkSpec::paper_default());
+        let b = fabric.add_node(1, QueueConfig::unbounded(), LinkSpec::paper_default());
+        fabric.connect(a, 0, b, 0);
+        struct DrainWorld {
+            fabric: Fabric,
+            drained: usize,
+        }
+        impl EventHandler for DrainWorld {
+            type Event = NetEvent;
+            fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
+                match ev {
+                    NetEvent::Timer { token: 0 } => {
+                        for s in 0..5 {
+                            self.fabric.send(ctx, 0, 0, Packet::bulk(0, 0, 1, s, MTU));
+                        }
+                        // One is serializing; four are queued. Drain them.
+                        self.drained = self.fabric.drain_bulk(0, 0).len();
+                    }
+                    NetEvent::PortFree { node, port } => {
+                        self.fabric.on_port_free(ctx, node, port)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new(DrainWorld { fabric, drained: 0 });
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
+        sim.run();
+        assert_eq!(sim.world.drained, 4);
+        assert_eq!(sim.world.fabric.queued_bytes(0, 0), 0);
+    }
+}

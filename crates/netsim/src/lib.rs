@@ -1,0 +1,29 @@
+//! `netsim` — a packet-level network fabric simulator.
+//!
+//! This crate replaces the data-plane machinery of the `htsim` simulator the
+//! paper used: store-and-forward nodes with output-queued ports, strict
+//! priority queues with NDP-style packet trimming, and links modeled as
+//! serialization + propagation delay.
+//!
+//! The fabric is *policy-free*: what a node does with an arriving packet
+//! (route it, consume it, answer it) is decided by a [`logic::NetLogic`]
+//! implementation supplied by higher layers (`transport`, `opera`). The
+//! split keeps the hot path monomorphic and the network models testable in
+//! isolation.
+//!
+//! * [`packet`] — the packet model (semantic headers, no payload bytes),
+//! * [`fabric`] — nodes, ports, queues, links, wiring (including live
+//!   rewiring for circuit switches), counters, fault injection,
+//! * [`logic`] — the [`logic::NetLogic`] trait and the
+//!   [`logic::NetWorld`] event-loop adapter,
+//! * [`flows`] — flow registry and FCT accounting.
+
+pub mod fabric;
+pub mod flows;
+pub mod logic;
+pub mod packet;
+
+pub use fabric::{Fabric, LinkSpec, NetEvent, NodeId, PortId, QueueConfig, SendOutcome};
+pub use flows::{FlowClass, FlowId, FlowRecord, FlowTracker};
+pub use logic::{NetLogic, NetWorld};
+pub use packet::{Packet, PacketKind, Priority, HEADER_SIZE, MTU};

@@ -1,0 +1,55 @@
+//! `opera` — the core library of the Opera reproduction.
+//!
+//! Opera (Mellette et al., NSDI 2020) is a datacenter network whose rotor
+//! circuit switches reconfigure *offset in time* so that
+//!
+//! * at every instant the active circuits form an expander graph carrying
+//!   latency-sensitive traffic over multi-hop paths (NDP), and
+//! * integrated over a cycle, every rack pair receives a direct circuit
+//!   carrying bulk traffic with zero bandwidth tax (RotorLB).
+//!
+//! This crate assembles the substrates (`simkit`, `netsim`, `topo`,
+//! `transport`, `workloads`, `flowsim`) into runnable network models:
+//!
+//! * [`timing`] — topology-slice time constants (§4.1, Figure 6/14),
+//! * [`tables`] — per-slice low-latency and bulk forwarding tables (§4.3),
+//! * [`opera_net`] — the packet-level Opera network (and, by
+//!   configuration, non-hybrid/hybrid RotorNet),
+//! * [`static_net`] — cost-equivalent folded-Clos and static-expander
+//!   baselines running NDP,
+//! * [`harness`] — experiment drivers: flow injection, FCT collection,
+//!   throughput accounting,
+//! * [`ruleset`] — the routing-state model behind Table 1,
+//! * [`prototype`] — the queueing model of the Tofino prototype (Figure
+//!   13, §6.1).
+//!
+//! # Example
+//!
+//! ```
+//! use opera::{opera_net, OperaNetConfig};
+//! use simkit::SimTime;
+//! use workloads::FlowSpec;
+//!
+//! // A 32-host Opera network; one cross-rack low-latency flow.
+//! let cfg = OperaNetConfig::small_test();
+//! let flows = vec![FlowSpec { src: 1, dst: 30, size: 20_000, start: SimTime::ZERO }];
+//! let mut sim = opera_net::build(cfg, flows);
+//! sim.run_until(SimTime::from_ms(5));
+//! let fct = sim.world.logic.tracker().get(0).fct().expect("flow completed");
+//! assert!(fct < SimTime::from_us(100));
+//! ```
+
+pub mod harness;
+pub mod opera_net;
+pub mod prototype;
+pub mod ruleset;
+pub mod static_net;
+pub mod tables;
+pub mod timing;
+mod tokens;
+
+pub use harness::{ExperimentResult, FctStats};
+pub use opera_net::{OperaNet, OperaNetConfig, RotorMode};
+pub use ruleset::{ruleset_for, RulesetReport};
+pub use static_net::{StaticNet, StaticNetConfig, StaticTopologyKind};
+pub use timing::SliceTiming;

@@ -1,0 +1,1073 @@
+//! The packet-level Opera network (and RotorNet variants).
+//!
+//! Node layout: hosts `0..H`, then one ToR node per rack; in hybrid
+//! RotorNet mode, one additional ideal packet-core node. Rotor circuit
+//! switches are *not* nodes: a circuit is a direct wire between two ToR
+//! uplink ports, rewired at reconfiguration times (see
+//! [`netsim::Fabric::rewire`]).
+//!
+//! Per slice (§3, §4):
+//! * low-latency packets are routed hop-by-hop over the current expander
+//!   using precomputed per-slice ECMP tables, choosing uniformly among
+//!   shortest-path uplinks per packet;
+//! * bulk packets are admitted by per-`(rack, uplink)` *feeders* that poll
+//!   source hosts at line rate while a direct circuit to the destination
+//!   rack is up (§3.5), stop at a guard time before the circuit's switch
+//!   reconfigures, and requeue anything left in the ToR's bulk queue
+//!   (the NACK path of §4.2.2);
+//! * at each boundary the reconfiguring switch group's circuits go dark
+//!   for the reconfiguration delay `r`, then reconnect in the next
+//!   matching.
+//!
+//! Modes (§5): [`RotorMode::Opera`] classifies flows by size threshold;
+//! [`RotorMode::RotorNonHybrid`] sends *everything* through RotorLB
+//! (short flows wait for circuits — Figure 7c's three-orders-worse
+//! latency); [`RotorMode::RotorHybrid`] sends low-latency flows through a
+//! separate ideal packet core attached to one uplink per ToR (+33% cost).
+
+use crate::tables::{BulkTables, LowLatencyTables};
+use crate::timing::SliceTiming;
+use crate::tokens::{decode, encode, Token};
+use netsim::fabric::{Fabric, LinkSpec, NetEvent, QueueConfig, SendOutcome};
+use netsim::{FlowClass, FlowTracker, NetLogic, NetWorld, Packet, PacketKind, Priority, MTU};
+use simkit::engine::EventContext;
+use simkit::{SimRng, SimTime, Simulator};
+use topo::opera::{OperaParams, OperaTopology};
+use transport::{NdpHost, NdpParams, RackBulk, RotorLbParams};
+use workloads::FlowSpec;
+
+/// Which system the rotor fabric emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotorMode {
+    /// Opera: expander paths for low-latency, circuits for bulk.
+    Opera,
+    /// RotorNet without a packet network: everything over RotorLB.
+    RotorNonHybrid,
+    /// RotorNet with one uplink per ToR facing an ideal packet core for
+    /// low-latency traffic (1.33× cost).
+    RotorHybrid,
+}
+
+/// Configuration of an Opera/RotorNet simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct OperaNetConfig {
+    /// Topology parameters (racks, uplinks, hosts/rack, groups).
+    pub params: OperaParams,
+    /// Slice timing.
+    pub timing: SliceTiming,
+    /// Link rate and propagation delay used everywhere.
+    pub link: LinkSpec,
+    /// Queue configuration for every port.
+    pub queues: QueueConfig,
+    /// NDP transport parameters.
+    pub ndp: NdpParams,
+    /// RotorLB parameters.
+    pub rotorlb: RotorLbParams,
+    /// Flows of at least this many bytes are bulk (§4.1; ignored by the
+    /// RotorNet modes, which classify everything as bulk for transport).
+    pub bulk_threshold: u64,
+    /// System variant.
+    pub mode: RotorMode,
+    /// Allow RotorLB two-hop Valiant indirection.
+    pub allow_vlb: bool,
+    /// RNG seed (topology generation uses `seed`, routing choice
+    /// `seed + 1`).
+    pub seed: u64,
+}
+
+impl OperaNetConfig {
+    /// A small fast configuration for tests: 8 racks × 4 hosts, 4 rotor
+    /// switches, 10 µs slices.
+    pub fn small_test() -> Self {
+        OperaNetConfig {
+            params: OperaParams {
+                racks: 8,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            timing: SliceTiming::fast_sim(),
+            link: LinkSpec::paper_default(),
+            queues: QueueConfig::opera_default(),
+            ndp: NdpParams::paper_default(),
+            rotorlb: RotorLbParams::paper_default(),
+            bulk_threshold: 500_000,
+            mode: RotorMode::Opera,
+            allow_vlb: true,
+            seed: 1,
+        }
+    }
+
+    /// The paper's 648-host configuration (slow to simulate at high load).
+    pub fn paper_648() -> Self {
+        OperaNetConfig {
+            params: OperaParams::example_648(),
+            timing: SliceTiming::paper_default(),
+            link: LinkSpec::paper_default(),
+            queues: QueueConfig::opera_default(),
+            ndp: NdpParams::paper_default(),
+            rotorlb: RotorLbParams::paper_default(),
+            bulk_threshold: 15_000_000,
+            mode: RotorMode::Opera,
+            allow_vlb: true,
+            seed: 1,
+        }
+    }
+
+    /// Total hosts.
+    pub fn hosts(&self) -> usize {
+        self.params.hosts()
+    }
+}
+
+/// Loss/diagnostic counters specific to the Opera logic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OperaCounters {
+    /// Low-latency packets dropped for exceeding the hop limit.
+    pub hop_limit_drops: u64,
+    /// Bulk packets requeued after missing a transmission window.
+    pub bulk_requeued: u64,
+    /// Valiant packets that found the relay store full.
+    pub relay_overflow: u64,
+    /// Bulk packets that arrived at a ToR with no usable circuit and were
+    /// locally requeued.
+    pub bulk_stragglers: u64,
+    /// Transceivers marked bad by the hello protocol.
+    pub links_marked_bad: u64,
+    /// Feeder ticks skipped because the source host NIC was full
+    /// (backpressure, not loss).
+    pub nic_backpressure: u64,
+}
+
+/// Per-`(rack, uplink)` feeder state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Feeder {
+    running: bool,
+    /// Stop polling at this time (window close).
+    deadline: SimTime,
+    /// Destination rack of the circuit currently fed.
+    circuit_dst: usize,
+}
+
+/// The Opera network logic (see module docs).
+pub struct OperaLogic {
+    cfg: OperaNetConfig,
+    topo: OperaTopology,
+    ll_tables: LowLatencyTables,
+    bulk_tables: BulkTables,
+    hosts: Vec<NdpHost>,
+    bulk: Vec<RackBulk>,
+    tracker: FlowTracker,
+    rng: SimRng,
+    /// Current slice (monotone; take mod slices_per_cycle for tables).
+    slice: usize,
+    feeders: Vec<Feeder>,
+    /// Flows sorted by start time, next index to inject.
+    pending: Vec<FlowSpec>,
+    next_flow: usize,
+    /// Counters.
+    pub counters: OperaCounters,
+    /// Maximum ToR-to-ToR hops before a packet is declared looping.
+    hop_limit: u8,
+    /// Stop injecting/rescheduling after this time (0 = no limit).
+    horizon: SimTime,
+    /// `(rack, uplink)` transceivers marked bad by the hello protocol
+    /// (§3.6.2); routing tables exclude their circuits.
+    bad_links: Vec<(usize, usize)>,
+    /// Hello awaited on `(rack, uplink)` this slice (flat index).
+    hello_pending: Vec<bool>,
+    /// Run the hello protocol (small per-slice control overhead).
+    hello_enabled: bool,
+}
+
+/// Hello messages sent per circuit end at each reconfiguration (§3.6.2's
+/// "short sequence"; the link is marked bad only when all are lost).
+pub const HELLO_BURST: usize = 3;
+
+/// Complete simulated network: fabric + logic in a simulator.
+pub type OperaNet = Simulator<NetWorld<OperaLogic>>;
+
+impl OperaLogic {
+    fn hosts_total(&self) -> usize {
+        self.cfg.hosts()
+    }
+    fn rack_of(&self, host: usize) -> usize {
+        host / self.cfg.params.hosts_per_rack
+    }
+    fn tor_node(&self, rack: usize) -> usize {
+        self.hosts_total() + rack
+    }
+    fn core_node(&self) -> usize {
+        self.hosts_total() + self.cfg.params.racks
+    }
+    fn is_tor(&self, node: usize) -> bool {
+        node >= self.hosts_total() && node < self.hosts_total() + self.cfg.params.racks
+    }
+    fn is_core(&self, node: usize) -> bool {
+        self.cfg.mode == RotorMode::RotorHybrid && node == self.core_node()
+    }
+    fn down_ports(&self) -> usize {
+        self.cfg.params.hosts_per_rack
+    }
+    /// Rotor uplinks (excludes the hybrid packet-core uplink).
+    fn rotor_uplinks(&self) -> usize {
+        self.topo.switches()
+    }
+    /// Fabric port of rotor uplink `j` at a ToR.
+    fn up_port(&self, j: usize) -> usize {
+        self.down_ports() + j
+    }
+    /// Fabric port of the hybrid packet-core uplink.
+    fn core_port(&self) -> usize {
+        self.down_ports() + self.rotor_uplinks()
+    }
+    fn feeder_idx(&self, rack: usize, uplink: usize) -> usize {
+        rack * self.rotor_uplinks() + uplink
+    }
+
+    /// Window-close guard before a reconfiguration: long enough to drain
+    /// the bulk queue and the host→ToR leg.
+    fn window_guard(&self) -> SimTime {
+        let drain = self.cfg.link.serialize(MTU).as_ns() * 4;
+        SimTime::from_ns(drain + 2 * self.cfg.link.delay.as_ns())
+    }
+
+    /// Classify a flow by mode and size.
+    fn classify(&self, size: u64) -> FlowClass {
+        match self.cfg.mode {
+            RotorMode::Opera => {
+                if size >= self.cfg.bulk_threshold {
+                    FlowClass::Bulk
+                } else {
+                    FlowClass::LowLatency
+                }
+            }
+            // RotorNet: every flow is bulk from the transport's point of
+            // view (non-hybrid), or split like Opera but with low-latency
+            // riding the packet core (hybrid).
+            RotorMode::RotorNonHybrid => FlowClass::Bulk,
+            RotorMode::RotorHybrid => {
+                if size >= self.cfg.bulk_threshold {
+                    FlowClass::Bulk
+                } else {
+                    FlowClass::LowLatency
+                }
+            }
+        }
+    }
+
+    /// Access the flow tracker (results).
+    pub fn tracker(&self) -> &FlowTracker {
+        &self.tracker
+    }
+
+    /// Mutable access (used by harnesses to attach throughput bins).
+    pub fn tracker_mut(&mut self) -> &mut FlowTracker {
+        &mut self.tracker
+    }
+
+    /// The generated topology (for analysis alongside the simulation).
+    pub fn topology(&self) -> &OperaTopology {
+        &self.topo
+    }
+
+    // ------------------------------------------------------------------
+    // Wiring
+    // ------------------------------------------------------------------
+
+    /// Wire the circuits of switch `j` for the matching at `position`.
+    fn wire_switch(&self, fabric: &mut Fabric, j: usize, position: usize) {
+        let m = self.topo.matching(j, position);
+        for (a, b) in m.pairs() {
+            fabric.rewire(self.tor_node(a), self.up_port(j), self.tor_node(b), self.up_port(j));
+        }
+        // Self-paired racks' ports stay dark (disconnect happened earlier).
+    }
+
+    /// Disconnect all circuits of switch `j`.
+    fn dark_switch(&self, fabric: &mut Fabric, j: usize) {
+        for rack in 0..self.cfg.params.racks {
+            fabric.disconnect(self.tor_node(rack), self.up_port(j));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Slice machinery
+    // ------------------------------------------------------------------
+
+    /// A slice boundary (Figure 6): the switches that spent the last `r`
+    /// of the ending slice dark reconfiguring come up in their next
+    /// matching, and the new slice begins with every circuit live.
+    fn on_slice_boundary(&mut self, fabric: &mut Fabric, ctx: &mut EventContext<'_, NetEvent>) {
+        let ending = self.slice;
+        self.slice += 1;
+        for &j in &self.topo.reconfiguring(ending) {
+            self.wire_switch(fabric, j, self.topo.position_at(j, self.slice));
+            if self.hello_enabled {
+                self.send_hellos(fabric, ctx, j);
+            }
+        }
+        // This slice's reconfiguring group goes dark ε from now (r before
+        // the next boundary).
+        ctx.schedule_in(self.cfg.timing.epsilon, NetEvent::Timer { token: encode(Token::Dark) });
+        self.start_feeders(fabric, ctx);
+        if self.horizon == SimTime::ZERO || ctx.now() < self.horizon {
+            ctx.schedule_in(self.cfg.timing.slice(), NetEvent::Timer { token: encode(Token::SliceBoundary) });
+        }
+    }
+
+    /// ε into the slice: the impending switches stop carrying traffic and
+    /// begin reconfiguring. Bulk still staged at their uplinks missed the
+    /// window — the §4.2.2 NACK path returns it to the RotorLB queues.
+    fn on_dark(&mut self, fabric: &mut Fabric, _ctx: &mut EventContext<'_, NetEvent>) {
+        for &j in &self.topo.reconfiguring(self.slice) {
+            for rack in 0..self.cfg.params.racks {
+                let drained = fabric.drain_bulk(self.tor_node(rack), self.up_port(j));
+                for pkt in &drained {
+                    let dst_rack = self.rack_of(pkt.dst);
+                    self.bulk[rack].requeue_with_rack(pkt, dst_rack);
+                    self.counters.bulk_requeued += 1;
+                }
+            }
+            self.dark_switch(fabric, j);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault detection (§3.6.2): hello exchange on every new circuit
+    // ------------------------------------------------------------------
+
+    /// When switch `j` comes up in a new matching, both ends of every
+    /// circuit send a hello; each end expects its partner's hello within
+    /// the hello timeout, else marks the partner's transceiver bad and
+    /// recomputes routes around it.
+    fn send_hellos(&mut self, fabric: &mut Fabric, ctx: &mut EventContext<'_, NetEvent>, j: usize) {
+        let m = self.topo.matching(j, self.topo.position_at(j, self.slice));
+        let pairs: Vec<(usize, usize)> = m.pairs().collect();
+        for (a, b) in pairs {
+            for (me, peer) in [(a, b), (b, a)] {
+                // "A short sequence of hello messages" (§3.6.2): several
+                // copies so one corrupted frame cannot condemn a healthy
+                // link. The circuit is marked bad only if all are lost.
+                for _ in 0..HELLO_BURST {
+                    let pkt = Packet::control(
+                        netsim::FlowId::MAX,
+                        self.tor_node(me),
+                        self.tor_node(peer),
+                        PacketKind::Hello,
+                    );
+                    fabric.send(ctx, self.tor_node(me), self.up_port(j), pkt);
+                }
+                let fi = self.feeder_idx(peer, j);
+                self.hello_pending[fi] = true;
+                ctx.schedule_at(
+                    ctx.now() + self.hello_timeout(),
+                    NetEvent::Timer { token: encode(Token::HelloCheck(peer, j)) },
+                );
+            }
+        }
+    }
+
+    /// Hello timeout: a few circuit RTTs, far below ε.
+    fn hello_timeout(&self) -> SimTime {
+        SimTime::from_ns(self.cfg.timing.epsilon.as_ns() / 4)
+    }
+
+    /// A hello arrived at `rack` via `uplink`: the circuit (and the
+    /// partner's transceiver) are alive.
+    fn on_hello(&mut self, rack: usize, uplink: usize) {
+        let fi = self.feeder_idx(rack, uplink);
+        self.hello_pending[fi] = false;
+        // A hello from a link previously marked bad proves it healthy
+        // again (e.g. a false positive from corrupted hello frames, or a
+        // repaired transceiver): restore it.
+        let m = self.topo.matching(uplink, self.topo.position_at(uplink, self.slice));
+        let partner = m.partner(rack);
+        if let Some(pos) = self.bad_links.iter().position(|&b| b == (partner, uplink)) {
+            self.bad_links.swap_remove(pos);
+            self.recompute_tables();
+        }
+    }
+
+    /// Hello timeout fired: if still pending, the partner this slice never
+    /// reached us — mark its `(rack, uplink)` transceiver bad and route
+    /// around it (the paper shares this via subsequent hellos; we model
+    /// converged knowledge, which §3.6.2 bounds at two cycles).
+    fn on_hello_check(&mut self, rack: usize, uplink: usize) {
+        let fi = self.feeder_idx(rack, uplink);
+        if !self.hello_pending[fi] {
+            return;
+        }
+        self.hello_pending[fi] = false;
+        // Identify the partner whose hello went missing.
+        let m = self.topo.matching(uplink, self.topo.position_at(uplink, self.slice));
+        let partner = m.partner(rack);
+        let bad = (partner, uplink);
+        if partner == rack || self.bad_links.contains(&bad) {
+            return;
+        }
+        self.bad_links.push(bad);
+        self.counters.links_marked_bad += 1;
+        self.recompute_tables();
+    }
+
+    /// Rebuild both forwarding tables around the known-bad transceivers.
+    fn recompute_tables(&mut self) {
+        self.ll_tables = LowLatencyTables::build_with_failures(&self.topo, &self.bad_links);
+        self.bulk_tables = BulkTables::build_with_failures(&self.topo, &self.bad_links);
+    }
+
+    /// Links currently marked bad.
+    pub fn bad_links(&self) -> &[(usize, usize)] {
+        &self.bad_links
+    }
+
+    /// Enable or disable the hello protocol (on by default). Disabling
+    /// removes its per-slice control packets — useful for experiments
+    /// that meter exact data-plane packet counts.
+    pub fn set_hello_enabled(&mut self, enabled: bool) {
+        self.hello_enabled = enabled;
+    }
+
+    /// Fabric address `(node, port)` of a rack's rotor uplink — the handle
+    /// experiments use to inject transceiver failures
+    /// (`fabric.set_failed(node, port, true)`).
+    pub fn uplink_addr(&self, rack: usize, uplink: usize) -> (usize, usize) {
+        (self.tor_node(rack), self.up_port(uplink))
+    }
+
+    /// Does rack `r` have anything useful to put on a circuit to `dst`?
+    fn has_bulk_work(&self, rack: usize, dst: usize) -> bool {
+        if self.bulk[rack].pending_to(dst) > 0 {
+            return true;
+        }
+        self.cfg.allow_vlb
+            && self.bulk[rack].total_direct_backlog() > self.cfg.rotorlb.vlb_threshold
+    }
+
+    /// (Re)arm feeders for every active circuit of the current slice.
+    fn start_feeders(&mut self, fabric: &mut Fabric, ctx: &mut EventContext<'_, NetEvent>) {
+        let slice = self.slice;
+        let stride = self.rotor_uplinks() / self.cfg.params.groups;
+        let boundary_in = self.cfg.timing.slice();
+        for rack in 0..self.cfg.params.racks {
+            for (dst, uplink) in self.bulk_tables.circuits_of(slice, rack) {
+                let fi = self.feeder_idx(rack, uplink);
+                // Window: circuits of switch j close early only in the
+                // slice right before j reconfigures.
+                let reconfigures_now = uplink % stride == slice % stride;
+                let deadline = if reconfigures_now {
+                    // Stop early enough that staged bulk drains before the
+                    // circuit goes dark at ε.
+                    ctx.now() + self.cfg.timing.epsilon.saturating_sub(self.window_guard())
+                } else {
+                    ctx.now() + boundary_in
+                };
+                self.feeders[fi].deadline = deadline;
+                self.feeders[fi].circuit_dst = dst;
+                if !self.feeders[fi].running && self.has_bulk_work(rack, dst) {
+                    self.feeders[fi].running = true;
+                    ctx.schedule_in(SimTime::ZERO, NetEvent::Timer { token: encode(Token::Feeder(rack, uplink)) });
+                }
+            }
+        }
+        let _ = fabric;
+    }
+
+    fn on_feeder(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        rack: usize,
+        uplink: usize,
+    ) {
+        let fi = self.feeder_idx(rack, uplink);
+        let f = self.feeders[fi];
+        if ctx.now() >= f.deadline {
+            self.feeders[fi].running = false;
+            return;
+        }
+        let tor = self.tor_node(rack);
+        let tick = self.cfg.link.serialize(MTU);
+        // Flow control: keep at most ~2 MTUs staged in the uplink's bulk
+        // queue and don't overrun the host NIC.
+        let uplink_space = fabric.queued_bytes_at(tor, self.up_port(uplink), Priority::Bulk)
+            + 2 * MTU as u64
+            <= self.cfg.queues.cap_bytes[Priority::Bulk as usize];
+        if uplink_space {
+            if let Some(pkt) = self.bulk[rack].next_packet(f.circuit_dst, self.cfg.allow_vlb) {
+                if self.rack_of(pkt.src) == rack {
+                    // Poll the source host: it emits the packet now. If
+                    // its NIC staging queue is full (several feeders
+                    // polling one host), put the bytes back and retry.
+                    let nic_full = fabric.queued_bytes_at(pkt.src, 0, Priority::Bulk)
+                        + MTU as u64
+                        > self.cfg.queues.cap_bytes[Priority::Bulk as usize];
+                    if nic_full || fabric.send(ctx, pkt.src, 0, pkt) == SendOutcome::Dropped {
+                        let dst_rack = self.rack_of(pkt.dst);
+                        self.bulk[rack].requeue_with_rack(&pkt, dst_rack);
+                        if nic_full {
+                            self.counters.nic_backpressure += 1;
+                        }
+                    }
+                } else {
+                    // Relay bytes stored at this ToR: emit directly.
+                    self.forward_bulk_at_tor(fabric, ctx, rack, pkt);
+                }
+            } else {
+                // Nothing to send this tick; stop — arrivals re-kick.
+                self.feeders[fi].running = false;
+                return;
+            }
+        }
+        ctx.schedule_in(tick, NetEvent::Timer { token: encode(Token::Feeder(rack, uplink)) });
+    }
+
+    /// Kick the feeder serving `dst_rack` from `rack`, if a circuit is up.
+    fn kick_feeder(
+        &mut self,
+        ctx: &mut EventContext<'_, NetEvent>,
+        rack: usize,
+        dst_rack: usize,
+    ) {
+        // Direct circuit.
+        if let Some(uplink) = self.bulk_tables.direct_uplink(self.slice, rack, dst_rack) {
+            let fi = self.feeder_idx(rack, uplink);
+            if !self.feeders[fi].running {
+                self.feeders[fi].running = true;
+                ctx.schedule_in(SimTime::ZERO, NetEvent::Timer { token: encode(Token::Feeder(rack, uplink)) });
+            }
+        } else if self.cfg.allow_vlb {
+            // No direct circuit this slice: VLB can still move the bytes
+            // over any active circuit once the backlog is large enough.
+            for (dst, uplink) in self.bulk_tables.circuits_of(self.slice, rack) {
+                let fi = self.feeder_idx(rack, uplink);
+                if !self.feeders[fi].running && self.has_bulk_work(rack, dst) {
+                    self.feeders[fi].running = true;
+                    ctx.schedule_in(SimTime::ZERO, NetEvent::Timer { token: encode(Token::Feeder(rack, uplink)) });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet handling
+    // ------------------------------------------------------------------
+
+    fn route_arrival(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        node: usize,
+        packet: Packet,
+    ) {
+        if node < self.hosts_total() {
+            self.on_host_arrive(fabric, ctx, node, packet);
+        } else if self.is_tor(node) {
+            let rack = node - self.hosts_total();
+            self.on_tor_arrive(fabric, ctx, rack, packet);
+        } else if self.is_core(node) {
+            // Ideal packet core: one port per rack.
+            let dst_rack = self.rack_of(packet.dst);
+            fabric.send(ctx, node, dst_rack, packet);
+        } else {
+            unreachable!("packet at unknown node {node}");
+        }
+    }
+
+    fn on_host_arrive(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        host: usize,
+        packet: Packet,
+    ) {
+        match packet.kind {
+            PacketKind::BulkData { .. } => {
+                debug_assert_eq!(packet.dst, host);
+                self.tracker.deliver(packet.flow, packet.payload() as u64, ctx.now());
+            }
+            _ => {
+                let actions = self.hosts[host].on_packet(fabric, ctx, &mut self.tracker, packet);
+                for (at, which) in actions.timers {
+                    ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(host, which)) });
+                }
+            }
+        }
+    }
+
+    fn on_tor_arrive(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        rack: usize,
+        mut packet: Packet,
+    ) {
+        if let PacketKind::Hello = packet.kind {
+            // Addressed ToR-to-ToR over one circuit; recover the uplink
+            // from the sender's matching home.
+            let peer_rack = packet.src - self.hosts_total();
+            if let Some((sw, _)) = self.topo.locate_pair(rack, peer_rack) {
+                self.on_hello(rack, sw);
+            }
+            return;
+        }
+        let dst_rack = self.rack_of(packet.dst);
+        match packet.kind {
+            PacketKind::BulkData { relay, .. } => {
+                if dst_rack == rack {
+                    // Deliver down.
+                    let down = packet.dst % self.cfg.params.hosts_per_rack;
+                    fabric.send(ctx, self.tor_node(rack), down, packet);
+                } else if let Some(final_rack) = relay.map(|r| r as usize) {
+                    if self.rack_of(packet.src) == rack {
+                        // First hop of a VLB packet originating here: put
+                        // it on the wire toward its intermediate.
+                        self.forward_bulk_at_tor(fabric, ctx, rack, packet);
+                    } else {
+                        // We are the intermediate: store for later relay.
+                        let stripped = Packet {
+                            kind: PacketKind::BulkData {
+                                seq: 0,
+                                relay: None,
+                            },
+                            ..packet
+                        };
+                        if !self.bulk[rack].store_relay(&stripped, final_rack) {
+                            self.counters.relay_overflow += 1;
+                        }
+                    }
+                } else {
+                    // Direct bulk packet transiting its source ToR.
+                    self.forward_bulk_at_tor(fabric, ctx, rack, packet);
+                }
+            }
+            _ => {
+                // Low-latency / control.
+                if dst_rack == rack {
+                    let down = packet.dst % self.cfg.params.hosts_per_rack;
+                    fabric.send(ctx, self.tor_node(rack), down, packet);
+                    return;
+                }
+                if self.cfg.mode == RotorMode::RotorHybrid {
+                    fabric.send(ctx, self.tor_node(rack), self.core_port(), packet);
+                    return;
+                }
+                packet.hops += 1;
+                if packet.hops > self.hop_limit {
+                    self.counters.hop_limit_drops += 1;
+                    return;
+                }
+                let hops = self.ll_tables.next_hops(self.slice, rack, dst_rack);
+                if hops.is_empty() {
+                    self.counters.hop_limit_drops += 1;
+                    return;
+                }
+                let choice = hops[self.rng.index(hops.len())] as usize;
+                fabric.send(ctx, self.tor_node(rack), self.up_port(choice), packet);
+            }
+        }
+    }
+
+    /// Send a bulk packet out the ToR uplink with a direct circuit to its
+    /// next rack (the VLB intermediate for first-hop relay packets, the
+    /// destination rack otherwise). If no circuit is currently up, the
+    /// packet missed its window: requeue locally.
+    fn forward_bulk_at_tor(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        rack: usize,
+        packet: Packet,
+    ) {
+        let next_rack = match packet.kind {
+            PacketKind::BulkData { relay: Some(r), .. } if self.rack_of(packet.src) == rack => {
+                r as usize
+            }
+            _ => self.rack_of(packet.dst),
+        };
+        // VLB first-hop packets ride whichever circuit the feeder chose;
+        // recover it from the bulk table: the circuit to `next_rack`...
+        // For relay first-hops the "next rack" is the intermediate the
+        // feeder selected, which is the circuit destination. We find the
+        // uplink via the bulk table; when the slice advanced underneath
+        // the packet, there may be none.
+        let uplink = match packet.kind {
+            PacketKind::BulkData { relay: Some(_), .. } if self.rack_of(packet.src) == rack => {
+                // The feeder emitted this packet for the circuit that was
+                // up; if the intermediate's circuit is gone, fall through
+                // to straggler handling. The intermediate *is* the circuit
+                // dst, so look it up like a direct packet to `next_rack`.
+                self.bulk_tables.direct_uplink(self.slice, rack, next_rack)
+            }
+            _ => self.bulk_tables.direct_uplink(self.slice, rack, next_rack),
+        };
+        match uplink {
+            Some(u) => {
+                let out = fabric.send(ctx, self.tor_node(rack), self.up_port(u), packet);
+                if out == SendOutcome::Dropped {
+                    let dst_rack = self.rack_of(packet.dst);
+                    self.bulk[rack].requeue_with_rack(&packet, dst_rack);
+                    self.counters.bulk_stragglers += 1;
+                }
+            }
+            None => {
+                let dst_rack = self.rack_of(packet.dst);
+                self.bulk[rack].requeue_with_rack(&packet, dst_rack);
+                self.counters.bulk_stragglers += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow injection
+    // ------------------------------------------------------------------
+
+    fn inject_due_flows(&mut self, fabric: &mut Fabric, ctx: &mut EventContext<'_, NetEvent>) {
+        while self.next_flow < self.pending.len()
+            && self.pending[self.next_flow].start <= ctx.now()
+        {
+            let spec = self.pending[self.next_flow];
+            self.next_flow += 1;
+            let class = self.classify(spec.size);
+            let id = self
+                .tracker
+                .register(spec.src, spec.dst, spec.size, class, ctx.now());
+            match class {
+                FlowClass::LowLatency => {
+                    let actions =
+                        self.hosts[spec.src].start_flow(fabric, ctx, id, spec.dst, spec.size);
+                    for (at, which) in actions.timers {
+                        ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(spec.src, which)) });
+                    }
+                }
+                FlowClass::Bulk => {
+                    let rack = self.rack_of(spec.src);
+                    let dst_rack = self.rack_of(spec.dst);
+                    if dst_rack == rack {
+                        // Rack-local bulk: hand straight to NDP (one hop
+                        // through the ToR, no circuits involved).
+                        let actions =
+                            self.hosts[spec.src].start_flow(fabric, ctx, id, spec.dst, spec.size);
+                        for (at, which) in actions.timers {
+                            ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(spec.src, which)) });
+                        }
+                    } else {
+                        self.bulk[rack].enqueue(transport::BulkChunk {
+                            flow: id,
+                            src_host: spec.src,
+                            dst_host: spec.dst,
+                            dst_rack,
+                            bytes: spec.size,
+                            next_seq: 0,
+                        });
+                        self.kick_feeder(ctx, rack, dst_rack);
+                    }
+                }
+            }
+        }
+        if self.next_flow < self.pending.len() {
+            ctx.schedule_at(
+                self.pending[self.next_flow].start,
+                NetEvent::Timer { token: encode(Token::FlowArrival) },
+            );
+        }
+    }
+}
+
+impl NetLogic for OperaLogic {
+    fn on_arrive(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        node: usize,
+        _port: usize,
+        packet: Packet,
+    ) {
+        self.route_arrival(fabric, ctx, node, packet);
+    }
+
+    fn on_timer(&mut self, fabric: &mut Fabric, ctx: &mut EventContext<'_, NetEvent>, token: u64) {
+        if token == 0 {
+            // Bootstrap: initial wiring happened in build; start clocks.
+            ctx.schedule_in(self.cfg.timing.slice(), NetEvent::Timer { token: encode(Token::SliceBoundary) });
+            self.start_feeders(fabric, ctx);
+            self.inject_due_flows(fabric, ctx);
+            return;
+        }
+        match decode(token) {
+            Token::FlowArrival => self.inject_due_flows(fabric, ctx),
+            Token::Ndp(host, which) => {
+                let actions = self.hosts[host].on_timer(fabric, ctx, which);
+                for (at, w) in actions.timers {
+                    ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(host, w)) });
+                }
+            }
+            Token::SliceBoundary => self.on_slice_boundary(fabric, ctx),
+            Token::Dark => self.on_dark(fabric, ctx),
+            Token::Feeder(rack, uplink) => self.on_feeder(fabric, ctx, rack, uplink),
+            Token::HelloCheck(rack, uplink) => self.on_hello_check(rack, uplink),
+            Token::WindowClose(..) | Token::Stats => {}
+        }
+    }
+}
+
+/// Build a ready-to-run Opera/RotorNet simulation with `flows` to inject.
+pub fn build(cfg: OperaNetConfig, mut flows: Vec<FlowSpec>) -> OperaNet {
+    flows.sort_by_key(|f| f.start);
+    let topo_params = match cfg.mode {
+        RotorMode::RotorHybrid => OperaParams {
+            uplinks: cfg.params.uplinks - 1,
+            ..cfg.params
+        },
+        _ => cfg.params,
+    };
+    // Opera needs every slice to be a connected expander (§3.3's
+    // generate-and-test); RotorNet modes never route over slice graphs.
+    let topo = match cfg.mode {
+        RotorMode::Opera => OperaTopology::generate_validated(topo_params, cfg.seed, 64).0,
+        _ => OperaTopology::generate(topo_params, cfg.seed),
+    };
+    let ll_tables = LowLatencyTables::build(&topo);
+    let bulk_tables = BulkTables::build(&topo);
+
+    let mut fabric = Fabric::new();
+    let hosts_total = cfg.hosts();
+    // Hosts.
+    for _ in 0..hosts_total {
+        fabric.add_node(1, cfg.queues, cfg.link);
+    }
+    // ToRs: d down + u rotor ports (+ 1 core port in hybrid mode).
+    let tor_ports = cfg.params.hosts_per_rack
+        + topo.switches()
+        + usize::from(cfg.mode == RotorMode::RotorHybrid);
+    for _ in 0..cfg.params.racks {
+        fabric.add_node(tor_ports, cfg.queues, cfg.link);
+    }
+    // Hybrid packet core.
+    if cfg.mode == RotorMode::RotorHybrid {
+        let core = fabric.add_node(cfg.params.racks, cfg.queues, cfg.link);
+        for rack in 0..cfg.params.racks {
+            fabric.connect(
+                hosts_total + rack,
+                cfg.params.hosts_per_rack + topo.switches(),
+                core,
+                rack,
+            );
+        }
+    }
+    // Host ↔ ToR wiring.
+    for h in 0..hosts_total {
+        let rack = h / cfg.params.hosts_per_rack;
+        fabric.connect(h, 0, hosts_total + rack, h % cfg.params.hosts_per_rack);
+    }
+
+    let logic = OperaLogic {
+        hosts: (0..hosts_total).map(|h| NdpHost::new(h, 0, cfg.ndp)).collect(),
+        bulk: (0..cfg.params.racks)
+            .map(|r| RackBulk::new(r, cfg.params.racks, cfg.rotorlb))
+            .collect(),
+        tracker: FlowTracker::new(),
+        rng: SimRng::new(cfg.seed + 1),
+        slice: 0,
+        feeders: vec![Feeder::default(); cfg.params.racks * topo.switches()],
+        pending: flows,
+        next_flow: 0,
+        counters: OperaCounters::default(),
+        hop_limit: 32,
+        horizon: SimTime::ZERO,
+        bad_links: Vec::new(),
+        hello_pending: vec![false; cfg.params.racks * topo.switches()],
+        hello_enabled: true,
+        cfg,
+        topo,
+        ll_tables,
+        bulk_tables,
+    };
+    // Initial wiring: every switch in its slice-0 matching.
+    for j in 0..logic.topo.switches() {
+        logic.wire_switch(&mut fabric, j, logic.topo.position_at(j, 0));
+    }
+    NetWorld::new(fabric, logic).into_sim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows_one(src: usize, dst: usize, size: u64) -> Vec<FlowSpec> {
+        vec![FlowSpec {
+            src,
+            dst,
+            size,
+            start: SimTime::ZERO,
+        }]
+    }
+
+    #[test]
+    fn low_latency_flow_completes_quickly() {
+        let cfg = OperaNetConfig::small_test();
+        // hosts 0..32; host 1 (rack 0) -> host 30 (rack 7): cross-rack.
+        let mut sim = build(cfg, flows_one(1, 30, 20_000));
+        sim.run_until(SimTime::from_ms(5));
+        let t = sim.world.logic.tracker();
+        assert!(t.all_done(), "flow incomplete");
+        let fct = t.get(0).fct().unwrap();
+        // Multi-hop expander path at 10G: well under 100us for 20KB.
+        assert!(fct < SimTime::from_us(100), "fct {fct}");
+    }
+
+    #[test]
+    fn bulk_flow_waits_for_circuit_and_completes() {
+        let cfg = OperaNetConfig::small_test();
+        let mut sim = build(cfg, flows_one(0, 31, 2_000_000));
+        sim.run_until(SimTime::from_ms(50));
+        let t = sim.world.logic.tracker();
+        assert!(
+            t.all_done(),
+            "bulk incomplete: {:?}, counters {:?}",
+            t.get(0),
+            sim.world.logic.counters
+        );
+        let fct = t.get(0).fct().unwrap();
+        // 2MB at 10G ideal ≈ 1.6ms, but the pair's circuit is up ~3/32 of
+        // the time... with VLB the flow finishes within a few cycles
+        // (cycle = 8 slices × 10us = 80us).
+        assert!(fct < SimTime::from_ms(40), "fct {fct}");
+        assert!(fct > SimTime::from_ms(1), "suspiciously fast: {fct}");
+    }
+
+    #[test]
+    fn rotornet_nonhybrid_short_flow_is_slow() {
+        let mut cfg = OperaNetConfig::small_test();
+        cfg.mode = RotorMode::RotorNonHybrid;
+        let mut sim = build(cfg, flows_one(1, 30, 2_000));
+        sim.run_until(SimTime::from_ms(50));
+        let t = sim.world.logic.tracker();
+        assert!(t.all_done());
+        let slow = t.get(0).fct().unwrap();
+
+        // The same flow on Opera goes over the expander immediately.
+        let mut sim2 = build(OperaNetConfig::small_test(), flows_one(1, 30, 2_000));
+        sim2.run_until(SimTime::from_ms(50));
+        let fast = sim2.world.logic.tracker().get(0).fct().unwrap();
+        // At test scale (80us cycle) waiting for a circuit costs tens of
+        // µs vs single-digit µs over the expander; at paper scale (10.7ms
+        // cycle) the same ratio is three orders of magnitude (Fig. 7c).
+        assert!(
+            slow.as_ns() > 5 * fast.as_ns(),
+            "rotor {slow} vs opera {fast}"
+        );
+        assert!(slow > SimTime::from_us(20), "rotor flow beat the cycle: {slow}");
+    }
+
+    #[test]
+    fn hybrid_rotornet_short_flow_uses_packet_core() {
+        let mut cfg = OperaNetConfig::small_test();
+        // Hybrid diverts one uplink: 3 rotor switches must divide racks.
+        cfg.params.racks = 24;
+        cfg.mode = RotorMode::RotorHybrid;
+        let mut sim = build(cfg, flows_one(1, 30, 2_000));
+        sim.run_until(SimTime::from_ms(20));
+        let t = sim.world.logic.tracker();
+        assert!(t.all_done());
+        // 3 store-and-forward hops through the core: ~10us scale.
+        let fct = t.get(0).fct().unwrap();
+        assert!(fct < SimTime::from_us(50), "fct {fct}");
+    }
+
+    #[test]
+    fn no_packets_lost_in_quiet_network() {
+        let cfg = OperaNetConfig::small_test();
+        let mut sim = build(cfg, flows_one(2, 17, 100_000));
+        sim.run_until(SimTime::from_ms(30));
+        assert!(sim.world.logic.tracker().all_done());
+        let c = &sim.world.fabric.counters;
+        assert_eq!(c.dark_drops, 0, "packets fell into dark ports");
+        assert_eq!(sim.world.logic.counters.hop_limit_drops, 0);
+    }
+
+    #[test]
+    fn many_flows_mixed_classes_all_complete() {
+        let cfg = OperaNetConfig::small_test();
+        let mut rng = SimRng::new(9);
+        let hosts = cfg.hosts();
+        let mut flows = Vec::new();
+        for i in 0..60 {
+            let src = rng.index(hosts);
+            let mut dst = rng.index(hosts - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            let size = if i % 3 == 0 { 900_000 } else { 9_000 };
+            flows.push(FlowSpec {
+                src,
+                dst,
+                size,
+                start: SimTime::from_us(rng.below(500)),
+            });
+        }
+        let mut sim = build(cfg, flows);
+        sim.run_until(SimTime::from_ms(200));
+        let t = sim.world.logic.tracker();
+        assert_eq!(
+            t.completed(),
+            t.len(),
+            "{} of {} done; counters {:?}",
+            t.completed(),
+            t.len(),
+            sim.world.logic.counters
+        );
+    }
+
+    #[test]
+    fn hello_protocol_detects_and_routes_around_failure() {
+        let cfg = OperaNetConfig::small_test();
+        let mut sim = build(cfg, vec![]);
+        // Kill rack 2's transceiver on uplink 1 (both data and hellos it
+        // transmits are lost; its partners' hello checks will trip).
+        let (node, port) = sim.world.logic.uplink_addr(2, 1);
+        sim.world.fabric.set_failed(node, port, true);
+        // Within two cycles (2 x 8 slices x 10 us) detection completes.
+        sim.run_until(SimTime::from_us(200));
+        assert!(
+            sim.world.logic.bad_links().contains(&(2, 1)),
+            "failure undetected: {:?}",
+            sim.world.logic.bad_links()
+        );
+        // The network still delivers traffic from/to rack 2.
+        drop(sim);
+        let mut sim = build(OperaNetConfig::small_test(), vec![FlowSpec {
+            src: 8, // host in rack 2
+            dst: 30,
+            size: 50_000,
+            start: SimTime::from_us(200),
+        }]);
+        let (node, port) = sim.world.logic.uplink_addr(2, 1);
+        sim.world.fabric.set_failed(node, port, true);
+        sim.run_until(SimTime::from_ms(10));
+        assert!(
+            sim.world.logic.tracker().all_done(),
+            "flow stuck after failure: {:?}",
+            sim.world.logic.tracker().get(0)
+        );
+    }
+
+    #[test]
+    fn no_false_positives_without_failures() {
+        let cfg = OperaNetConfig::small_test();
+        let mut sim = build(cfg, vec![]);
+        sim.run_until(SimTime::from_ms(2));
+        assert!(sim.world.logic.bad_links().is_empty());
+        assert_eq!(sim.world.logic.counters.links_marked_bad, 0);
+    }
+
+    #[test]
+    fn slice_clock_advances() {
+        let cfg = OperaNetConfig::small_test();
+        let mut sim = build(cfg, vec![]);
+        sim.run_until(SimTime::from_us(105));
+        // 10us slices: after 105us we should be in slice 10.
+        assert_eq!(sim.world.logic.slice, 10);
+    }
+}

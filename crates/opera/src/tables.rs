@@ -1,0 +1,300 @@
+//! Per-slice forwarding tables (§4.3).
+//!
+//! A ToR holds two tables per slice: a *low-latency* table giving the
+//! ECMP set of uplinks on shortest expander paths toward every destination
+//! rack, and a *bulk* table giving the uplink — if any — whose circuit
+//! reaches the destination rack directly this slice.
+//!
+//! Tables are precomputed at build time (Opera fixes its schedule at
+//! design time; §3.3) and stored flat: up to [`MAX_ECMP`] uplink choices
+//! per `(slice, dst rack, current rack)` entry.
+
+use topo::opera::OperaTopology;
+
+/// Maximum ECMP fanout stored per entry.
+pub const MAX_ECMP: usize = 8;
+
+/// Sentinel: no uplink.
+pub const NO_PORT: u8 = u8::MAX;
+
+/// Flat low-latency next-hop table for every slice of a cycle.
+#[derive(Debug, Clone)]
+pub struct LowLatencyTables {
+    racks: usize,
+    slices: usize,
+    /// `[(slice * racks + dst) * racks + cur]` → up to MAX_ECMP uplinks.
+    entries: Vec<[u8; MAX_ECMP]>,
+    /// Number of valid choices per entry (parallel to `entries`).
+    counts: Vec<u8>,
+}
+
+/// Remove circuits using the failed `(rack, uplink)` transceivers from a
+/// slice graph (§3.6.2: route around components marked bad).
+fn prune_failed(g: &topo::graph::Graph, bad: &[(usize, usize)]) -> topo::graph::Graph {
+    if bad.is_empty() {
+        return g.clone();
+    }
+    let mut out = topo::graph::Graph::new(g.len());
+    for v in 0..g.len() {
+        for e in g.edges(v) {
+            if bad.contains(&(v, e.port)) || bad.contains(&(e.to, e.port)) {
+                continue;
+            }
+            out.add_edge(v, e.to, e.port);
+        }
+    }
+    out
+}
+
+impl LowLatencyTables {
+    /// Build tables for all slices of `topo` from per-slice BFS.
+    pub fn build(topo: &OperaTopology) -> Self {
+        Self::build_with_failures(topo, &[])
+    }
+
+    /// Build tables routing around failed `(rack, uplink)` transceivers.
+    pub fn build_with_failures(topo: &OperaTopology, bad: &[(usize, usize)]) -> Self {
+        let racks = topo.racks();
+        let slices = topo.slices_per_cycle();
+        let mut entries = vec![[NO_PORT; MAX_ECMP]; slices * racks * racks];
+        let mut counts = vec![0u8; slices * racks * racks];
+        for s in 0..slices {
+            let g = prune_failed(&topo.slice(s).graph(), bad);
+            for dst in 0..racks {
+                let table = g.next_hops_to(dst);
+                for (cur, hops) in table.iter().enumerate() {
+                    if cur == dst {
+                        continue;
+                    }
+                    let idx = (s * racks + dst) * racks + cur;
+                    let mut n = 0;
+                    for e in hops {
+                        if n == MAX_ECMP {
+                            break;
+                        }
+                        entries[idx][n] = e.port as u8;
+                        n += 1;
+                    }
+                    counts[idx] = n as u8;
+                }
+            }
+        }
+        LowLatencyTables {
+            racks,
+            slices,
+            entries,
+            counts,
+        }
+    }
+
+    /// ECMP uplink choices at `cur` toward `dst` during `slice`.
+    /// Empty when `cur == dst` or `dst` is unreachable this slice.
+    pub fn next_hops(&self, slice: usize, cur: usize, dst: usize) -> &[u8] {
+        let idx = ((slice % self.slices) * self.racks + dst) * self.racks + cur;
+        &self.entries[idx][..self.counts[idx] as usize]
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// Slices covered.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Total number of installed rules (Table 1 accounting: one rule per
+    /// (slice, dst, cur) entry with at least one hop, counted at one ToR).
+    pub fn rules_per_tor(&self) -> u64 {
+        // Each ToR `cur` stores one rule per (slice, dst); count entries
+        // with at least one choice for rack 0 as the representative.
+        let mut rules = 0;
+        for s in 0..self.slices {
+            for dst in 0..self.racks {
+                if !self.next_hops(s, 0, dst).is_empty() {
+                    rules += 1;
+                }
+            }
+        }
+        rules
+    }
+}
+
+/// Bulk (direct-circuit) table: `uplink[(slice * racks + cur) * racks +
+/// dst]`, `NO_PORT` when no direct circuit exists in that slice.
+#[derive(Debug, Clone)]
+pub struct BulkTables {
+    racks: usize,
+    slices: usize,
+    uplink: Vec<u8>,
+}
+
+impl BulkTables {
+    /// Build from the slice views.
+    pub fn build(topo: &OperaTopology) -> Self {
+        Self::build_with_failures(topo, &[])
+    }
+
+    /// Build, excluding circuits using failed `(rack, uplink)` ports.
+    pub fn build_with_failures(topo: &OperaTopology, bad: &[(usize, usize)]) -> Self {
+        let racks = topo.racks();
+        let slices = topo.slices_per_cycle();
+        let mut uplink = vec![NO_PORT; slices * racks * racks];
+        for s in 0..slices {
+            let view = topo.slice(s);
+            for cur in 0..racks {
+                for (dst, sw) in view.direct_destinations(cur) {
+                    if bad.contains(&(cur, sw)) || bad.contains(&(dst, sw)) {
+                        continue;
+                    }
+                    uplink[(s * racks + cur) * racks + dst] = sw as u8;
+                }
+            }
+        }
+        BulkTables {
+            racks,
+            slices,
+            uplink,
+        }
+    }
+
+    /// Uplink with a direct circuit `cur → dst` during `slice`, if any.
+    pub fn direct_uplink(&self, slice: usize, cur: usize, dst: usize) -> Option<usize> {
+        let v = self.uplink[((slice % self.slices) * self.racks + cur) * self.racks + dst];
+        if v == NO_PORT {
+            None
+        } else {
+            Some(v as usize)
+        }
+    }
+
+    /// All `(dst, uplink)` direct circuits of `cur` during `slice`.
+    pub fn circuits_of(&self, slice: usize, cur: usize) -> Vec<(usize, usize)> {
+        (0..self.racks)
+            .filter_map(|dst| self.direct_uplink(slice, cur, dst).map(|u| (dst, u)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::opera::OperaParams;
+
+    fn topo() -> OperaTopology {
+        OperaTopology::generate(
+            OperaParams {
+                racks: 24,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            11,
+        )
+    }
+
+    #[test]
+    fn low_latency_tables_cover_all_pairs() {
+        let t = topo();
+        let tables = LowLatencyTables::build(&t);
+        for s in 0..t.slices_per_cycle() {
+            for cur in 0..t.racks() {
+                for dst in 0..t.racks() {
+                    if cur == dst {
+                        assert!(tables.next_hops(s, cur, dst).is_empty());
+                    } else {
+                        assert!(
+                            !tables.next_hops(s, cur, dst).is_empty(),
+                            "slice {s}: {cur}->{dst} has no next hop"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_avoid_reconfiguring_switch() {
+        let t = topo();
+        let tables = LowLatencyTables::build(&t);
+        for s in 0..t.slices_per_cycle() {
+            let bad = t.reconfiguring(s);
+            for cur in 0..t.racks() {
+                for dst in 0..t.racks() {
+                    for &p in tables.next_hops(s, cur, dst) {
+                        assert!(
+                            !bad.contains(&(p as usize)),
+                            "slice {s} routes via reconfiguring switch {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_make_progress() {
+        // Following any table choice must strictly reduce BFS distance.
+        let t = topo();
+        let tables = LowLatencyTables::build(&t);
+        let s = 3;
+        let g = t.slice(s).graph();
+        for dst in 0..t.racks() {
+            let dist = g.bfs_distances(dst);
+            for cur in 0..t.racks() {
+                if cur == dst {
+                    continue;
+                }
+                for &p in tables.next_hops(s, cur, dst) {
+                    let m = t.slice(s).matching_of(p as usize);
+                    let nxt = m.partner(cur);
+                    assert_eq!(dist[nxt] + 1, dist[cur], "not a shortest-path hop");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_tables_match_direct_slices() {
+        let t = topo();
+        let tables = BulkTables::build(&t);
+        for a in 0..t.racks() {
+            for b in 0..t.racks() {
+                if a == b {
+                    continue;
+                }
+                let slices_with_direct: Vec<usize> = (0..t.slices_per_cycle())
+                    .filter(|&s| tables.direct_uplink(s, a, b).is_some())
+                    .collect();
+                assert_eq!(
+                    slices_with_direct,
+                    t.direct_slices(a, b),
+                    "pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn circuits_count_per_slice() {
+        let t = topo();
+        let tables = BulkTables::build(&t);
+        // With u=4 switches and 1 reconfiguring, each rack has at most 3
+        // direct circuits (self-pairings reduce the count).
+        for s in 0..t.slices_per_cycle() {
+            for cur in 0..t.racks() {
+                let c = tables.circuits_of(s, cur);
+                assert!(c.len() <= 3, "slice {s} rack {cur}: {} circuits", c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rules_per_tor_scale() {
+        let t = topo();
+        let tables = LowLatencyTables::build(&t);
+        // 24 slices × 23 destinations = 552 low-latency rules.
+        assert_eq!(tables.rules_per_tor(), 24 * 23);
+    }
+}

@@ -1,0 +1,117 @@
+//! Timer-token encoding shared by the network models.
+//!
+//! `netsim` timers carry a single opaque `u64`; the network models
+//! multiplex many logical timers onto it. Layout: kind in the top byte,
+//! kind-specific payload below.
+
+use transport::NdpTimer;
+
+/// Decoded timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// Inject flows that have reached their arrival time.
+    FlowArrival,
+    /// An [`NdpTimer`] for the host with this index.
+    Ndp(usize, NdpTimer),
+    /// A topology-slice boundary (Opera/RotorNet).
+    SliceBoundary,
+    /// Take the reconfiguring switch group dark (fires ε after the slice
+    /// start, r before the boundary — Figure 6's slice layout).
+    Dark,
+    /// Bulk feeder tick for `(rack, uplink)`.
+    Feeder(usize, usize),
+    /// Close the bulk transmission window of `(rack, uplink)` ahead of its
+    /// reconfiguration.
+    WindowClose(usize, usize),
+    /// Periodic statistics / progress hook.
+    Stats,
+    /// Hello timeout check for `(rack, uplink)` (§3.6.2 fault detection).
+    HelloCheck(usize, usize),
+}
+
+const K_ARRIVAL: u64 = 1;
+const K_NDP_PACER: u64 = 2;
+const K_NDP_RTO: u64 = 3;
+const K_SLICE: u64 = 4;
+const K_RECONNECT: u64 = 5;
+const K_FEEDER: u64 = 6;
+const K_WINDOW: u64 = 7;
+const K_STATS: u64 = 8;
+const K_HELLO: u64 = 9;
+
+/// Encode a token.
+pub fn encode(t: Token) -> u64 {
+    match t {
+        Token::FlowArrival => K_ARRIVAL << 56,
+        Token::Ndp(host, NdpTimer::PullPacer) => (K_NDP_PACER << 56) | (host as u64),
+        Token::Ndp(host, NdpTimer::Rto(flow)) => {
+            (K_NDP_RTO << 56) | ((host as u64) << 32) | flow as u64
+        }
+        Token::SliceBoundary => K_SLICE << 56,
+        Token::Dark => K_RECONNECT << 56,
+        Token::Feeder(rack, uplink) => {
+            (K_FEEDER << 56) | ((rack as u64) << 16) | uplink as u64
+        }
+        Token::WindowClose(rack, uplink) => {
+            (K_WINDOW << 56) | ((rack as u64) << 16) | uplink as u64
+        }
+        Token::Stats => K_STATS << 56,
+        Token::HelloCheck(rack, uplink) => {
+            (K_HELLO << 56) | ((rack as u64) << 16) | uplink as u64
+        }
+    }
+}
+
+/// Decode a token. Unknown kinds panic: they indicate corruption.
+pub fn decode(raw: u64) -> Token {
+    let kind = raw >> 56;
+    let low = raw & ((1 << 56) - 1);
+    match kind {
+        K_ARRIVAL => Token::FlowArrival,
+        K_NDP_PACER => Token::Ndp(low as usize, NdpTimer::PullPacer),
+        K_NDP_RTO => Token::Ndp((low >> 32) as usize, NdpTimer::Rto((low & 0xFFFF_FFFF) as u32)),
+        K_SLICE => Token::SliceBoundary,
+        K_RECONNECT => Token::Dark,
+        K_FEEDER => Token::Feeder((low >> 16) as usize, (low & 0xFFFF) as usize),
+        K_WINDOW => Token::WindowClose((low >> 16) as usize, (low & 0xFFFF) as usize),
+        K_STATS => Token::Stats,
+        K_HELLO => Token::HelloCheck((low >> 16) as usize, (low & 0xFFFF) as usize),
+        other => panic!("unknown timer token kind {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let tokens = [
+            Token::FlowArrival,
+            Token::Ndp(12345, NdpTimer::PullPacer),
+            Token::Ndp(7, NdpTimer::Rto(99_000)),
+            Token::SliceBoundary,
+            Token::Dark,
+            Token::Feeder(1023, 11),
+            Token::WindowClose(0, 0),
+            Token::Stats,
+            Token::HelloCheck(44, 3),
+        ];
+        for t in tokens {
+            assert_eq!(decode(encode(t)), t, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_encodings() {
+        let a = encode(Token::Feeder(1, 2));
+        let b = encode(Token::WindowClose(1, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown timer token")]
+    fn garbage_rejected() {
+        decode(0xFF << 56);
+    }
+}

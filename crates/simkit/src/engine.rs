@@ -1,0 +1,323 @@
+//! The discrete-event engine.
+//!
+//! The engine follows the classic calendar-queue design of packet simulators
+//! like `htsim`: a single priority queue of `(time, sequence, event)` entries.
+//! The monotonically increasing sequence number gives *deterministic FIFO
+//! ordering of simultaneous events*, which makes whole simulations
+//! reproducible bit-for-bit from a seed.
+//!
+//! Components do not hold references to each other. Instead, a single
+//! *world* type (e.g. `netsim::Network`) owns all components and dispatches
+//! events to them, scheduling follow-up events through [`EventContext`].
+//! This keeps the design free of `Rc<RefCell<..>>` aliasing while remaining
+//! fast: one heap operation per event and no dynamic dispatch on the hot
+//! path.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies a logical component within a world. Worlds assign these
+/// themselves; the engine treats them as opaque.
+pub type HandlerId = u32;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Scheduling interface handed to event handlers while they run.
+///
+/// Holds the current simulation time and the pending-event queue; handlers
+/// use it to schedule follow-up events.
+pub struct EventContext<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> EventContext<'a, E> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — time travel indicates a logic error
+    /// in the caller and must never be silently reordered.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+}
+
+/// The pending-event priority queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A world owns every simulated component and dispatches events to them.
+pub trait EventHandler {
+    /// The event payload type routed through the queue.
+    type Event;
+
+    /// Handle one event. `ctx` exposes the current time and scheduling.
+    fn handle_event(&mut self, event: Self::Event, ctx: &mut EventContext<'_, Self::Event>);
+}
+
+/// The simulator: an event queue plus a clock, driving a world.
+pub struct Simulator<W: EventHandler> {
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    processed: u64,
+    /// The world being simulated; public so callers can inspect and mutate
+    /// component state between runs.
+    pub world: W,
+}
+
+impl<W: EventHandler> Simulator<W> {
+    /// Create a simulator at time zero around `world`.
+    pub fn new(world: W) -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            world,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at absolute time `at` (must be ≥ now).
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
+        assert!(at >= self.now, "scheduling into the past");
+        self.queue.push(at, event);
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: W::Event) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Process a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.queue.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.now, "event from the past in queue");
+        self.now = entry.time;
+        self.processed += 1;
+        let mut ctx = EventContext {
+            now: self.now,
+            queue: &mut self.queue,
+        };
+        self.world.handle_event(entry.event, &mut ctx);
+        true
+    }
+
+    /// Run until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until simulated time exceeds `until` or the queue empties.
+    /// Events at exactly `until` are processed. The clock is left at
+    /// `max(now, until)` so subsequent scheduling is relative to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(entry) = self.queue.heap.peek() {
+            if entry.time > until {
+                break;
+            }
+            self.step();
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Run until at most `max_events` more events have been processed or the
+    /// queue empties. Returns the number of events processed by this call.
+    pub fn run_events(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records the order events arrive in.
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+    }
+
+    impl EventHandler for Recorder {
+        type Event = u32;
+        fn handle_event(&mut self, event: u32, ctx: &mut EventContext<'_, u32>) {
+            self.log.push((ctx.now().as_ns(), event));
+            // Event 1 spawns two children to exercise in-handler scheduling.
+            if event == 1 {
+                ctx.schedule_in(SimTime::from_ns(5), 10);
+                ctx.schedule_in(SimTime::from_ns(5), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_ns(30), 3);
+        sim.schedule_at(SimTime::from_ns(10), 1);
+        sim.schedule_at(SimTime::from_ns(20), 2);
+        sim.run();
+        assert_eq!(
+            sim.world.log,
+            vec![(10, 1), (15, 10), (15, 11), (20, 2), (30, 3)]
+        );
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        for i in 0..100u32 {
+            sim.schedule_at(SimTime::from_ns(7), 100 + i);
+        }
+        sim.run();
+        let order: Vec<u32> = sim.world.log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (100..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_ns(10), 2);
+        sim.schedule_at(SimTime::from_ns(100), 3);
+        sim.run_until(SimTime::from_ns(50));
+        assert_eq!(sim.world.log, vec![(10, 2)]);
+        assert_eq!(sim.now(), SimTime::from_ns(50));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(sim.world.log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_inclusive_boundary() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_ns(50), 2);
+        sim.run_until(SimTime::from_ns(50));
+        assert_eq!(sim.world.log, vec![(50, 2)]);
+    }
+
+    #[test]
+    fn run_events_budget() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_ns(i), i as u32 + 100);
+        }
+        assert_eq!(sim.run_events(4), 4);
+        assert_eq!(sim.world.log.len(), 4);
+        assert_eq!(sim.run_events(100), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_ns(10), 1);
+        sim.run();
+        sim.schedule_at(SimTime::from_ns(5), 2);
+    }
+
+    #[test]
+    fn empty_queue_step_false() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        assert!(!sim.step());
+        assert!(sim.queue.is_empty());
+        assert_eq!(EventQueue::<u32>::default().len(), 0);
+    }
+}

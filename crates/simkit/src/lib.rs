@@ -1,0 +1,25 @@
+//! `simkit` — a deterministic discrete-event simulation engine.
+//!
+//! This crate is the foundation of the Opera reproduction: a from-scratch
+//! replacement for the event core of the `htsim` packet simulator used in the
+//! paper. It provides:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`time::SimTime`]) and
+//!   duration arithmetic,
+//! * [`engine`] — the event queue and scheduler ([`engine::Simulator`]) with
+//!   deterministic FIFO tie-breaking for simultaneous events,
+//! * [`rng`] — a small, seedable, reproducible random-number generator,
+//! * [`stats`] — streaming statistics (histograms, percentile estimation,
+//!   time-weighted averages) used by every experiment harness.
+//!
+//! Determinism is a design requirement: two runs with the same seed produce
+//! bit-identical event orderings, which the integration tests assert.
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{EventContext, EventHandler, HandlerId, Simulator};
+pub use rng::SimRng;
+pub use time::{SimTime, NS_PER_MS, NS_PER_SEC, NS_PER_US};

@@ -1,0 +1,174 @@
+//! Simulated time.
+//!
+//! Time is a `u64` count of nanoseconds since the start of the simulation.
+//! One nanosecond resolution is sufficient for 10–400 Gb/s links (a 64-byte
+//! header at 10 Gb/s serializes in 51.2 ns) and a `u64` covers ~584 years of
+//! simulated time, so overflow is not a practical concern.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The beginning of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any reachable simulation time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * NS_PER_US)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * NS_PER_MS)
+    }
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * NS_PER_SEC)
+    }
+    /// Construct from a floating-point number of seconds (rounds to ns).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s * NS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+    /// Time as floating-point microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_US as f64
+    }
+    /// Time as floating-point milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_MS as f64
+    }
+    /// Time as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction: `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: SimTime) -> Option<SimTime> {
+        self.0.checked_add(other.0).map(SimTime)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= NS_PER_SEC {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if self.0 >= NS_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= NS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Time taken to serialize `bytes` bytes onto a link of `gbps` gigabits/s.
+///
+/// Rounds up to the next nanosecond so that back-to-back packets never
+/// serialize in zero time.
+pub fn serialization_ns(bytes: u64, gbps: f64) -> u64 {
+    let bits = bytes as f64 * 8.0;
+    (bits / gbps).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_us(90).as_ns(), 90_000);
+        assert_eq!(SimTime::from_ms(11).as_ns(), 11_000_000);
+        assert_eq!(SimTime::from_secs(2).as_ns(), 2 * NS_PER_SEC);
+        assert!((SimTime::from_ms(250).as_secs_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimTime::from_secs_f64(1e-9).as_ns(), 1);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_ns(), NS_PER_SEC / 2);
+    }
+
+    #[test]
+    fn ordering_and_arith() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(25);
+        assert!(a < b);
+        assert_eq!((b - a).as_ns(), 15);
+        assert_eq!((a + b).as_ns(), 35);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ns(), 35);
+    }
+
+    #[test]
+    fn serialization_time_10g() {
+        // 1500-byte MTU at 10 Gb/s = 1.2us
+        assert_eq!(serialization_ns(1500, 10.0), 1200);
+        // 64-byte header at 10 Gb/s = 51.2ns -> rounds up to 52.
+        assert_eq!(serialization_ns(64, 10.0), 52);
+        // zero bytes serialize instantly
+        assert_eq!(serialization_ns(0, 10.0), 0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ns(5)), "5ns");
+        assert_eq!(format!("{}", SimTime::from_us(5)), "5.000us");
+        assert_eq!(format!("{}", SimTime::from_ms(5)), "5.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(5)), "5.000000s");
+    }
+}

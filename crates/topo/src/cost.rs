@@ -1,0 +1,155 @@
+//! Cost normalization (Appendix A, Table 2, Figures 12/15).
+//!
+//! `α` is the cost of an Opera "port" (ToR port + transceiver + fiber +
+//! circuit-switch port) divided by the cost of a static-network "port" (ToR
+//! port + transceiver + fiber). Equivalently, α is the core-port cost per
+//! edge (server-facing) port:
+//!
+//! * folded Clos (T tiers, oversubscription F): `α = 2(T−1)/F`,
+//! * static expander (u uplinks, radix k): `α = u/(k−u)`.
+//!
+//! Holding switch radix `k` and host count `H` constant, a cost-equivalent
+//! Clos satisfies `F = 2(T−1)/α` and `H = (4F/(F+1))(k/2)³` (T = 3).
+//! Table 2's component prices give α ≈ 1.3 for Opera.
+
+/// Component cost breakdown per "port" (Table 2, US dollars).
+#[derive(Debug, Clone, Copy)]
+pub struct PortCost {
+    /// Short-reach optical transceiver.
+    pub transceiver: f64,
+    /// 150 m of optical fiber at $0.3/m.
+    pub fiber: f64,
+    /// Packet-switch (ToR) port.
+    pub tor_port: f64,
+    /// Rotor-switch optics amortized per duplex port (fiber array, lenses,
+    /// beam-steering element, optical mapping) — zero for static networks.
+    pub rotor_components: f64,
+}
+
+impl PortCost {
+    /// Static-network port (Table 2 left column): $215.
+    pub fn static_port() -> Self {
+        PortCost {
+            transceiver: 80.0,
+            fiber: 45.0,
+            tor_port: 90.0,
+            rotor_components: 0.0,
+        }
+    }
+
+    /// Opera port (Table 2 right column): $275 assuming 512-port rotor
+    /// switches ($30 fiber array + $15 lenses + $5 beam steering + $10
+    /// mapping per duplex port).
+    pub fn opera_port() -> Self {
+        PortCost {
+            transceiver: 80.0,
+            fiber: 45.0,
+            tor_port: 90.0,
+            rotor_components: 30.0 + 15.0 + 5.0 + 10.0,
+        }
+    }
+
+    /// Total cost of this port.
+    pub fn total(&self) -> f64 {
+        self.transceiver + self.fiber + self.tor_port + self.rotor_components
+    }
+}
+
+/// Table 2's α: Opera port cost over static port cost (≈ 1.279).
+pub fn table2_alpha() -> f64 {
+    PortCost::opera_port().total() / PortCost::static_port().total()
+}
+
+/// Clos oversubscription factor for a given α with `tiers` tiers:
+/// `F = 2(T−1)/α`.
+pub fn clos_oversubscription(alpha: f64, tiers: usize) -> f64 {
+    2.0 * (tiers as f64 - 1.0) / alpha
+}
+
+/// Host count of a cost-equivalent 3-tier folded Clos:
+/// `H = (4F/(F+1))(k/2)³` with `F = 4/α`.
+pub fn clos_hosts(alpha: f64, k: usize) -> f64 {
+    let f = clos_oversubscription(alpha, 3);
+    4.0 * f / (f + 1.0) * ((k as f64) / 2.0).powi(3)
+}
+
+/// Expander α for `u` uplinks of a radix-`k` ToR: `α = u/(k−u)`.
+pub fn expander_alpha(u: usize, k: usize) -> f64 {
+    assert!(u < k);
+    u as f64 / (k - u) as f64
+}
+
+/// Largest expander uplink count `u` affordable at cost α on radix `k`:
+/// `u = ⌊α·k/(1+α)⌋` (tolerating float round-off at exact integers).
+pub fn expander_uplinks(alpha: f64, k: usize) -> usize {
+    ((alpha * k as f64) / (1.0 + alpha) + 1e-9).floor() as usize
+}
+
+/// Number of expander racks needed to host `hosts` hosts when each rack
+/// has `k − u` host ports (rounded up to even for perfect matchings).
+pub fn expander_racks(hosts: usize, k: usize, u: usize) -> usize {
+    let d = k - u;
+    let racks = hosts.div_ceil(d);
+    racks + racks % 2
+}
+
+/// Opera α fixed at 1: the paper's Opera always uses `u = d = k/2`; the α
+/// sweep instead *rebates* the static networks. For an Opera port priced at
+/// α, cost-equivalent static networks get `α` worth of core per edge port.
+///
+/// Returns `(clos_F, expander_u)` for a sweep point.
+pub fn cost_equivalent_configs(alpha: f64, k: usize) -> (f64, usize) {
+    (clos_oversubscription(alpha, 3), expander_uplinks(alpha, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals() {
+        assert_eq!(PortCost::static_port().total(), 215.0);
+        assert_eq!(PortCost::opera_port().total(), 275.0);
+        let a = table2_alpha();
+        assert!((a - 1.279).abs() < 0.01, "α = {a}");
+    }
+
+    #[test]
+    fn clos_alpha_roundtrip() {
+        // 3-tier, F = 3 -> α = 4/3.
+        let f = clos_oversubscription(4.0 / 3.0, 3);
+        assert!((f - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clos_hosts_648() {
+        // α = 4/3 (F=3), k=12 -> 648 hosts.
+        let h = clos_hosts(4.0 / 3.0, 12);
+        assert!((h - 648.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expander_u7_alpha() {
+        // u=7, k=12 -> α = 7/5 = 1.4, close to Opera's 1.3.
+        assert!((expander_alpha(7, 12) - 1.4).abs() < 1e-12);
+        assert_eq!(expander_uplinks(1.4, 12), 7);
+        // At α = 1.3 you can afford u = 6.78 -> 6... paper rounds the
+        // comparison up to u = 7 ("similar cost").
+        assert_eq!(expander_uplinks(1.3, 12), 6);
+    }
+
+    #[test]
+    fn expander_racks_650() {
+        assert_eq!(expander_racks(648, 12, 7), 130); // 130*5 = 650 hosts
+    }
+
+    #[test]
+    fn sweep_monotone() {
+        // Richer static networks (higher α rebate) mean lower F and more
+        // uplinks.
+        let (f1, u1) = cost_equivalent_configs(1.0, 24);
+        let (f2, u2) = cost_equivalent_configs(2.0, 24);
+        assert!(f2 < f1);
+        assert!(u2 >= u1);
+    }
+}

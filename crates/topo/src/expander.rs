@@ -1,0 +1,181 @@
+//! Static expander-graph baselines (§2.3, Figure 2 center).
+//!
+//! In expander proposals (Jellyfish/Xpander-style), each ToR's `u` uplinks
+//! connect directly to other ToRs. We construct the inter-ToR graph as the
+//! union of `u` random perfect matchings — the same building block Opera
+//! uses per-slice (§3.1.2: the union of `u ≥ 3` random matchings is an
+//! expander with high probability).
+//!
+//! Cost equivalence with a `k = 12` Opera network at α = 1.3 gives the
+//! paper's `u = 7` expander: 130 racks × 5 hosts = 650 hosts.
+
+use crate::graph::Graph;
+use crate::matching::factorize_complete;
+use simkit::SimRng;
+
+/// Parameters of a static expander network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpanderParams {
+    /// Number of racks. Must be even (perfect matchings).
+    pub racks: usize,
+    /// ToR uplinks `u` (inter-ToR degree).
+    pub uplinks: usize,
+    /// Hosts per rack (`d = k − u`).
+    pub hosts_per_rack: usize,
+}
+
+impl ExpanderParams {
+    /// The paper's cost-equivalent baseline for `k = 12`: `u = 7`,
+    /// 130 racks × 5 hosts = 650 hosts.
+    pub fn example_650() -> Self {
+        ExpanderParams {
+            racks: 130,
+            uplinks: 7,
+            hosts_per_rack: 5,
+        }
+    }
+
+    /// Total hosts.
+    pub fn hosts(&self) -> usize {
+        self.racks * self.hosts_per_rack
+    }
+}
+
+/// A static expander topology over racks.
+#[derive(Debug, Clone)]
+pub struct ExpanderTopology {
+    params: ExpanderParams,
+    graph: Graph,
+}
+
+impl ExpanderTopology {
+    /// Build from `u` distinct random perfect matchings drawn from a random
+    /// factorization of the complete rack graph (guaranteeing the matchings
+    /// are pairwise disjoint, i.e. no parallel links).
+    ///
+    /// # Panics
+    /// Panics if `racks` is odd, or `uplinks ≥ racks` (not enough disjoint
+    /// perfect matchings exist).
+    pub fn generate(params: ExpanderParams, seed: u64) -> Self {
+        assert!(params.racks.is_multiple_of(2), "need even rack count");
+        assert!(
+            params.uplinks < params.racks,
+            "cannot draw {} disjoint matchings on {} racks",
+            params.uplinks,
+            params.racks
+        );
+        let mut rng = SimRng::new(seed);
+        let ms = factorize_complete(params.racks, &mut rng);
+        let mut g = Graph::new(params.racks);
+        // Skip non-perfect matchings (the identity), take the first u.
+        let mut used = 0;
+        for m in ms.iter() {
+            if (0..params.racks).all(|r| m.is_matched(r)) {
+                m.add_to_graph(&mut g, used);
+                used += 1;
+                if used == params.uplinks {
+                    break;
+                }
+            }
+        }
+        assert_eq!(used, params.uplinks);
+        ExpanderTopology { params, graph: g }
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> &ExpanderParams {
+        &self.params
+    }
+
+    /// The inter-rack graph (degree = `uplinks` at every rack).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.params.racks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_degree_and_connected() {
+        let t = ExpanderTopology::generate(ExpanderParams::example_650(), 3);
+        assert_eq!(t.racks(), 130);
+        for r in 0..t.racks() {
+            assert_eq!(t.graph().degree(r), 7);
+        }
+        assert!(t.graph().is_connected());
+        assert_eq!(t.params().hosts(), 650);
+    }
+
+    #[test]
+    fn no_parallel_links() {
+        let t = ExpanderTopology::generate(
+            ExpanderParams {
+                racks: 50,
+                uplinks: 5,
+                hosts_per_rack: 5,
+            },
+            11,
+        );
+        for r in 0..t.racks() {
+            let mut dsts: Vec<usize> = t.graph().edges(r).iter().map(|e| e.to).collect();
+            dsts.sort_unstable();
+            dsts.dedup();
+            assert_eq!(dsts.len(), 5, "parallel edge at rack {r}");
+        }
+    }
+
+    #[test]
+    fn short_paths_u3_and_up() {
+        // u >= 3 unions of random matchings should give log-diameter graphs.
+        for u in [3usize, 5, 7] {
+            let t = ExpanderTopology::generate(
+                ExpanderParams {
+                    racks: 128,
+                    uplinks: u,
+                    hosts_per_rack: 5,
+                },
+                u as u64,
+            );
+            let stats = t.graph().path_length_stats();
+            // Random d-regular graphs have diameter ≈ log_{d-1}(n) + O(1).
+            let bound = (2.0 * (128f64).ln() / ((u - 1) as f64).ln()).ceil() as usize + 2;
+            assert!(stats.max <= bound, "u={u} diameter {}", stats.max);
+            assert!(stats.avg < 6.0, "u={u} avg {}", stats.avg);
+            assert_eq!(stats.connectivity_loss(), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let p = ExpanderParams {
+            racks: 20,
+            uplinks: 4,
+            hosts_per_rack: 2,
+        };
+        let a = ExpanderTopology::generate(p, 5);
+        let b = ExpanderTopology::generate(p, 5);
+        for r in 0..20 {
+            assert_eq!(a.graph().edges(r), b.graph().edges(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even rack count")]
+    fn odd_racks_rejected() {
+        ExpanderTopology::generate(
+            ExpanderParams {
+                racks: 7,
+                uplinks: 3,
+                hosts_per_rack: 3,
+            },
+            1,
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! Failure injection and analysis (§5.5, Figures 11, 18–20, Appendix E).
+//!
+//! The paper injects random link, ToR, and circuit-switch failures, then
+//! steps through the topology slices recording (1) the fraction of ToR
+//! pairs disconnected in the *worst* slice, (2) the fraction of unique ToR
+//! pairs disconnected *across all* slices (integrated connectivity), and
+//! (3) average / worst-case path length among still-connected pairs.
+
+use crate::clos::ClosTopology;
+use crate::graph::{Graph, NodeId};
+use crate::opera::OperaTopology;
+use simkit::SimRng;
+
+/// A set of failed components.
+#[derive(Debug, Clone, Default)]
+pub struct FailureSet {
+    /// Failed ToRs (racks).
+    pub tors: Vec<NodeId>,
+    /// Failed circuit switches (Opera/RotorNet) or packet switches
+    /// (Clos/expander aggregate+core) by index.
+    pub switches: Vec<usize>,
+    /// Failed individual links as `(rack, circuit switch)` for Opera or
+    /// `(node a, node b)` for static graphs.
+    pub links: Vec<(NodeId, usize)>,
+}
+
+impl FailureSet {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sample a failure set: each category's `count` entries drawn
+    /// uniformly without replacement.
+    pub fn sample(
+        rng: &mut SimRng,
+        tor_count: usize,
+        tors: usize,
+        switch_count: usize,
+        switches: usize,
+        link_count: usize,
+        link_domain: &[(NodeId, usize)],
+    ) -> Self {
+        fn pick(rng: &mut SimRng, n: usize, k: usize) -> Vec<usize> {
+            let mut all: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut all);
+            all.truncate(k.min(n));
+            all
+        }
+        let links = {
+            let mut idx = pick(rng, link_domain.len(), link_count);
+            idx.sort_unstable();
+            idx.into_iter().map(|i| link_domain[i]).collect()
+        };
+        FailureSet {
+            tors: pick(rng, tors, tor_count),
+            switches: pick(rng, switches, switch_count),
+            links,
+        }
+    }
+}
+
+/// Per-slice and integrated connectivity/stretch results.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Fraction of (non-failed) ordered ToR pairs disconnected in the worst
+    /// slice.
+    pub worst_slice_loss: f64,
+    /// Fraction of unique ToR pairs disconnected in *every* slice
+    /// (integrated across the cycle).
+    pub all_slices_loss: f64,
+    /// Mean path length over connected pairs, averaged over slices.
+    pub avg_path_len: f64,
+    /// Maximum finite path length over all slices.
+    pub max_path_len: usize,
+}
+
+/// Remove failed components from an Opera slice graph.
+fn apply_failures_opera(g: &Graph, fails: &FailureSet, racks: usize) -> Graph {
+    let mut failed_tor = vec![false; racks];
+    for &t in &fails.tors {
+        failed_tor[t] = true;
+    }
+    let mut out = Graph::new(racks);
+    for v in 0..racks {
+        if failed_tor[v] {
+            continue;
+        }
+        for e in g.edges(v) {
+            if failed_tor[e.to] || fails.switches.contains(&e.port) {
+                continue;
+            }
+            // Link failure (rack, switch) kills the circuit touching that
+            // rack's uplink to that switch — both directions.
+            if fails.links.contains(&(v, e.port)) || fails.links.contains(&(e.to, e.port)) {
+                continue;
+            }
+            out.add_edge(v, e.to, e.port);
+        }
+    }
+    out
+}
+
+/// Analyze an Opera topology under failures: step through every slice of
+/// the cycle, recording connectivity and path lengths among surviving ToRs.
+pub fn analyze_opera(topo: &OperaTopology, fails: &FailureSet) -> FailureReport {
+    let racks = topo.racks();
+    let alive: Vec<NodeId> = (0..racks).filter(|r| !fails.tors.contains(r)).collect();
+    let alive_pairs = alive.len() * alive.len().saturating_sub(1);
+
+    let mut ever_connected = vec![false; racks * racks];
+    let mut worst_loss: f64 = 0.0;
+    let mut path_sum = 0.0;
+    let mut path_slices = 0usize;
+    let mut max_len = 0usize;
+
+    for s in 0..topo.slices_per_cycle() {
+        let g = apply_failures_opera(&topo.slice(s).graph(), fails, racks);
+        let mut slice_connected = 0usize;
+        let mut slice_sum = 0usize;
+        for &src in &alive {
+            let dist = g.bfs_distances(src);
+            for &dst in &alive {
+                if src == dst {
+                    continue;
+                }
+                let d = dist[dst];
+                if d != usize::MAX {
+                    slice_connected += 1;
+                    slice_sum += d;
+                    max_len = max_len.max(d);
+                    ever_connected[src * racks + dst] = true;
+                }
+            }
+        }
+        let loss = if alive_pairs == 0 {
+            0.0
+        } else {
+            1.0 - slice_connected as f64 / alive_pairs as f64
+        };
+        worst_loss = worst_loss.max(loss);
+        if slice_connected > 0 {
+            path_sum += slice_sum as f64 / slice_connected as f64;
+            path_slices += 1;
+        }
+    }
+
+    let ever = alive
+        .iter()
+        .flat_map(|&a| alive.iter().map(move |&b| (a, b)))
+        .filter(|&(a, b)| a != b && ever_connected[a * racks + b])
+        .count();
+    FailureReport {
+        worst_slice_loss: worst_loss,
+        all_slices_loss: if alive_pairs == 0 {
+            0.0
+        } else {
+            1.0 - ever as f64 / alive_pairs as f64
+        },
+        avg_path_len: if path_slices == 0 {
+            0.0
+        } else {
+            path_sum / path_slices as f64
+        },
+        max_path_len: max_len,
+    }
+}
+
+/// Analyze a *static* topology (expander or Clos switch graph) under
+/// failures. `tor_ids` are the nodes whose pairwise connectivity counts;
+/// `switch` failures remove whole nodes by id; `links` are `(a, b)` node
+/// pairs.
+pub fn analyze_static(
+    graph: &Graph,
+    tor_ids: &[NodeId],
+    fails: &FailureSet,
+) -> FailureReport {
+    let n = graph.len();
+    let mut dead = vec![false; n];
+    for &t in &fails.tors {
+        dead[t] = true;
+    }
+    for &s in &fails.switches {
+        dead[s] = true;
+    }
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        if dead[v] {
+            continue;
+        }
+        for e in graph.edges(v) {
+            if dead[e.to] {
+                continue;
+            }
+            let killed = fails
+                .links
+                .iter()
+                .any(|&(a, b)| (a == v && b == e.to) || (a == e.to && b == v));
+            if !killed {
+                g.add_edge(v, e.to, e.port);
+            }
+        }
+    }
+    let alive: Vec<NodeId> = tor_ids
+        .iter()
+        .copied()
+        .filter(|&t| !dead[t])
+        .collect();
+    let alive_pairs = alive.len() * alive.len().saturating_sub(1);
+    let mut connected = 0usize;
+    let mut sum = 0usize;
+    let mut max_len = 0usize;
+    for &src in &alive {
+        let dist = g.bfs_distances(src);
+        for &dst in &alive {
+            if src == dst {
+                continue;
+            }
+            if dist[dst] != usize::MAX {
+                connected += 1;
+                sum += dist[dst];
+                max_len = max_len.max(dist[dst]);
+            }
+        }
+    }
+    FailureReport {
+        worst_slice_loss: if alive_pairs == 0 {
+            0.0
+        } else {
+            1.0 - connected as f64 / alive_pairs as f64
+        },
+        all_slices_loss: if alive_pairs == 0 {
+            0.0
+        } else {
+            1.0 - connected as f64 / alive_pairs as f64
+        },
+        avg_path_len: if connected == 0 {
+            0.0
+        } else {
+            sum as f64 / connected as f64
+        },
+        max_path_len: max_len,
+    }
+}
+
+/// All `(rack, switch)` uplink-link identifiers of an Opera topology, the
+/// sampling domain for link failures.
+pub fn opera_link_domain(topo: &OperaTopology) -> Vec<(NodeId, usize)> {
+    let mut v = Vec::with_capacity(topo.racks() * topo.switches());
+    for r in 0..topo.racks() {
+        for s in 0..topo.switches() {
+            v.push((r, s));
+        }
+    }
+    v
+}
+
+/// All switch-to-switch links of a Clos as `(a, b)` pairs (deduplicated).
+pub fn clos_link_domain(clos: &ClosTopology) -> Vec<(NodeId, usize)> {
+    let g = clos.graph();
+    let mut v = Vec::new();
+    for a in 0..g.len() {
+        for e in g.edges(a) {
+            if a < e.to {
+                v.push((a, e.to));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opera::OperaParams;
+
+    fn topo() -> OperaTopology {
+        OperaTopology::generate(
+            OperaParams {
+                racks: 24,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn no_failures_full_connectivity() {
+        let t = topo();
+        let r = analyze_opera(&t, &FailureSet::none());
+        assert_eq!(r.worst_slice_loss, 0.0);
+        assert_eq!(r.all_slices_loss, 0.0);
+        assert!(r.avg_path_len > 1.0 && r.avg_path_len < 4.0);
+    }
+
+    #[test]
+    fn single_link_failure_tolerated() {
+        let t = topo();
+        let fails = FailureSet {
+            links: vec![(0, 1)],
+            ..Default::default()
+        };
+        let r = analyze_opera(&t, &fails);
+        assert_eq!(
+            r.all_slices_loss, 0.0,
+            "one link must not partition any pair across the cycle"
+        );
+    }
+
+    #[test]
+    fn one_circuit_switch_failure_tolerated() {
+        let t = topo();
+        let fails = FailureSet {
+            switches: vec![2],
+            ..Default::default()
+        };
+        let r = analyze_opera(&t, &fails);
+        // u=4: losing 1 switch leaves >=2 active matchings per slice;
+        // integrated connectivity should survive.
+        assert_eq!(r.all_slices_loss, 0.0);
+    }
+
+    #[test]
+    fn all_switches_failed_disconnects_everything() {
+        let t = topo();
+        let fails = FailureSet {
+            switches: vec![0, 1, 2, 3],
+            ..Default::default()
+        };
+        let r = analyze_opera(&t, &fails);
+        assert_eq!(r.worst_slice_loss, 1.0);
+        assert_eq!(r.all_slices_loss, 1.0);
+    }
+
+    #[test]
+    fn failed_tor_excluded_from_pairs() {
+        let t = topo();
+        let fails = FailureSet {
+            tors: vec![0, 1],
+            ..Default::default()
+        };
+        let r = analyze_opera(&t, &fails);
+        // Non-failed ToRs should remain fully connected.
+        assert_eq!(r.all_slices_loss, 0.0);
+    }
+
+    #[test]
+    fn failures_increase_path_length() {
+        let t = topo();
+        let base = analyze_opera(&t, &FailureSet::none());
+        let mut rng = SimRng::new(3);
+        let domain = opera_link_domain(&t);
+        let fails = FailureSet::sample(&mut rng, 0, t.racks(), 0, t.switches(), 20, &domain);
+        let r = analyze_opera(&t, &fails);
+        assert!(
+            r.avg_path_len >= base.avg_path_len,
+            "{} < {}",
+            r.avg_path_len,
+            base.avg_path_len
+        );
+    }
+
+    #[test]
+    fn static_analysis_on_clos() {
+        use crate::clos::{ClosParams, ClosTopology};
+        let c = ClosTopology::generate(ClosParams::example_648());
+        let tors: Vec<usize> = (0..c.tors()).collect();
+        let base = analyze_static(c.graph(), &tors, &FailureSet::none());
+        assert_eq!(base.worst_slice_loss, 0.0);
+        assert!(base.avg_path_len > 3.0 && base.avg_path_len < 4.1);
+
+        // Kill all aggs of pod 0 -> its ToRs are isolated.
+        let aggs: Vec<usize> = (c.tors()..c.tors() + c.aggs_per_pod()).collect();
+        let fails = FailureSet {
+            switches: aggs,
+            ..Default::default()
+        };
+        let r = analyze_static(c.graph(), &tors, &fails);
+        assert!(r.worst_slice_loss > 0.0);
+    }
+
+    #[test]
+    fn sample_respects_counts() {
+        let t = topo();
+        let mut rng = SimRng::new(8);
+        let domain = opera_link_domain(&t);
+        let f = FailureSet::sample(&mut rng, 3, t.racks(), 1, t.switches(), 5, &domain);
+        assert_eq!(f.tors.len(), 3);
+        assert_eq!(f.switches.len(), 1);
+        assert_eq!(f.links.len(), 5);
+        // distinct
+        let mut l = f.links.clone();
+        l.dedup();
+        assert_eq!(l.len(), 5);
+    }
+}

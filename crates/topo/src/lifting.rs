@@ -1,0 +1,132 @@
+//! Graph lifting (§3.3): build a factorization of the complete graph on
+//! `2n` racks from one on `n` racks.
+//!
+//! "Because this factorization can be computationally expensive for large
+//! networks, we employ graph lifting to generate large factorizations from
+//! smaller ones."
+//!
+//! The lift views the `2n` racks as two copies of the `n`-rack network:
+//!
+//! * each of the `n` base matchings is applied *simultaneously in both
+//!   copies*, covering all intra-copy pairs (and the diagonal, since every
+//!   rack self-pairs exactly once in the base factorization);
+//! * the complete bipartite graph between the copies decomposes into `n`
+//!   cyclic-shift perfect matchings `(v,0) ↔ (v+s mod n, 1)`.
+//!
+//! Together: exactly `2n` disjoint symmetric matchings covering the all-ones
+//! matrix on `2n` racks — the same invariant `factorize_complete` provides,
+//! at a fraction of the construction cost for large `n`.
+
+use crate::matching::Matching;
+use simkit::SimRng;
+
+/// Lift a factorization of the `n`-rack complete graph (as produced by
+/// [`crate::matching::factorize_complete`]) to one of the `2n`-rack complete
+/// graph. Rack `v` of copy `c ∈ {0,1}` becomes rack `v + c·n`.
+///
+/// # Panics
+/// Panics if `base` is not a factorization of size `n = base.len()` (each
+/// matching must span `n` racks).
+pub fn lift_factorization(base: &[Matching]) -> Vec<Matching> {
+    let n = base.len();
+    assert!(n > 0, "empty base factorization");
+    let mut out = Vec::with_capacity(2 * n);
+
+    // Intra-copy matchings: base matching applied in both copies at once.
+    for m in base {
+        assert_eq!(m.len(), n, "base matching of wrong width");
+        let mut pair = vec![0usize; 2 * n];
+        for v in 0..n {
+            let p = m.partner(v);
+            pair[v] = p;
+            pair[v + n] = p + n;
+        }
+        out.push(Matching::new(pair));
+    }
+
+    // Cross-copy matchings: cyclic shifts of the bipartite complete graph.
+    for s in 0..n {
+        let mut pair = vec![0usize; 2 * n];
+        for v in 0..n {
+            let w = (v + s) % n + n;
+            pair[v] = w;
+            pair[w] = v;
+        }
+        out.push(Matching::new(pair));
+    }
+
+    out
+}
+
+/// Produce a factorization of `n` racks, using lifting whenever `n` is even
+/// and large: recursively factorize `n/2` and lift, randomizing labels at
+/// the top level. Falls back to the direct round-robin construction for odd
+/// or small `n`. Produces the same invariants as `factorize_complete`.
+pub fn factorize_lifted(n: usize, rng: &mut SimRng) -> Vec<Matching> {
+    const DIRECT_THRESHOLD: usize = 64;
+    fn inner(n: usize, rng: &mut SimRng) -> Vec<Matching> {
+        if n % 2 == 1 || n <= DIRECT_THRESHOLD {
+            crate::matching::canonical_factorization(n)
+        } else {
+            let base = inner(n / 2, rng);
+            lift_factorization(&base)
+        }
+    }
+    let ms = inner(n, rng);
+    let mut perm: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut perm);
+    let mut ms: Vec<Matching> = ms.iter().map(|m| m.relabel(&perm)).collect();
+    rng.shuffle(&mut ms);
+    // The lift is highly structured (copies + cyclic shifts); Kempe-mix to
+    // obtain a genuinely random-looking factorization (see
+    // `matching::factorize_complete`).
+    crate::matching::kempe_mix(&mut ms, rng, crate::matching::DEFAULT_MIX_STEPS_PER_RACK * n);
+    ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{canonical_factorization, validate_factorization};
+
+    #[test]
+    fn lift_of_odd_base_is_complete() {
+        let base = canonical_factorization(9);
+        let lifted = lift_factorization(&base);
+        validate_factorization(&lifted, 18).unwrap();
+    }
+
+    #[test]
+    fn lift_of_even_base_is_complete() {
+        let base = canonical_factorization(8);
+        let lifted = lift_factorization(&base);
+        validate_factorization(&lifted, 16).unwrap();
+    }
+
+    #[test]
+    fn double_lift() {
+        let base = canonical_factorization(5);
+        let l1 = lift_factorization(&base);
+        let l2 = lift_factorization(&l1);
+        validate_factorization(&l2, 20).unwrap();
+    }
+
+    #[test]
+    fn factorize_lifted_valid_various() {
+        let mut rng = SimRng::new(99);
+        for n in [6usize, 27, 108, 128, 216] {
+            let ms = factorize_lifted(n, &mut rng);
+            validate_factorization(&ms, n).unwrap();
+        }
+    }
+
+    #[test]
+    fn lifted_matches_direct_structure() {
+        // Same invariants as the direct factorization: count circuits.
+        let mut rng = SimRng::new(7);
+        let n = 108;
+        let lifted = factorize_lifted(n, &mut rng);
+        let total: usize = lifted.iter().map(|m| m.circuit_count()).sum();
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+}

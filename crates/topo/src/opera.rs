@@ -1,0 +1,492 @@
+//! The Opera topology: time-varying expander from offset rotor switches.
+//!
+//! Construction (§3.3): factor the complete rack graph into `N` disjoint
+//! symmetric matchings, assign `N/u` matchings to each of the `u` circuit
+//! switches, and fix a random cyclic order per switch. At run time the
+//! switches step through their matchings with *offset* reconfigurations
+//! (§3.1.1): the cycle is divided into *topology slices*, and at the end of
+//! each slice one switch (or one per group, Appendix B) reconfigures.
+//!
+//! During a slice, packets are not routed through circuits of a switch with
+//! an impending reconfiguration (§4.1), so the routable graph of slice `s`
+//! is the union of the matchings of the other `u − g` switches — which is an
+//! expander with high probability for `u − g ≥ 3` (§3.1.2).
+
+use crate::graph::{Graph, NodeId};
+use crate::lifting::factorize_lifted;
+use crate::matching::{validate_factorization, Matching};
+use simkit::SimRng;
+
+/// Parameters of an Opera network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperaParams {
+    /// Number of racks (`N`). Must be a multiple of `uplinks`.
+    pub racks: usize,
+    /// Circuit switches / ToR uplinks (`u = k/2`).
+    pub uplinks: usize,
+    /// Hosts per rack (`d = k/2` in a 1:1-provisioned ToR).
+    pub hosts_per_rack: usize,
+    /// Switches reconfiguring simultaneously (Appendix B grouping; `1` for
+    /// small networks). Must divide `uplinks`.
+    pub groups: usize,
+}
+
+impl OperaParams {
+    /// The paper's running example: `k = 12` ⇒ 108 racks × 6 hosts = 648
+    /// hosts, 6 circuit switches.
+    pub fn example_648() -> Self {
+        OperaParams {
+            racks: 108,
+            uplinks: 6,
+            hosts_per_rack: 6,
+            groups: 1,
+        }
+    }
+
+    /// The `k = 24` scale point: 432 racks × 12 hosts = 5184 hosts.
+    pub fn example_5184() -> Self {
+        OperaParams {
+            racks: 432,
+            uplinks: 12,
+            hosts_per_rack: 12,
+            groups: 1,
+        }
+    }
+
+    /// Derive parameters from a ToR radix `k` (1:1 provisioned: `u = d =
+    /// k/2`) and a number of racks.
+    pub fn from_radix(k: usize, racks: usize) -> Self {
+        OperaParams {
+            racks,
+            uplinks: k / 2,
+            hosts_per_rack: k / 2,
+            groups: 1,
+        }
+    }
+
+    /// Total host count.
+    pub fn hosts(&self) -> usize {
+        self.racks * self.hosts_per_rack
+    }
+}
+
+/// A fully generated Opera topology: the factorization, its assignment to
+/// circuit switches, and slice bookkeeping.
+#[derive(Debug, Clone)]
+pub struct OperaTopology {
+    params: OperaParams,
+    /// `assigned[switch][position]` = matching implemented at that cycle
+    /// position.
+    assigned: Vec<Vec<Matching>>,
+    /// Slices per full cycle (`N / groups`).
+    slices_per_cycle: usize,
+    /// Slices between a given switch's reconfigurations (`u / groups`).
+    stride: usize,
+}
+
+impl OperaTopology {
+    /// Generate a topology per §3.3 with the given seed.
+    ///
+    /// # Panics
+    /// Panics unless `uplinks` divides `racks`, `groups` divides `uplinks`,
+    /// and all parameters are non-zero.
+    pub fn generate(params: OperaParams, seed: u64) -> Self {
+        assert!(params.racks > 0 && params.uplinks > 0 && params.groups > 0);
+        assert!(
+            params.racks.is_multiple_of(params.uplinks),
+            "uplinks ({}) must divide racks ({})",
+            params.uplinks,
+            params.racks
+        );
+        assert!(
+            params.uplinks.is_multiple_of(params.groups),
+            "groups ({}) must divide uplinks ({})",
+            params.groups,
+            params.uplinks
+        );
+        let mut rng = SimRng::new(seed);
+        let n = params.racks;
+        let u = params.uplinks;
+
+        // 1. Randomly factor the complete graph into N disjoint matchings.
+        let mut ms = factorize_lifted(n, &mut rng);
+        debug_assert!(validate_factorization(&ms, n).is_ok());
+
+        // 2. Randomly assign N/u matchings to each switch.
+        rng.shuffle(&mut ms);
+        let per_switch = n / u;
+        let mut assigned: Vec<Vec<Matching>> = Vec::with_capacity(u);
+        for _ in 0..u {
+            let mut mine: Vec<Matching> = ms.drain(..per_switch).collect();
+            // 3. Random cyclic order per switch.
+            rng.shuffle(&mut mine);
+            assigned.push(mine);
+        }
+
+        let stride = u / params.groups;
+        OperaTopology {
+            params,
+            assigned,
+            slices_per_cycle: n / params.groups,
+            stride,
+        }
+    }
+
+    /// Generate a topology and *validate* it: §3.3 notes a random
+    /// realization may occasionally lack good properties ("it would be
+    /// trivial to generate and test additional realizations at design
+    /// time"). This retries successive seeds until every slice graph is
+    /// connected, returning the topology and the seed that produced it.
+    ///
+    /// # Panics
+    /// Panics if no valid realization is found within `max_tries` seeds
+    /// (never observed for sane parameters with `max_tries ≥ 16`).
+    pub fn generate_validated(params: OperaParams, seed: u64, max_tries: u64) -> (Self, u64) {
+        for s in seed..seed + max_tries {
+            let t = Self::generate(params, s);
+            let ok = (0..t.slices_per_cycle()).all(|i| t.slice(i).graph().is_connected());
+            if ok {
+                return (t, s);
+            }
+        }
+        panic!("no connected Opera realization within {max_tries} seeds of {seed}");
+    }
+
+    /// Parameters used to generate this topology.
+    pub fn params(&self) -> &OperaParams {
+        &self.params
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.params.racks
+    }
+
+    /// Number of circuit switches.
+    pub fn switches(&self) -> usize {
+        self.params.uplinks
+    }
+
+    /// Topology slices per full cycle.
+    pub fn slices_per_cycle(&self) -> usize {
+        self.slices_per_cycle
+    }
+
+    /// Matchings each switch cycles through (`N/u`).
+    pub fn matchings_per_switch(&self) -> usize {
+        self.assigned[0].len()
+    }
+
+    /// Matching implemented by `switch` at cycle `position`.
+    pub fn matching(&self, switch: usize, position: usize) -> &Matching {
+        &self.assigned[switch][position]
+    }
+
+    /// Number of completed reconfigurations of `switch` before slice `s`
+    /// (within one cycle, `s < slices_per_cycle`).
+    fn advances_before(&self, switch: usize, s: usize) -> usize {
+        let phase = switch % self.stride;
+        if s > phase {
+            (s - phase - 1) / self.stride + 1
+        } else {
+            0
+        }
+    }
+
+    /// Index into `assigned[switch]` of the matching active during slice
+    /// `s` (slice indices taken mod the cycle).
+    pub fn position_at(&self, switch: usize, slice: usize) -> usize {
+        let s = slice % self.slices_per_cycle;
+        self.advances_before(switch, s) % self.matchings_per_switch()
+    }
+
+    /// Switches with an *impending reconfiguration* during slice `s` — the
+    /// ones routing must avoid (§3.1.1, §4.1). Exactly `groups` switches.
+    pub fn reconfiguring(&self, slice: usize) -> Vec<usize> {
+        let s = slice % self.slices_per_cycle;
+        (0..self.params.uplinks)
+            .filter(|&j| j % self.stride == s % self.stride)
+            .collect()
+    }
+
+    /// The routable view of slice `s`.
+    pub fn slice(&self, slice: usize) -> SliceView<'_> {
+        let s = slice % self.slices_per_cycle;
+        let reconf = self.reconfiguring(s);
+        let mut current = Vec::with_capacity(self.params.uplinks);
+        for j in 0..self.params.uplinks {
+            current.push(self.position_at(j, s));
+        }
+        SliceView {
+            topo: self,
+            slice: s,
+            reconfiguring: reconf,
+            current,
+        }
+    }
+
+    /// Slices (one cycle) during which rack pair `(a, b)` has a usable
+    /// direct circuit: the matching containing the pair is instantiated and
+    /// its switch is not about to reconfigure. Empty only for `a == b`.
+    pub fn direct_slices(&self, a: NodeId, b: NodeId) -> Vec<usize> {
+        if a == b {
+            return Vec::new();
+        }
+        let (sw, pos) = self
+            .locate_pair(a, b)
+            .expect("every pair appears in exactly one matching");
+        (0..self.slices_per_cycle)
+            .filter(|&s| {
+                self.position_at(sw, s) == pos && !self.reconfiguring(s).contains(&sw)
+            })
+            .collect()
+    }
+
+    /// Which `(switch, position)` implements the circuit between `a` and
+    /// `b`, or `None` when `a == b`.
+    pub fn locate_pair(&self, a: NodeId, b: NodeId) -> Option<(usize, usize)> {
+        if a == b {
+            return None;
+        }
+        for (sw, mats) in self.assigned.iter().enumerate() {
+            for (pos, m) in mats.iter().enumerate() {
+                if m.partner(a) == b {
+                    return Some((sw, pos));
+                }
+            }
+        }
+        unreachable!("complete factorization covers every pair")
+    }
+}
+
+/// The routable topology during one slice.
+#[derive(Debug, Clone)]
+pub struct SliceView<'a> {
+    topo: &'a OperaTopology,
+    slice: usize,
+    reconfiguring: Vec<usize>,
+    /// `current[switch]` = position of the active matching.
+    current: Vec<usize>,
+}
+
+impl<'a> SliceView<'a> {
+    /// Slice index within the cycle.
+    pub fn slice(&self) -> usize {
+        self.slice
+    }
+
+    /// Switches excluded from routing this slice.
+    pub fn reconfiguring(&self) -> &[usize] {
+        &self.reconfiguring
+    }
+
+    /// The active matching of `switch` this slice (even if reconfiguring —
+    /// its circuits are physically up, just not routable for new packets).
+    pub fn matching_of(&self, switch: usize) -> &'a Matching {
+        self.topo.matching(switch, self.current[switch])
+    }
+
+    /// Routable rack graph: union of the matchings of all non-reconfiguring
+    /// switches. Edge `port` is the circuit-switch index.
+    pub fn graph(&self) -> Graph {
+        let mut g = Graph::new(self.topo.racks());
+        for sw in 0..self.topo.switches() {
+            if self.reconfiguring.contains(&sw) {
+                continue;
+            }
+            self.matching_of(sw).add_to_graph(&mut g, sw);
+        }
+        g
+    }
+
+    /// Full physical graph including the reconfiguring switches' circuits.
+    pub fn graph_full(&self) -> Graph {
+        let mut g = Graph::new(self.topo.racks());
+        for sw in 0..self.topo.switches() {
+            self.matching_of(sw).add_to_graph(&mut g, sw);
+        }
+        g
+    }
+
+    /// Direct (single-hop) destinations of `rack` this slice, as
+    /// `(destination rack, circuit switch)` pairs — the bulk table of §4.3.
+    pub fn direct_destinations(&self, rack: NodeId) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        for sw in 0..self.topo.switches() {
+            if self.reconfiguring.contains(&sw) {
+                continue;
+            }
+            let m = self.matching_of(sw);
+            if m.is_matched(rack) {
+                out.push((m.partner(rack), sw));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> OperaTopology {
+        // 24 racks, 4 switches, groups=1 -> 24 slices, 6 matchings/switch.
+        OperaTopology::generate(
+            OperaParams {
+                racks: 24,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn schedule_advances_match_iterative_simulation() {
+        let t = small();
+        let u = t.switches();
+        let mut pos = vec![0usize; u];
+        for s in 0..t.slices_per_cycle() * 2 {
+            for j in 0..u {
+                assert_eq!(
+                    t.position_at(j, s),
+                    pos[j],
+                    "switch {j} slice {s} disagrees with iterative schedule"
+                );
+            }
+            // End of slice s: the reconfiguring switches advance.
+            for &j in &t.reconfiguring(s) {
+                pos[j] = (pos[j] + 1) % t.matchings_per_switch();
+            }
+        }
+    }
+
+    #[test]
+    fn each_switch_cycles_all_matchings() {
+        let t = small();
+        for j in 0..t.switches() {
+            let mut seen = vec![false; t.matchings_per_switch()];
+            for s in 0..t.slices_per_cycle() {
+                seen[t.position_at(j, s)] = true;
+            }
+            assert!(seen.iter().all(|&x| x), "switch {j} missed a matching");
+        }
+    }
+
+    #[test]
+    fn exactly_one_switch_reconfigures_per_slice() {
+        let t = small();
+        for s in 0..t.slices_per_cycle() {
+            assert_eq!(t.reconfiguring(s).len(), 1);
+        }
+        // Round-robin across switches.
+        let seq: Vec<usize> = (0..8).map(|s| t.reconfiguring(s)[0]).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn grouping_reduces_cycle() {
+        let t = OperaTopology::generate(
+            OperaParams {
+                racks: 24,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 2,
+            },
+            42,
+        );
+        assert_eq!(t.slices_per_cycle(), 12);
+        for s in 0..t.slices_per_cycle() {
+            assert_eq!(t.reconfiguring(s).len(), 2);
+        }
+        // Each switch still visits all its matchings.
+        for j in 0..t.switches() {
+            let mut seen = vec![false; t.matchings_per_switch()];
+            for s in 0..t.slices_per_cycle() {
+                seen[t.position_at(j, s)] = true;
+            }
+            assert!(seen.iter().all(|&x| x));
+        }
+    }
+
+    #[test]
+    fn every_pair_gets_direct_circuit_each_cycle() {
+        let t = small();
+        for a in 0..t.racks() {
+            for b in 0..t.racks() {
+                if a == b {
+                    assert!(t.direct_slices(a, b).is_empty());
+                    continue;
+                }
+                let slices = t.direct_slices(a, b);
+                assert!(
+                    !slices.is_empty(),
+                    "pair ({a},{b}) never has a usable direct circuit"
+                );
+                // Each matching is up for `stride` slices, one of which is
+                // the impending-reconfiguration slice -> stride-1 usable.
+                assert_eq!(slices.len(), t.stride - 1, "pair ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_graphs_connected_and_degree_bounded() {
+        let t = small();
+        for s in 0..t.slices_per_cycle() {
+            let g = t.slice(s).graph();
+            assert!(g.is_connected(), "slice {s} disconnected");
+            for r in 0..t.racks() {
+                assert!(g.degree(r) < t.switches());
+            }
+        }
+    }
+
+    #[test]
+    fn direct_destinations_consistent_with_graph() {
+        let t = small();
+        let sv = t.slice(5);
+        let g = sv.graph();
+        for r in 0..t.racks() {
+            let direct = sv.direct_destinations(r);
+            let mut from_graph: Vec<(usize, usize)> =
+                g.edges(r).iter().map(|e| (e.to, e.port)).collect();
+            let mut d = direct.clone();
+            d.sort_unstable();
+            from_graph.sort_unstable();
+            assert_eq!(d, from_graph);
+        }
+    }
+
+    #[test]
+    fn example_648_properties() {
+        let t = OperaTopology::generate(OperaParams::example_648(), 7);
+        assert_eq!(t.racks(), 108);
+        assert_eq!(t.switches(), 6);
+        assert_eq!(t.slices_per_cycle(), 108);
+        assert_eq!(t.matchings_per_switch(), 18);
+        assert_eq!(t.params().hosts(), 648);
+        // Spot-check a few slices for connectivity.
+        for s in [0usize, 17, 54, 107] {
+            assert!(t.slice(s).graph().is_connected());
+        }
+    }
+
+    #[test]
+    fn full_graph_includes_reconfiguring_switch() {
+        let t = small();
+        let sv = t.slice(0);
+        let g_full = sv.graph_full();
+        let g_routable = sv.graph();
+        assert!(g_full.edge_count() >= g_routable.edge_count());
+    }
+
+    #[test]
+    fn locate_pair_finds_unique_home() {
+        let t = small();
+        let (sw, pos) = t.locate_pair(0, 5).unwrap();
+        assert_eq!(t.matching(sw, pos).partner(0), 5);
+        assert!(t.locate_pair(3, 3).is_none());
+    }
+}

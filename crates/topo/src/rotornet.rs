@@ -1,0 +1,151 @@
+//! RotorNet baselines (§5, reference \[34\]).
+//!
+//! RotorNet uses the same rotor circuit switches as Opera, cyclically
+//! stepping through matchings, but does *not* arrange them into expanders
+//! and does not forward traffic over multi-hop circuit paths: all traffic
+//! uses RotorLB (direct one-hop, plus two-hop Valiant load balancing for
+//! skew). Low-latency traffic therefore either waits for circuits
+//! (non-hybrid RotorNet — three orders of magnitude slower for short flows,
+//! Figure 7c) or uses a separate packet-switched network (hybrid RotorNet,
+//! +33% cost: one of the six ToR uplinks faces a packet core).
+//!
+//! Structurally we reuse the Opera schedule generator — the circuit plane
+//! is identical hardware cycling through a complete set of matchings — and
+//! record how many uplinks face rotor switches vs. a packet core.
+
+use crate::opera::{OperaParams, OperaTopology};
+
+/// RotorNet flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotorNetKind {
+    /// All ToR uplinks face rotor switches; no packet-switched core.
+    NonHybrid,
+    /// One uplink per ToR faces a multi-stage packet-switched core used for
+    /// low-latency traffic (1.33× the cost of the all-optical networks).
+    Hybrid,
+}
+
+/// A RotorNet topology: a rotor-switch schedule plus the hybrid flag.
+#[derive(Debug, Clone)]
+pub struct RotorNetTopology {
+    kind: RotorNetKind,
+    /// Schedule of the rotor plane (expander property unused).
+    schedule: OperaTopology,
+    /// Uplinks facing the packet core (0 or 1 per ToR).
+    packet_uplinks: usize,
+}
+
+impl RotorNetTopology {
+    /// Generate a RotorNet. For the hybrid flavor, one uplink per ToR is
+    /// diverted to the packet core, so the rotor plane runs with `u − 1`
+    /// switches.
+    ///
+    /// # Panics
+    /// As for [`OperaTopology::generate`]: the (possibly reduced) uplink
+    /// count must divide the rack count.
+    pub fn generate(params: OperaParams, kind: RotorNetKind, seed: u64) -> Self {
+        let packet_uplinks = match kind {
+            RotorNetKind::NonHybrid => 0,
+            RotorNetKind::Hybrid => 1,
+        };
+        let rotor_params = OperaParams {
+            uplinks: params.uplinks - packet_uplinks,
+            ..params
+        };
+        RotorNetTopology {
+            kind,
+            schedule: OperaTopology::generate(rotor_params, seed),
+            packet_uplinks,
+        }
+    }
+
+    /// Hybrid or not.
+    pub fn kind(&self) -> RotorNetKind {
+        self.kind
+    }
+
+    /// The rotor-plane schedule (matchings, slices, direct circuits).
+    pub fn schedule(&self) -> &OperaTopology {
+        &self.schedule
+    }
+
+    /// Uplinks per ToR facing the packet-switched core.
+    pub fn packet_uplinks(&self) -> usize {
+        self.packet_uplinks
+    }
+
+    /// Rotor uplinks per ToR.
+    pub fn rotor_uplinks(&self) -> usize {
+        self.schedule.switches()
+    }
+
+    /// Relative cost vs. a cost-equivalent all-optical network: hybrid
+    /// RotorNet keeps all `u` rotor-equivalent uplinks *and* adds a
+    /// multi-stage packet core reachable through one uplink, which the
+    /// paper prices at 4/3 of the non-hybrid network.
+    pub fn relative_cost(&self) -> f64 {
+        match self.kind {
+            RotorNetKind::NonHybrid => 1.0,
+            RotorNetKind::Hybrid => 4.0 / 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_hybrid_uses_all_uplinks() {
+        let t = RotorNetTopology::generate(
+            OperaParams {
+                racks: 24,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            RotorNetKind::NonHybrid,
+            1,
+        );
+        assert_eq!(t.rotor_uplinks(), 4);
+        assert_eq!(t.packet_uplinks(), 0);
+        assert!((t.relative_cost() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hybrid_diverts_one_uplink() {
+        let t = RotorNetTopology::generate(
+            OperaParams {
+                racks: 24,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            RotorNetKind::Hybrid,
+            1,
+        );
+        assert_eq!(t.rotor_uplinks(), 3);
+        assert_eq!(t.packet_uplinks(), 1);
+        assert!(t.relative_cost() > 1.3);
+    }
+
+    #[test]
+    fn rotor_plane_still_covers_all_pairs() {
+        let t = RotorNetTopology::generate(
+            OperaParams {
+                racks: 24,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            RotorNetKind::Hybrid,
+            9,
+        );
+        let sched = t.schedule();
+        for a in 0..sched.racks() {
+            for b in (a + 1)..sched.racks() {
+                assert!(!sched.direct_slices(a, b).is_empty());
+            }
+        }
+    }
+}

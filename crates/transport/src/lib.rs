@@ -1,0 +1,23 @@
+//! `transport` — end-host transport protocols for the Opera reproduction.
+//!
+//! Two protocols carry all traffic in the paper (§4.2):
+//!
+//! * [`ndp`] — NDP \[Handley et al., SIGCOMM 2017\] for low-latency
+//!   traffic: receiver-driven pull pacing, packet trimming at shallow
+//!   switch queues, per-packet ACK/NACK, zero-RTT start.
+//! * [`rotorlb`] — RotorLB \[RotorNet, SIGCOMM 2017\] for bulk traffic:
+//!   buffer at the edge until a direct circuit to the destination rack is
+//!   up; under skew, opportunistically spend spare circuit bandwidth on
+//!   two-hop Valiant paths; NACK-and-requeue for bytes that miss their
+//!   transmission window (§4.2.2).
+//!
+//! Both are deliberately *topology-free*: they speak in terms of host NICs,
+//! rack indices, and packets. The `opera` crate wires them to concrete
+//! networks.
+
+pub mod ndp;
+pub mod rotorlb;
+
+pub use ndp::{NdpHost, NdpParams};
+pub use ndp::{NdpActions, NdpTimer};
+pub use rotorlb::{BulkChunk, RackBulk, RotorLbParams};

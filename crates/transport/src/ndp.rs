@@ -1,0 +1,627 @@
+//! NDP: receiver-driven, trimming-tolerant low-latency transport (§4.2.1).
+//!
+//! Mechanics implemented, following Handley et al. and the paper's usage:
+//!
+//! * **Zero-RTT start** — the sender blasts an initial window (8 full
+//!   packets, one data-queue's worth) without waiting for credit.
+//! * **Trimming** — switches cut payloads at full data queues; the header
+//!   travels on at control priority (implemented in `netsim`). The receiver
+//!   answers a trimmed header with a NACK; NACKed segments are
+//!   retransmitted on future pulls.
+//! * **Pull pacing** — the receiver enqueues one PULL per arriving header
+//!   (full or trimmed) into a per-host pacer that releases pulls at the
+//!   host's line rate, clocking the sender at exactly the receiver's
+//!   capacity across all incasting flows.
+//! * **Per-packet ACKs** so the sender can retire state, plus a coarse RTO
+//!   as the last-resort recovery for lost control packets (rare: control
+//!   queues are large and drops counted).
+//!
+//! The host object is topology-free: it emits packets out of its NIC and
+//! reacts to packets handed to it. Routing between NICs is the enclosing
+//! network model's job.
+
+use netsim::fabric::{Fabric, NetEvent};
+use netsim::{FlowId, FlowTracker, Packet, PacketKind, HEADER_SIZE, MTU};
+use simkit::engine::EventContext;
+use simkit::SimTime;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// NDP tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NdpParams {
+    /// Wire MTU (data packet size cap), bytes.
+    pub mtu: u32,
+    /// Initial window, packets (sent before any pull arrives).
+    pub initial_window: u32,
+    /// Interval between pulls released by the receiver pacer; should equal
+    /// one MTU serialization time at the host link rate.
+    pub pull_interval: SimTime,
+    /// Retransmission timeout (safety net; normal recovery is NACK/pull).
+    pub rto: SimTime,
+}
+
+impl NdpParams {
+    /// Paper defaults for 10 Gb/s hosts: 1500 B MTU, 8-packet window
+    /// (12 KB, one switch data queue), 1.2 µs pulls, 2 ms RTO.
+    pub fn paper_default() -> Self {
+        NdpParams {
+            mtu: MTU,
+            initial_window: 8,
+            pull_interval: SimTime::from_ns(1200),
+            rto: SimTime::from_ms(2),
+        }
+    }
+
+    /// Payload bytes carried by a full packet.
+    pub fn payload_per_packet(&self) -> u32 {
+        self.mtu - HEADER_SIZE
+    }
+
+    /// Number of packets a flow of `size` payload bytes needs.
+    pub fn packets_for(&self, size: u64) -> u32 {
+        size.div_ceil(self.payload_per_packet() as u64).max(1) as u32
+    }
+
+    /// Wire size of segment `seq` of a flow with `size` payload bytes.
+    pub fn wire_size(&self, size: u64, seq: u32) -> u32 {
+        let per = self.payload_per_packet() as u64;
+        let sent = seq as u64 * per;
+        let remaining = size.saturating_sub(sent).min(per) as u32;
+        HEADER_SIZE + remaining
+    }
+}
+
+/// Sender-side per-flow state.
+#[derive(Debug)]
+struct SendFlow {
+    flow: FlowId,
+    src: usize,
+    dst: usize,
+    size: u64,
+    total: u32,
+    /// Next never-sent segment.
+    next_new: u32,
+    /// Segments NACKed and awaiting retransmission.
+    rtx: VecDeque<u32>,
+    /// Sent but not yet ACKed.
+    unacked: BTreeSet<u32>,
+    /// Time of the last useful event (send/ack/nack/pull).
+    last_activity: SimTime,
+}
+
+impl SendFlow {
+    fn done(&self) -> bool {
+        self.next_new >= self.total && self.rtx.is_empty() && self.unacked.is_empty()
+    }
+}
+
+/// Receiver-side per-flow state.
+#[derive(Debug)]
+struct RecvFlow {
+    /// Segments already delivered (dedupe for RTO retransmissions).
+    seen: Vec<u64>,
+    complete: bool,
+}
+
+impl RecvFlow {
+    fn new(total: u32) -> Self {
+        RecvFlow {
+            seen: vec![0; (total as usize).div_ceil(64)],
+            complete: false,
+        }
+    }
+    fn test_and_set(&mut self, seq: u32) -> bool {
+        let (w, b) = (seq as usize / 64, seq as usize % 64);
+        let was = self.seen[w] >> b & 1 == 1;
+        self.seen[w] |= 1 << b;
+        !was
+    }
+}
+
+/// Timer purposes an [`NdpHost`] asks its environment to schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NdpTimer {
+    /// The pull pacer should release the next pull.
+    PullPacer,
+    /// RTO check for `flow`.
+    Rto(FlowId),
+}
+
+/// All NDP state for one host (its NIC node id + port).
+#[derive(Debug)]
+pub struct NdpHost {
+    /// NIC node in the fabric.
+    pub nic: usize,
+    /// NIC port (always 0 for single-homed hosts).
+    pub nic_port: usize,
+    params: NdpParams,
+    sending: HashMap<FlowId, SendFlow>,
+    receiving: HashMap<FlowId, RecvFlow>,
+    /// FIFO of pulls awaiting pacing: (flow, sender host NIC).
+    pull_queue: VecDeque<(FlowId, usize)>,
+    /// Earliest time the pacer may release the next pull.
+    pacer_free_at: SimTime,
+    /// True when a pacer timer is outstanding.
+    pacer_armed: bool,
+}
+
+/// What the host asks its environment to do after handling an event.
+/// Timers cannot be scheduled directly because token encoding is owned by
+/// the enclosing network model.
+#[derive(Debug, Default)]
+pub struct NdpActions {
+    /// Timers to schedule: (fire time, purpose).
+    pub timers: Vec<(SimTime, NdpTimer)>,
+}
+
+impl NdpHost {
+    /// A fresh NDP host for NIC `nic`.
+    pub fn new(nic: usize, nic_port: usize, params: NdpParams) -> Self {
+        NdpHost {
+            nic,
+            nic_port,
+            params,
+            sending: HashMap::new(),
+            receiving: HashMap::new(),
+            pull_queue: VecDeque::new(),
+            pacer_free_at: SimTime::ZERO,
+            pacer_armed: false,
+        }
+    }
+
+    /// Tuning parameters.
+    pub fn params(&self) -> &NdpParams {
+        &self.params
+    }
+
+    /// Number of flows currently being sent.
+    pub fn active_sends(&self) -> usize {
+        self.sending.len()
+    }
+
+    /// Start sending `flow` (`size` payload bytes) to `dst` (a NIC node
+    /// id): transmit the initial window immediately.
+    pub fn start_flow(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        flow: FlowId,
+        dst: usize,
+        size: u64,
+    ) -> NdpActions {
+        let total = self.params.packets_for(size);
+        let mut st = SendFlow {
+            flow,
+            src: self.nic,
+            dst,
+            size,
+            total,
+            next_new: 0,
+            rtx: VecDeque::new(),
+            unacked: BTreeSet::new(),
+            last_activity: ctx.now(),
+        };
+        let burst = total.min(self.params.initial_window);
+        for _ in 0..burst {
+            Self::emit_next(&self.params, &mut st, fabric, ctx, self.nic, self.nic_port);
+        }
+        let mut actions = NdpActions::default();
+        actions.timers.push((ctx.now() + self.params.rto, NdpTimer::Rto(flow)));
+        self.sending.insert(flow, st);
+        actions
+    }
+
+    /// Send the next pending segment (retransmission first, then new).
+    fn emit_next(
+        params: &NdpParams,
+        st: &mut SendFlow,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        nic: usize,
+        nic_port: usize,
+    ) {
+        let seq = if let Some(seq) = st.rtx.pop_front() {
+            seq
+        } else if st.next_new < st.total {
+            let s = st.next_new;
+            st.next_new += 1;
+            s
+        } else {
+            return; // nothing left to clock out
+        };
+        let size = params.wire_size(st.size, seq);
+        let pkt = Packet::data(st.flow, st.src, st.dst, seq, size);
+        st.unacked.insert(seq);
+        st.last_activity = ctx.now();
+        fabric.send(ctx, nic, nic_port, pkt);
+    }
+
+    /// Handle a packet addressed to this host. `tracker` records payload
+    /// delivery and completion.
+    pub fn on_packet(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        tracker: &mut FlowTracker,
+        pkt: Packet,
+    ) -> NdpActions {
+        let mut actions = NdpActions::default();
+        match pkt.kind {
+            PacketKind::Data { seq, trimmed } => {
+                self.on_data(fabric, ctx, tracker, pkt, seq, trimmed, &mut actions);
+            }
+            PacketKind::Ack { seq } => {
+                if let Some(st) = self.sending.get_mut(&pkt.flow) {
+                    st.unacked.remove(&seq);
+                    st.last_activity = ctx.now();
+                    if st.done() {
+                        self.sending.remove(&pkt.flow);
+                    }
+                }
+            }
+            PacketKind::Nack { seq } => {
+                if let Some(st) = self.sending.get_mut(&pkt.flow) {
+                    st.last_activity = ctx.now();
+                    if !st.rtx.contains(&seq) {
+                        st.rtx.push_back(seq);
+                    }
+                }
+            }
+            PacketKind::Pull { .. } => {
+                if let Some(st) = self.sending.get_mut(&pkt.flow) {
+                    st.last_activity = ctx.now();
+                    Self::emit_next(&self.params, st, fabric, ctx, self.nic, self.nic_port);
+                    if st.done() {
+                        self.sending.remove(&pkt.flow);
+                    }
+                }
+            }
+            _ => {} // bulk traffic handled elsewhere
+        }
+        actions
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_data(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        tracker: &mut FlowTracker,
+        pkt: Packet,
+        seq: u32,
+        trimmed: bool,
+        actions: &mut NdpActions,
+    ) {
+        let flow = pkt.flow;
+        let sender = pkt.src;
+        let total = self.params.packets_for(tracker.get(flow).size);
+        let st = self
+            .receiving
+            .entry(flow)
+            .or_insert_with(|| RecvFlow::new(total));
+        if st.complete {
+            // Stale retransmission: ack so the sender retires it.
+            let ack = Packet::control(flow, self.nic, sender, PacketKind::Ack { seq });
+            fabric.send(ctx, self.nic, self.nic_port, ack);
+            return;
+        }
+        if trimmed {
+            // Ask for a retransmission, and clock the sender with a pull.
+            let nack = Packet::control(flow, self.nic, sender, PacketKind::Nack { seq });
+            fabric.send(ctx, self.nic, self.nic_port, nack);
+            self.enqueue_pull(ctx, flow, sender, actions);
+            return;
+        }
+        // Full data packet.
+        let ack = Packet::control(flow, self.nic, sender, PacketKind::Ack { seq });
+        fabric.send(ctx, self.nic, self.nic_port, ack);
+        if st.test_and_set(seq) {
+            let done = tracker.deliver(flow, pkt.payload() as u64, ctx.now());
+            if done {
+                st.complete = true;
+                // Drop queued pulls for this flow: the sender needs no
+                // more credit.
+                self.pull_queue.retain(|&(f, _)| f != flow);
+                return;
+            }
+        }
+        self.enqueue_pull(ctx, flow, sender, actions);
+    }
+
+    fn enqueue_pull(
+        &mut self,
+        ctx: &mut EventContext<'_, NetEvent>,
+        flow: FlowId,
+        sender: usize,
+        actions: &mut NdpActions,
+    ) {
+        self.pull_queue.push_back((flow, sender));
+        if !self.pacer_armed {
+            let at = ctx.now().max(self.pacer_free_at);
+            self.pacer_armed = true;
+            actions.timers.push((at, NdpTimer::PullPacer));
+        }
+    }
+
+    /// A timer scheduled via [`NdpActions`] fired.
+    pub fn on_timer(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        which: NdpTimer,
+    ) -> NdpActions {
+        let mut actions = NdpActions::default();
+        match which {
+            NdpTimer::PullPacer => {
+                self.pacer_armed = false;
+                if let Some((flow, sender)) = self.pull_queue.pop_front() {
+                    let pull =
+                        Packet::control(flow, self.nic, sender, PacketKind::Pull { count: 1 });
+                    fabric.send(ctx, self.nic, self.nic_port, pull);
+                    self.pacer_free_at = ctx.now() + self.params.pull_interval;
+                    if !self.pull_queue.is_empty() {
+                        self.pacer_armed = true;
+                        actions.timers.push((self.pacer_free_at, NdpTimer::PullPacer));
+                    }
+                }
+            }
+            NdpTimer::Rto(flow) => {
+                if let Some(st) = self.sending.get_mut(&flow) {
+                    let deadline = st.last_activity + self.params.rto;
+                    if ctx.now() >= deadline {
+                        // Stalled: re-send the oldest unacked segment.
+                        if let Some(&seq) = st.unacked.iter().next() {
+                            let size = self.params.wire_size(st.size, seq);
+                            let pkt = Packet::data(st.flow, st.src, st.dst, seq, size);
+                            st.last_activity = ctx.now();
+                            fabric.send(ctx, self.nic, self.nic_port, pkt);
+                        }
+                        actions
+                            .timers
+                            .push((ctx.now() + self.params.rto, NdpTimer::Rto(flow)));
+                    } else {
+                        actions.timers.push((deadline, NdpTimer::Rto(flow)));
+                    }
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::fabric::{LinkSpec, QueueConfig};
+    use netsim::{NetLogic, NetWorld};
+    use simkit::Simulator;
+
+    /// Two hosts wired back-to-back; logic routes by dst NIC directly.
+    struct TwoHostLogic {
+        hosts: Vec<NdpHost>,
+        tracker: FlowTracker,
+        started: bool,
+        flow_size: u64,
+    }
+
+    impl TwoHostLogic {
+        fn apply(&mut self, host: usize, actions: NdpActions, ctx: &mut EventContext<'_, NetEvent>) {
+            for (at, which) in actions.timers {
+                let token = encode(host, which);
+                ctx.schedule_at(at, NetEvent::Timer { token });
+            }
+        }
+    }
+
+    fn encode(host: usize, t: NdpTimer) -> u64 {
+        match t {
+            NdpTimer::PullPacer => (host as u64) << 32,
+            NdpTimer::Rto(f) => 1 << 60 | (host as u64) << 32 | f as u64,
+        }
+    }
+    fn decode(token: u64) -> (usize, NdpTimer) {
+        let host = (token >> 32 & 0xFFF_FFFF) as usize;
+        if token >> 60 == 1 {
+            (host, NdpTimer::Rto((token & 0xFFFF_FFFF) as u32))
+        } else {
+            (host, NdpTimer::PullPacer)
+        }
+    }
+
+    impl NetLogic for TwoHostLogic {
+        fn on_arrive(
+            &mut self,
+            fabric: &mut Fabric,
+            ctx: &mut EventContext<'_, NetEvent>,
+            node: usize,
+            _port: usize,
+            packet: Packet,
+        ) {
+            let actions = self.hosts[node].on_packet(fabric, ctx, &mut self.tracker, packet);
+            self.apply(node, actions, ctx);
+        }
+
+        fn on_timer(
+            &mut self,
+            fabric: &mut Fabric,
+            ctx: &mut EventContext<'_, NetEvent>,
+            token: u64,
+        ) {
+            if token == u64::MAX {
+                if !self.started {
+                    self.started = true;
+                    let id =
+                        self.tracker
+                            .register(0, 1, self.flow_size, netsim::FlowClass::LowLatency, ctx.now());
+                    let actions = self.hosts[0].start_flow(fabric, ctx, id, 1, self.flow_size);
+                    self.apply(0, actions, ctx);
+                }
+                return;
+            }
+            let (host, which) = decode(token);
+            let actions = self.hosts[host].on_timer(fabric, ctx, which);
+            self.apply(host, actions, ctx);
+        }
+    }
+
+    fn run_two_host(flow_size: u64, cfg: QueueConfig) -> Simulator<NetWorld<TwoHostLogic>> {
+        let mut fabric = Fabric::new();
+        let a = fabric.add_node(1, cfg, LinkSpec::paper_default());
+        let b = fabric.add_node(1, cfg, LinkSpec::paper_default());
+        fabric.connect(a, 0, b, 0);
+        let logic = TwoHostLogic {
+            hosts: vec![
+                NdpHost::new(a, 0, NdpParams::paper_default()),
+                NdpHost::new(b, 0, NdpParams::paper_default()),
+            ],
+            tracker: FlowTracker::new(),
+            started: false,
+            flow_size,
+        };
+        let mut sim = Simulator::new(NetWorld::new(fabric, logic));
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: u64::MAX });
+        sim.run_until(SimTime::from_ms(100));
+        sim
+    }
+
+    #[test]
+    fn small_flow_completes_in_one_burst() {
+        // 1000 bytes: single packet, should complete in ~1 serialization +
+        // propagation.
+        let sim = run_two_host(1000, QueueConfig::opera_default());
+        let t = &sim.world.logic.tracker;
+        assert!(t.all_done());
+        let fct = t.get(0).fct().unwrap();
+        // 1064B at 10G = 852ns ser + 500 prop = 1352ns.
+        assert_eq!(fct.as_ns(), 1352);
+    }
+
+    #[test]
+    fn large_flow_completes_at_line_rate() {
+        let size = 1_000_000u64; // 1 MB
+        let sim = run_two_host(size, QueueConfig::opera_default());
+        let t = &sim.world.logic.tracker;
+        assert!(t.all_done(), "flow incomplete: {:?}", t.get(0));
+        let fct = t.get(0).fct().unwrap().as_secs_f64();
+        // Ideal: 1MB * 8 / (10G * (1436/1500 goodput)) ≈ 0.84 ms. Allow
+        // pull-pacing overhead up to 2x.
+        let ideal = size as f64 * 8.0 / 10e9 / (1436.0 / 1500.0);
+        assert!(fct >= ideal, "fct {fct} < ideal {ideal}");
+        assert!(fct < 2.0 * ideal, "fct {fct} too slow vs {ideal}");
+    }
+
+    #[test]
+    fn sender_state_retired_after_completion() {
+        let sim = run_two_host(100_000, QueueConfig::opera_default());
+        assert_eq!(sim.world.logic.hosts[0].active_sends(), 0);
+    }
+
+    #[test]
+    fn wire_size_math() {
+        let p = NdpParams::paper_default();
+        assert_eq!(p.payload_per_packet(), 1436);
+        assert_eq!(p.packets_for(1436), 1);
+        assert_eq!(p.packets_for(1437), 2);
+        assert_eq!(p.packets_for(1), 1);
+        assert_eq!(p.wire_size(1436, 0), 1500);
+        assert_eq!(p.wire_size(1437, 1), HEADER_SIZE + 1);
+        assert_eq!(p.packets_for(0), 1, "zero-size flows still send a runt");
+    }
+
+    #[test]
+    fn incast_shares_receiver_line_rate() {
+        // Three senders (NICs 2..=4) incast to one receiver (NIC 1)
+        // through a 4-port hub switch (node 0). NDP's pull pacer must
+        // share the receiver's line rate and trimming must bound queues.
+        let mut fabric = Fabric::new();
+        let cfg = QueueConfig::opera_default();
+        let hub = fabric.add_node(4, cfg, LinkSpec::paper_default());
+        let mut hosts = vec![NdpHost::new(hub, 0, NdpParams::paper_default())]; // placeholder for node 0
+        for i in 0..4 {
+            let h = fabric.add_node(1, cfg, LinkSpec::paper_default());
+            fabric.connect(h, 0, hub, i);
+            hosts.push(NdpHost::new(h, 0, NdpParams::paper_default()));
+        }
+
+        struct Incast {
+            hosts: Vec<NdpHost>,
+            tracker: FlowTracker,
+            started: bool,
+        }
+        impl Incast {
+            fn apply(
+                &mut self,
+                host: usize,
+                actions: NdpActions,
+                ctx: &mut EventContext<'_, NetEvent>,
+            ) {
+                for (at, which) in actions.timers {
+                    ctx.schedule_at(at, NetEvent::Timer { token: encode(host, which) });
+                }
+            }
+        }
+        impl NetLogic for Incast {
+            fn on_arrive(
+                &mut self,
+                fabric: &mut Fabric,
+                ctx: &mut EventContext<'_, NetEvent>,
+                node: usize,
+                _port: usize,
+                packet: Packet,
+            ) {
+                if node == 0 {
+                    // Hub switch: forward toward dst NIC (NIC i on port i-1).
+                    fabric.send(ctx, 0, packet.dst - 1, packet);
+                    return;
+                }
+                let a = self.hosts[node].on_packet(fabric, ctx, &mut self.tracker, packet);
+                self.apply(node, a, ctx);
+            }
+            fn on_timer(
+                &mut self,
+                fabric: &mut Fabric,
+                ctx: &mut EventContext<'_, NetEvent>,
+                token: u64,
+            ) {
+                if token == u64::MAX {
+                    if !self.started {
+                        self.started = true;
+                        for s in 2..=4usize {
+                            let id = self.tracker.register(
+                                s,
+                                1,
+                                200_000,
+                                netsim::FlowClass::LowLatency,
+                                ctx.now(),
+                            );
+                            let a = self.hosts[s].start_flow(fabric, ctx, id, 1, 200_000);
+                            self.apply(s, a, ctx);
+                        }
+                    }
+                    return;
+                }
+                let (host, which) = decode(token);
+                let a = self.hosts[host].on_timer(fabric, ctx, which);
+                self.apply(host, a, ctx);
+            }
+        }
+        let mut sim = Simulator::new(NetWorld::new(
+            fabric,
+            Incast {
+                hosts,
+                tracker: FlowTracker::new(),
+                started: false,
+            },
+        ));
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: u64::MAX });
+        sim.run_until(SimTime::from_ms(50));
+        let t = &sim.world.logic.tracker;
+        assert!(t.all_done(), "incast flows incomplete");
+        // Aggregate 600 KB into one 10G NIC: ideal ≈ 0.5 ms; allow pacing
+        // and retransmission overhead.
+        for f in t.flows() {
+            let fct = f.fct().unwrap().as_secs_f64();
+            assert!(fct < 2e-3, "incast fct {fct}");
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! RotorLB: edge-buffered bulk transport over cyclic direct circuits
+//! (§4.2.2, RotorNet §4).
+//!
+//! Bulk bytes wait at the edge (per source rack) until a direct circuit to
+//! the destination rack is up, then drain at line rate — paying zero
+//! bandwidth tax. Under skewed demand, spare capacity on a circuit is spent
+//! on *two-hop Valiant paths*: a packet rides the current circuit to an
+//! intermediate rack, is stored there, and rides a later direct circuit to
+//! its destination (100% bandwidth tax, used only when direct capacity is
+//! insufficient).
+//!
+//! This module is the queueing brain only. The enclosing network model
+//! drives it: on every slice it asks, packet by packet
+//! ([`RackBulk::next_packet`]), what to send on each active circuit, and
+//! returns packets that missed their window ([`RackBulk::requeue_with_rack`], the
+//! paper's ToR NACK path — we shortcut the NACK's wire round-trip, which
+//! only shifts retried bytes by microseconds).
+//!
+//! One simplification, recorded in DESIGN.md: the paper buffers bulk bytes
+//! in end hosts and has ToRs poll them (§3.5); we keep the per-rack queues
+//! in one `RackBulk` object per rack and charge the host→ToR hop in the
+//! data plane. The queueing discipline and admission times are the same;
+//! only the identity of the RAM holding the bytes differs.
+
+use netsim::{FlowId, Packet, PacketKind, HEADER_SIZE, MTU};
+
+/// RotorLB tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RotorLbParams {
+    /// Wire MTU for bulk packets.
+    pub mtu: u32,
+    /// Maximum bytes of two-hop (Valiant) traffic stored at this rack for
+    /// later relay.
+    pub relay_capacity: u64,
+    /// Only offer a destination's backlog to Valiant indirection beyond
+    /// this many queued bytes (direct circuits will serve small backlogs
+    /// within a cycle anyway).
+    pub vlb_threshold: u64,
+}
+
+impl RotorLbParams {
+    /// Defaults: 1500 B MTU, 50 MB relay store, VLB beyond 1 MB backlog.
+    pub fn paper_default() -> Self {
+        RotorLbParams {
+            mtu: MTU,
+            relay_capacity: 50_000_000,
+            vlb_threshold: 1_000_000,
+        }
+    }
+
+    /// Payload bytes per full bulk packet.
+    pub fn payload_per_packet(&self) -> u32 {
+        self.mtu - HEADER_SIZE
+    }
+}
+
+/// A contiguous run of bulk bytes belonging to one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkChunk {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Source host NIC.
+    pub src_host: usize,
+    /// Destination host NIC.
+    pub dst_host: usize,
+    /// Destination rack.
+    pub dst_rack: usize,
+    /// Payload bytes remaining in this chunk.
+    pub bytes: u64,
+    /// Next sequence number to stamp on emitted packets.
+    pub next_seq: u32,
+}
+
+/// Per-rack RotorLB state: direct and relay queues.
+#[derive(Debug)]
+pub struct RackBulk {
+    rack: usize,
+    params: RotorLbParams,
+    /// `direct[r]`: chunks originating here, destined to rack `r`.
+    direct: Vec<Vec<BulkChunk>>,
+    /// `relay[r]`: chunks stored here mid-Valiant, final destination `r`.
+    relay: Vec<Vec<BulkChunk>>,
+    /// Bytes currently stored across all relay queues.
+    relay_bytes: u64,
+    /// Round-robin cursor so concurrent flows to one rack share the
+    /// circuit fairly.
+    rr_cursor: usize,
+}
+
+impl RackBulk {
+    /// Fresh state for `rack` in a network of `racks` racks.
+    pub fn new(rack: usize, racks: usize, params: RotorLbParams) -> Self {
+        RackBulk {
+            rack,
+            params,
+            direct: vec![Vec::new(); racks],
+            relay: vec![Vec::new(); racks],
+            relay_bytes: 0,
+            rr_cursor: 0,
+        }
+    }
+
+    /// This rack's index.
+    pub fn rack(&self) -> usize {
+        self.rack
+    }
+
+    /// Queue a new bulk flow (or flow fragment) for transmission.
+    pub fn enqueue(&mut self, chunk: BulkChunk) {
+        debug_assert_ne!(chunk.dst_rack, self.rack, "bulk to own rack");
+        self.direct[chunk.dst_rack].push(chunk);
+    }
+
+    /// Payload bytes queued for rack `r` (direct + stored relay).
+    pub fn pending_to(&self, r: usize) -> u64 {
+        self.direct[r].iter().map(|c| c.bytes).sum::<u64>()
+            + self.relay[r].iter().map(|c| c.bytes).sum::<u64>()
+    }
+
+    /// Total direct backlog across all destinations.
+    pub fn total_direct_backlog(&self) -> u64 {
+        self.direct
+            .iter()
+            .flat_map(|q| q.iter().map(|c| c.bytes))
+            .sum()
+    }
+
+    /// Bytes stored for relay.
+    pub fn relay_bytes(&self) -> u64 {
+        self.relay_bytes
+    }
+
+    /// Produce the next bulk packet to send on the active circuit to
+    /// `circuit_dst`. Priority: stored relay traffic (it has already paid
+    /// one hop), then direct traffic, then — if `allow_vlb` — new Valiant
+    /// traffic for a congested *other* destination, relayed via
+    /// `circuit_dst`.
+    ///
+    /// Returns `None` when nothing useful can ride this circuit.
+    pub fn next_packet(&mut self, circuit_dst: usize, allow_vlb: bool) -> Option<Packet> {
+        debug_assert_ne!(circuit_dst, self.rack);
+        if let Some(pkt) = self.pop_from_relay(circuit_dst) {
+            return Some(pkt);
+        }
+        if let Some(pkt) = self.pop_from_direct(circuit_dst) {
+            return Some(pkt);
+        }
+        if allow_vlb {
+            return self.pop_for_vlb(circuit_dst);
+        }
+        None
+    }
+
+    fn emit(params: &RotorLbParams, chunk: &mut BulkChunk, relay: Option<u32>) -> Packet {
+        let payload = chunk.bytes.min(params.payload_per_packet() as u64) as u32;
+        let seq = chunk.next_seq;
+        chunk.next_seq += 1;
+        chunk.bytes -= payload as u64;
+        Packet {
+            flow: chunk.flow,
+            src: chunk.src_host,
+            dst: chunk.dst_host,
+            size: HEADER_SIZE + payload,
+            prio: netsim::Priority::Bulk,
+            kind: PacketKind::BulkData { seq, relay },
+            hops: 0,
+        }
+    }
+
+    fn pop_from_relay(&mut self, dst: usize) -> Option<Packet> {
+        let q = &mut self.relay[dst];
+        let chunk = q.first_mut()?;
+        let pkt = Self::emit(&self.params, chunk, None);
+        self.relay_bytes -= pkt.payload() as u64;
+        if chunk.bytes == 0 {
+            q.remove(0);
+        }
+        Some(pkt)
+    }
+
+    fn pop_from_direct(&mut self, dst: usize) -> Option<Packet> {
+        let q = &mut self.direct[dst];
+        if q.is_empty() {
+            return None;
+        }
+        // Round-robin across chunks (flows) sharing this circuit.
+        let idx = self.rr_cursor % q.len();
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        let chunk = &mut q[idx];
+        let pkt = Self::emit(&self.params, chunk, None);
+        if chunk.bytes == 0 {
+            q.remove(idx);
+        }
+        Some(pkt)
+    }
+
+    /// Pick the most-backlogged other destination over the VLB threshold
+    /// and send one of its packets via `via` (first Valiant hop).
+    fn pop_for_vlb(&mut self, via: usize) -> Option<Packet> {
+        let (dst, backlog) = self
+            .direct
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r != via && r != self.rack)
+            .map(|(r, q)| (r, q.iter().map(|c| c.bytes).sum::<u64>()))
+            .max_by_key(|&(_, b)| b)?;
+        if backlog <= self.params.vlb_threshold {
+            return None;
+        }
+        let q = &mut self.direct[dst];
+        let chunk = q.first_mut()?;
+        let pkt = Self::emit(&self.params, chunk, Some(dst as u32));
+        if chunk.bytes == 0 {
+            q.remove(0);
+        }
+        Some(pkt)
+    }
+
+    /// Accept a Valiant packet stored at this rack for later relay to its
+    /// final destination. Returns `false` (and discards nothing — caller
+    /// keeps the packet conceptually in flight) when the relay store is
+    /// full; the enclosing model then treats it like a missed window and
+    /// requeues at the *source*.
+    pub fn store_relay(&mut self, pkt: &Packet, final_dst_rack: usize) -> bool {
+        let payload = pkt.payload() as u64;
+        if self.relay_bytes + payload > self.params.relay_capacity {
+            return false;
+        }
+        self.relay_bytes += payload;
+        // Coalesce consecutive packets of one flow into a chunk.
+        if let Some(last) = self.relay[final_dst_rack].last_mut() {
+            if last.flow == pkt.flow {
+                last.bytes += payload;
+                return true;
+            }
+        }
+        self.relay[final_dst_rack].push(BulkChunk {
+            flow: pkt.flow,
+            src_host: pkt.src,
+            dst_host: pkt.dst,
+            dst_rack: final_dst_rack,
+            bytes: payload,
+            next_seq: 0,
+        });
+        true
+    }
+
+    /// Return a packet that missed its transmission window (the ToR
+    /// drained its bulk queue at a reconfiguration, §4.2.2) to the front
+    /// of the appropriate queue. `dst_rack` is the rack of `pkt.dst`
+    /// (known to the caller, which owns the host→rack mapping).
+    pub fn requeue_with_rack(&mut self, pkt: &Packet, dst_rack: usize) {
+        let payload = pkt.payload() as u64;
+        if payload == 0 {
+            return;
+        }
+        let final_rack = match pkt.kind {
+            PacketKind::BulkData { relay: Some(r), .. } => r as usize,
+            PacketKind::BulkData { relay: None, .. } => dst_rack,
+            _ => return,
+        };
+        self.prepend_direct(final_rack, pkt, payload);
+    }
+
+    fn prepend_direct(&mut self, dst_rack: usize, pkt: &Packet, payload: u64) {
+        if let Some(first) = self.direct[dst_rack].first_mut() {
+            if first.flow == pkt.flow {
+                first.bytes += payload;
+                return;
+            }
+        }
+        self.direct[dst_rack].insert(
+            0,
+            BulkChunk {
+                flow: pkt.flow,
+                src_host: pkt.src,
+                dst_host: pkt.dst,
+                dst_rack,
+                bytes: payload,
+                next_seq: 0,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(flow: FlowId, dst_rack: usize, bytes: u64) -> BulkChunk {
+        BulkChunk {
+            flow,
+            src_host: 100 + flow as usize,
+            dst_host: 200 + flow as usize,
+            dst_rack,
+            bytes,
+            next_seq: 0,
+        }
+    }
+
+    #[test]
+    fn direct_drain_order_and_sizes() {
+        let mut rb = RackBulk::new(0, 4, RotorLbParams::paper_default());
+        rb.enqueue(chunk(1, 2, 3000));
+        assert_eq!(rb.pending_to(2), 3000);
+        let p1 = rb.next_packet(2, false).unwrap();
+        assert_eq!(p1.payload(), 1436);
+        let p2 = rb.next_packet(2, false).unwrap();
+        assert_eq!(p2.payload(), 1436);
+        let p3 = rb.next_packet(2, false).unwrap();
+        assert_eq!(p3.payload(), 128);
+        assert!(rb.next_packet(2, false).is_none());
+        assert_eq!(rb.pending_to(2), 0);
+        // Sequence numbers increase.
+        let seqs: Vec<u32> = [p1, p2, p3]
+            .iter()
+            .map(|p| match p.kind {
+                PacketKind::BulkData { seq, .. } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_between_flows() {
+        let mut rb = RackBulk::new(0, 4, RotorLbParams::paper_default());
+        rb.enqueue(chunk(1, 2, 10_000));
+        rb.enqueue(chunk(2, 2, 10_000));
+        let flows: Vec<FlowId> = (0..4)
+            .map(|_| rb.next_packet(2, false).unwrap().flow)
+            .collect();
+        assert!(flows.contains(&1) && flows.contains(&2));
+        // strict alternation from the rotating cursor
+        assert_ne!(flows[0], flows[1]);
+        assert_ne!(flows[1], flows[2]);
+    }
+
+    #[test]
+    fn no_vlb_below_threshold() {
+        let mut rb = RackBulk::new(0, 4, RotorLbParams::paper_default());
+        rb.enqueue(chunk(1, 2, 1000)); // small backlog to rack 2
+        assert!(
+            rb.next_packet(3, true).is_none(),
+            "small backlogs must wait for their direct circuit"
+        );
+    }
+
+    #[test]
+    fn vlb_offloads_large_backlog() {
+        let mut rb = RackBulk::new(0, 4, RotorLbParams::paper_default());
+        rb.enqueue(chunk(1, 2, 5_000_000)); // hot destination
+        let p = rb.next_packet(3, true).unwrap();
+        match p.kind {
+            PacketKind::BulkData { relay: Some(r), .. } => assert_eq!(r, 2),
+            k => panic!("expected VLB packet, got {k:?}"),
+        }
+        // Without VLB permission nothing flows to rack 3.
+        assert!(rb.next_packet(3, false).is_none());
+    }
+
+    #[test]
+    fn relay_store_and_forward() {
+        let mut rb_mid = RackBulk::new(1, 4, RotorLbParams::paper_default());
+        // A VLB packet for final rack 3 arrives at intermediate rack 1.
+        let mut src = RackBulk::new(0, 4, RotorLbParams::paper_default());
+        src.enqueue(chunk(7, 3, 5_000_000));
+        let pkt = src.next_packet(1, true).unwrap();
+        let final_rack = match pkt.kind {
+            PacketKind::BulkData { relay: Some(r), .. } => r as usize,
+            _ => unreachable!(),
+        };
+        assert!(rb_mid.store_relay(&pkt, final_rack));
+        assert_eq!(rb_mid.relay_bytes(), pkt.payload() as u64);
+        // When rack 1's circuit to rack 3 comes up, relay drains first.
+        let out = rb_mid.next_packet(3, false).unwrap();
+        assert_eq!(out.flow, 7);
+        match out.kind {
+            PacketKind::BulkData { relay, .. } => assert_eq!(relay, None),
+            _ => unreachable!(),
+        }
+        assert_eq!(rb_mid.relay_bytes(), 0);
+    }
+
+    #[test]
+    fn relay_capacity_enforced() {
+        let params = RotorLbParams {
+            relay_capacity: 1000,
+            ..RotorLbParams::paper_default()
+        };
+        let mut rb = RackBulk::new(1, 4, params);
+        let pkt = Packet::bulk(9, 100, 200, 0, 1500);
+        assert!(!rb.store_relay(&pkt, 3), "1436B > 1000B capacity");
+        assert_eq!(rb.relay_bytes(), 0);
+    }
+
+    #[test]
+    fn requeue_returns_bytes_to_front() {
+        let mut rb = RackBulk::new(0, 4, RotorLbParams::paper_default());
+        rb.enqueue(chunk(1, 2, 2872)); // 2 packets
+        let p1 = rb.next_packet(2, false).unwrap();
+        assert_eq!(rb.pending_to(2), 1436);
+        rb.requeue_with_rack(&p1, 2);
+        assert_eq!(rb.pending_to(2), 2872);
+        // Drains fully afterwards.
+        let mut total = 0;
+        while let Some(p) = rb.next_packet(2, false) {
+            total += p.payload() as u64;
+        }
+        assert_eq!(total, 2872);
+    }
+
+    #[test]
+    fn relay_priority_over_direct() {
+        let mut rb = RackBulk::new(1, 4, RotorLbParams::paper_default());
+        rb.enqueue(chunk(5, 3, 1436));
+        let vlb_pkt = Packet {
+            kind: PacketKind::BulkData {
+                seq: 0,
+                relay: Some(3),
+            },
+            ..Packet::bulk(6, 100, 200, 0, 1500)
+        };
+        assert!(rb.store_relay(&vlb_pkt, 3));
+        let first = rb.next_packet(3, false).unwrap();
+        assert_eq!(first.flow, 6, "stored relay bytes drain before direct");
+    }
+}

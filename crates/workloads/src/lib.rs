@@ -1,0 +1,16 @@
+//! `workloads` — traffic generators for the Opera evaluation.
+//!
+//! * [`dists`] — the three published empirical flow-size distributions of
+//!   Figure 1 (Datamining \[21\], Websearch \[4\], Hadoop \[39\]),
+//!   digitized as piecewise log-linear CDFs, with inverse-CDF sampling and
+//!   byte-weighted statistics,
+//! * [`gen`] — flow generators: Poisson arrivals at a target load, the
+//!   100 KB all-to-all shuffle (§5.2), host permutations, hot-rack, and
+//!   skew\[p,1\] rack subsets (§5.6), and the mixed Websearch+Shuffle
+//!   workload (§5.4).
+
+pub mod dists;
+pub mod gen;
+
+pub use dists::{FlowSizeDist, Workload};
+pub use gen::{FlowSpec, PoissonGen, ScenarioGen};

@@ -1,0 +1,66 @@
+//! Shuffle race: the paper's §5.2 scenario in miniature — an all-to-all
+//! shuffle (MapReduce-style) raced on Opera and on a cost-equivalent
+//! static expander. Opera carries every byte over zero-tax direct
+//! circuits; the expander pays the multi-hop bandwidth tax.
+//!
+//! Run with: `cargo run --release --example shuffle_race`
+
+use opera::{opera_net, static_net, OperaNetConfig, StaticNetConfig, StaticTopologyKind};
+use simkit::{SimRng, SimTime};
+use topo::expander::ExpanderParams;
+use workloads::gen::ScenarioGen;
+
+fn main() {
+    let flow_size = 100_000; // 100 KB, Facebook Hadoop's median inter-rack flow
+    let horizon = SimTime::from_ms(200);
+
+    // --- Opera: 48 racks x 4 hosts. The application tags shuffle flows
+    // as bulk (threshold 0), so everything takes direct circuits.
+    let mut cfg = OperaNetConfig::small_test();
+    cfg.params.racks = 48;
+    cfg.bulk_threshold = 0;
+    let hosts = cfg.hosts();
+    let flows = ScenarioGen::shuffle(hosts, flow_size, SimTime::ZERO);
+    println!("shuffle: {} hosts, {} flows x {} KB", hosts, flows.len(), flow_size / 1000);
+
+    let mut sim = opera_net::build(cfg, flows);
+    sim.run_until(horizon);
+    let t = sim.world.logic.tracker();
+    report("opera (direct circuits)", t);
+
+    // --- Cost-equivalent static expander: 64 racks x 3 hosts, u = 5.
+    let cfg = StaticNetConfig {
+        kind: StaticTopologyKind::Expander(ExpanderParams {
+            racks: 64,
+            uplinks: 5,
+            hosts_per_rack: 3,
+        }),
+        ..StaticNetConfig::small_expander()
+    };
+    let mut rng = SimRng::new(1);
+    let flows = ScenarioGen::shuffle_staggered(192, flow_size, SimTime::from_ms(10), &mut rng);
+    let mut sim = static_net::build(cfg, flows);
+    sim.run_until(horizon);
+    report("expander (multi-hop, taxed)", sim.world.logic.tracker());
+}
+
+fn report(label: &str, tracker: &netsim::FlowTracker) {
+    let mut fcts: Vec<f64> = tracker
+        .flows()
+        .iter()
+        .filter_map(|f| f.fct())
+        .map(|t| t.as_ms_f64())
+        .collect();
+    fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p99 = if fcts.is_empty() {
+        f64::NAN
+    } else {
+        fcts[(fcts.len() * 99 / 100).min(fcts.len() - 1)]
+    };
+    println!(
+        "{label:<30} {}/{} flows done, 99%-tile FCT {:.1} ms",
+        tracker.completed(),
+        tracker.len(),
+        p99,
+    );
+}

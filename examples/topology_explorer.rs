@@ -1,0 +1,65 @@
+//! Topology explorer: generate the paper's 108-rack Opera topology and
+//! walk through its graph-theoretic guarantees — the §3 design in numbers.
+//!
+//! Run with: `cargo run --release --example topology_explorer`
+
+use topo::matching::validate_factorization;
+use topo::opera::{OperaParams, OperaTopology};
+use topo::spectral::adjacency_spectrum;
+
+fn main() {
+    let params = OperaParams::example_648();
+    let (topo, seed) = OperaTopology::generate_validated(params, 1, 64);
+    println!(
+        "generated 648-host Opera topology (seed {seed}): {} racks, {} circuit switches,",
+        topo.racks(),
+        topo.switches()
+    );
+    println!(
+        "{} matchings per switch, {} topology slices per cycle\n",
+        topo.matchings_per_switch(),
+        topo.slices_per_cycle()
+    );
+
+    // Guarantee 1 (§3.3): the matchings factor the complete rack graph.
+    let all: Vec<_> = (0..topo.switches())
+        .flat_map(|s| (0..topo.matchings_per_switch()).map(move |p| (s, p)))
+        .map(|(s, p)| topo.matching(s, p).clone())
+        .collect();
+    validate_factorization(&all, topo.racks()).expect("disjoint complete factorization");
+    println!("[ok] the {} matchings tile every rack pair exactly once", all.len());
+
+    // Guarantee 2 (§3.1.2): every slice is a connected expander.
+    let mut worst_gap = f64::INFINITY;
+    let mut worst_diameter = 0;
+    for s in 0..topo.slices_per_cycle() {
+        let g = topo.slice(s).graph();
+        assert!(g.is_connected(), "slice {s} disconnected");
+        let stats = g.path_length_stats();
+        worst_diameter = worst_diameter.max(stats.max);
+        if s % 9 == 0 {
+            let sp = adjacency_spectrum(&g, 200, s as u64);
+            worst_gap = worst_gap.min(sp.gap());
+        }
+    }
+    println!("[ok] all {} slices connected; worst diameter {} hops", topo.slices_per_cycle(), worst_diameter);
+    println!("[ok] sampled spectral gap >= {worst_gap:.2} (expander in every slice)");
+
+    // Guarantee 3 (§3.1): every rack pair gets direct circuits each cycle.
+    let mut min_direct = usize::MAX;
+    for a in 0..topo.racks() {
+        for b in 0..topo.racks() {
+            if a != b {
+                min_direct = min_direct.min(topo.direct_slices(a, b).len());
+            }
+        }
+    }
+    println!("[ok] every rack pair has >= {min_direct} usable direct-circuit slices per cycle");
+
+    // And the ruleset this requires in a ToR (§6.2 / Table 1):
+    let rules = opera::ruleset::ruleset_for(topo.racks(), topo.switches());
+    println!(
+        "\nToR ruleset: {} entries ({:.1}% of a Tofino's rule memory)",
+        rules.entries, rules.utilization_pct
+    );
+}

@@ -1,0 +1,2 @@
+//! Opera reproduction workspace root: re-exports for examples and tests.
+pub use opera as core;

@@ -1,0 +1,226 @@
+//! Cross-crate integration tests: whole-system behaviours spanning the
+//! topology generator, packet fabric, transports, and network models.
+
+use opera::{opera_net, static_net, OperaNetConfig, RotorMode, StaticNetConfig};
+use simkit::{SimRng, SimTime};
+use workloads::dists::{FlowSizeDist, Workload};
+use workloads::gen::{PoissonGen, ScenarioGen};
+use workloads::FlowSpec;
+
+/// At light load every flow on every network completes, and Opera's
+/// low-latency FCTs are in the same range as the static networks'.
+#[test]
+fn light_load_equivalence() {
+    let window = SimTime::from_ms(2);
+    let horizon = SimTime::from_ms(120);
+
+    // Hadoop mix at 5% load on 32 hosts.
+    let flows = |hosts: usize| {
+        let mut g = PoissonGen::new(FlowSizeDist::of(Workload::Hadoop), hosts, 10.0, 0.05, 5);
+        g.flows_until(window)
+            .into_iter()
+            .filter(|f| f.size < 400_000)
+            .collect::<Vec<_>>()
+    };
+
+    let mut sim = opera_net::build(OperaNetConfig::small_test(), flows(32));
+    sim.run_until(horizon);
+    let t = sim.world.logic.tracker();
+    assert!(t.all_done(), "opera: {}/{}", t.completed(), t.len());
+    let opera_avg = avg_fct_us(t);
+
+    let mut sim = static_net::build(StaticNetConfig::small_expander(), flows(32));
+    sim.run_until(horizon);
+    let t = sim.world.logic.tracker();
+    assert!(t.all_done(), "expander: {}/{}", t.completed(), t.len());
+    let exp_avg = avg_fct_us(t);
+
+    // Same order of magnitude (paper: equivalent FCTs at low load).
+    assert!(
+        opera_avg < 5.0 * exp_avg && exp_avg < 5.0 * opera_avg,
+        "opera {opera_avg}us vs expander {exp_avg}us"
+    );
+}
+
+fn avg_fct_us(t: &netsim::FlowTracker) -> f64 {
+    let v: Vec<f64> = t.flows().iter().filter_map(|f| f.fct()).map(|x| x.as_us_f64()).collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// The full stack is deterministic: identical seeds give identical FCTs.
+#[test]
+fn full_stack_deterministic() {
+    let run = || {
+        let mut rng = SimRng::new(77);
+        let mut flows = Vec::new();
+        for _ in 0..30 {
+            let src = rng.index(32);
+            let mut dst = rng.index(31);
+            if dst >= src {
+                dst += 1;
+            }
+            flows.push(FlowSpec {
+                src,
+                dst,
+                size: 1000 + rng.below(800_000),
+                start: SimTime::from_us(rng.below(400)),
+            });
+        }
+        let mut sim = opera_net::build(OperaNetConfig::small_test(), flows);
+        sim.run_until(SimTime::from_ms(80));
+        sim.world
+            .logic
+            .tracker()
+            .flows()
+            .iter()
+            .map(|f| f.fct().map(|t| t.as_ns()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Bulk traffic pays (nearly) zero bandwidth tax: the bytes put on inter-
+/// rack links by a bulk flow are within a few percent of the flow size,
+/// while a low-latency flow pays the multi-hop tax.
+#[test]
+fn bulk_traffic_is_tax_free() {
+    // One 2MB bulk flow: packets traverse exactly one inter-rack circuit,
+    // so ToR-to-ToR deliveries ≈ packet count, not path_len × packets.
+    let mut cfg = OperaNetConfig::small_test();
+    cfg.bulk_threshold = 0;
+    let flows = vec![FlowSpec {
+        src: 0,
+        dst: 31,
+        size: 2_000_000,
+        start: SimTime::ZERO,
+    }];
+    let mut sim = opera_net::build(cfg, flows);
+    // Meter only data-plane packets: silence the hello protocol.
+    sim.world.logic.set_hello_enabled(false);
+    sim.run_until(SimTime::from_ms(60));
+    let t = sim.world.logic.tracker();
+    assert!(t.all_done());
+    // Each data packet is delivered: host->ToR, ToR->ToR (possibly 2 for
+    // VLB), ToR->host = 3..4 fabric deliveries. A taxed path would be 5+.
+    let packets = 2_000_000 / 1436 + 1;
+    let deliveries = sim.world.fabric.counters.delivered;
+    let per_packet = deliveries as f64 / packets as f64;
+    assert!(
+        per_packet < 4.5,
+        "bulk bytes look taxed: {per_packet:.2} deliveries/packet"
+    );
+}
+
+/// RotorNet (non-hybrid) completes the same shuffle as Opera — the bulk
+/// plane is shared machinery — but strands short flows for circuit waits.
+#[test]
+fn rotornet_shares_bulk_plane() {
+    let shuffle = ScenarioGen::shuffle(16, 50_000, SimTime::ZERO);
+    for mode in [RotorMode::Opera, RotorMode::RotorNonHybrid] {
+        let mut cfg = OperaNetConfig::small_test();
+        cfg.params.racks = 4;
+        cfg.mode = mode;
+        cfg.bulk_threshold = 0;
+        let mut sim = opera_net::build(cfg, shuffle.clone());
+        sim.run_until(SimTime::from_ms(120));
+        let t = sim.world.logic.tracker();
+        assert!(
+            t.all_done(),
+            "{mode:?}: {}/{} done, counters {:?}",
+            t.completed(),
+            t.len(),
+            sim.world.logic.counters
+        );
+    }
+}
+
+/// Clos, expander, and Opera all deliver a Websearch-style flow mix with
+/// zero unexplained packet loss.
+#[test]
+fn no_unexplained_loss_across_networks() {
+    let mk_flows = |hosts: usize| {
+        let mut g = PoissonGen::new(FlowSizeDist::of(Workload::Websearch), hosts, 10.0, 0.03, 9);
+        g.flows_until(SimTime::from_ms(1))
+    };
+    // Opera
+    let mut cfg = OperaNetConfig::small_test();
+    cfg.bulk_threshold = u64::MAX;
+    let mut sim = opera_net::build(cfg, mk_flows(32));
+    sim.run_until(SimTime::from_ms(150));
+    assert!(sim.world.logic.tracker().all_done());
+    assert_eq!(sim.world.logic.counters.hop_limit_drops, 0);
+
+    // Static nets
+    for cfg in [StaticNetConfig::small_expander(), StaticNetConfig::paper_clos_648()] {
+        let hosts = match &cfg.kind {
+            opera::StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,
+            opera::StaticTopologyKind::FoldedClos(p) => p.hosts(),
+        };
+        let mut sim = static_net::build(cfg, mk_flows(hosts.min(64)));
+        sim.run_until(SimTime::from_ms(150));
+        let t = sim.world.logic.tracker();
+        assert!(t.all_done(), "{}/{}", t.completed(), t.len());
+        assert_eq!(sim.world.logic.routing_drops, 0);
+    }
+}
+
+/// NDP's trimming + NACK + RTO machinery recovers from random physical
+/// loss: flows complete even when 2% of all transmissions are corrupted.
+#[test]
+fn ndp_survives_random_loss() {
+    let mut cfg = OperaNetConfig::small_test();
+    cfg.bulk_threshold = u64::MAX; // all NDP
+    let mut flows = Vec::new();
+    let mut rng = SimRng::new(31);
+    for _ in 0..15 {
+        let src = rng.index(32);
+        let mut dst = rng.index(31);
+        if dst >= src {
+            dst += 1;
+        }
+        flows.push(FlowSpec {
+            src,
+            dst,
+            size: 40_000,
+            start: SimTime::from_us(rng.below(300)),
+        });
+    }
+    let mut sim = opera_net::build(cfg, flows);
+    sim.world.fabric.set_random_loss(0.02, 5);
+    sim.run_until(SimTime::from_ms(150));
+    let t = sim.world.logic.tracker();
+    assert!(
+        t.all_done(),
+        "flows lost to corruption: {}/{}",
+        t.completed(),
+        t.len()
+    );
+}
+
+/// The flow-level Opera model and the packet simulation agree on the
+/// direction of the headline result: Opera's bulk plane beats its own
+/// low-latency plane for all-to-all traffic.
+#[test]
+fn flow_model_and_packet_sim_agree_on_shuffle_win() {
+    use flowsim::opera_model;
+    use topo::opera::{OperaParams, OperaTopology};
+
+    let topo = OperaTopology::generate(
+        OperaParams {
+            racks: 24,
+            uplinks: 4,
+            hosts_per_rack: 4,
+            groups: 1,
+        },
+        3,
+    );
+    let demands = ScenarioGen::all_to_all_demands(24, 4, 10.0, 1.0);
+    let direct = opera_model(&topo, &demands, 10.0, 0.98, true).throughput_fraction();
+    // Indirect (expander) service of the same demand pays ~3x tax with
+    // only u-1 usable uplinks: bounded by (u-1)/d / avg_path.
+    let taxed_bound = 3.0 / (4.0 * 2.2);
+    assert!(
+        direct > taxed_bound,
+        "direct {direct:.3} should beat taxed bound {taxed_bound:.3}"
+    );
+}

@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the core invariants the design
+//! rests on: factorization completeness, slice-schedule correctness,
+//! solver feasibility, transport delivery, and statistics sanity.
+
+use proptest::prelude::*;
+use simkit::stats::Samples;
+use simkit::SimRng;
+use topo::matching::{factorize_complete, validate_factorization};
+use topo::opera::{OperaParams, OperaTopology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random factorizations are complete and disjoint for any rack count.
+    #[test]
+    fn factorization_invariants(n in 2usize..80, seed in 0u64..1000) {
+        let mut rng = SimRng::new(seed);
+        let ms = factorize_complete(n, &mut rng);
+        prop_assert!(validate_factorization(&ms, n).is_ok());
+    }
+
+    /// The slice schedule visits every matching of every switch exactly
+    /// once per cycle, for arbitrary (divisible) parameters.
+    #[test]
+    fn schedule_visits_everything(
+        u in 2usize..6,
+        mult in 2usize..8,
+        groups_pow in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let groups = if u % 2 == 0 && groups_pow == 1 { 2 } else { 1 };
+        let params = OperaParams {
+            racks: u * mult,
+            uplinks: u,
+            hosts_per_rack: 2,
+            groups,
+        };
+        let topo = OperaTopology::generate(params, seed);
+        for j in 0..topo.switches() {
+            let mut seen = vec![0usize; topo.matchings_per_switch()];
+            for s in 0..topo.slices_per_cycle() {
+                seen[topo.position_at(j, s)] += 1;
+            }
+            // Every matching appears, equally often.
+            let expect = topo.slices_per_cycle() / topo.matchings_per_switch();
+            prop_assert!(seen.iter().all(|&c| c == expect));
+        }
+    }
+
+    /// Every rack pair gets at least one usable direct slice per cycle.
+    #[test]
+    fn direct_circuits_complete(mult in 2usize..6, seed in 0u64..200) {
+        let u = 4;
+        let params = OperaParams { racks: u * mult, uplinks: u, hosts_per_rack: 2, groups: 1 };
+        let topo = OperaTopology::generate(params, seed);
+        for a in 0..topo.racks() {
+            for b in 0..topo.racks() {
+                if a != b {
+                    prop_assert!(!topo.direct_slices(a, b).is_empty());
+                }
+            }
+        }
+    }
+
+    /// Max-min allocations never violate capacities and are Pareto
+    /// efficient on the bottleneck.
+    #[test]
+    fn max_min_feasible(
+        caps in prop::collection::vec(1.0f64..100.0, 2..8),
+        nflows in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut inst = flowsim::Instance::new();
+        for &c in &caps {
+            inst.add_link(c);
+        }
+        for _ in 0..nflows {
+            let len = 1 + rng.index(caps.len());
+            let mut route = Vec::new();
+            for _ in 0..len {
+                route.push((rng.index(caps.len()), 1.0));
+            }
+            inst.add_flow(route, f64::INFINITY);
+        }
+        let rates = flowsim::max_min_rates(&inst);
+        let rem = inst.residual(&rates);
+        // Feasible:
+        for (l, &r) in rem.iter().enumerate() {
+            prop_assert!(r >= -1e-6, "link {l} oversubscribed by {r}");
+        }
+        // Non-trivial: at least one link saturated (flows exist).
+        prop_assert!(rem.iter().any(|&r| r < 1e-6));
+        // All rates positive.
+        prop_assert!(rates.iter().all(|&x| x > 0.0));
+    }
+
+    /// Quantiles of a sample set are always actual sample values and
+    /// ordered in q.
+    #[test]
+    fn quantiles_ordered(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Samples::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let q25 = s.quantile(0.25).unwrap();
+        let q50 = s.quantile(0.5).unwrap();
+        let q99 = s.quantile(0.99).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q99);
+        prop_assert!(values.contains(&q50));
+    }
+
+    /// NDP delivers flows of arbitrary size between two hosts with exact
+    /// byte accounting.
+    #[test]
+    fn ndp_delivers_any_size(size in 1u64..3_000_000, seed in 0u64..100) {
+        use netsim::fabric::{Fabric, LinkSpec, QueueConfig};
+        use netsim::{NetLogic, NetWorld, FlowTracker, Packet};
+        use simkit::engine::EventContext;
+        use simkit::{SimTime, Simulator};
+        use transport::{NdpHost, NdpParams, NdpTimer};
+
+        struct Pair {
+            hosts: Vec<NdpHost>,
+            tracker: FlowTracker,
+            size: u64,
+            started: bool,
+        }
+        impl Pair {
+            fn apply(&mut self, host: usize, actions: transport::NdpActions,
+                     ctx: &mut EventContext<'_, netsim::NetEvent>) {
+                for (at, which) in actions.timers {
+                    let token = match which {
+                        NdpTimer::PullPacer => (host as u64) << 32,
+                        NdpTimer::Rto(f) => 1 << 60 | (host as u64) << 32 | f as u64,
+                    };
+                    ctx.schedule_at(at, netsim::NetEvent::Timer { token });
+                }
+            }
+        }
+        impl NetLogic for Pair {
+            fn on_arrive(&mut self, fabric: &mut Fabric,
+                         ctx: &mut EventContext<'_, netsim::NetEvent>,
+                         node: usize, _port: usize, packet: Packet) {
+                let a = self.hosts[node].on_packet(fabric, ctx, &mut self.tracker, packet);
+                self.apply(node, a, ctx);
+            }
+            fn on_timer(&mut self, fabric: &mut Fabric,
+                        ctx: &mut EventContext<'_, netsim::NetEvent>, token: u64) {
+                if token == 0 {
+                    if !self.started {
+                        self.started = true;
+                        let id = self.tracker.register(0, 1, self.size,
+                            netsim::FlowClass::LowLatency, ctx.now());
+                        let a = self.hosts[0].start_flow(fabric, ctx, id, 1, self.size);
+                        self.apply(0, a, ctx);
+                    }
+                    return;
+                }
+                let host = (token >> 32 & 0xFFF_FFFF) as usize;
+                let which = if token >> 60 == 1 {
+                    NdpTimer::Rto((token & 0xFFFF_FFFF) as u32)
+                } else {
+                    NdpTimer::PullPacer
+                };
+                let a = self.hosts[host].on_timer(fabric, ctx, which);
+                self.apply(host, a, ctx);
+            }
+        }
+
+        let mut fabric = Fabric::new();
+        let a = fabric.add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
+        let b = fabric.add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
+        fabric.connect(a, 0, b, 0);
+        let _ = seed;
+        let logic = Pair {
+            hosts: vec![
+                NdpHost::new(a, 0, NdpParams::paper_default()),
+                NdpHost::new(b, 0, NdpParams::paper_default()),
+            ],
+            tracker: FlowTracker::new(),
+            size,
+            started: false,
+        };
+        let mut sim = Simulator::new(NetWorld::new(fabric, logic));
+        sim.schedule_at(SimTime::ZERO, netsim::NetEvent::Timer { token: 0 });
+        sim.run_until(SimTime::from_ms(50));
+        prop_assert!(sim.world.logic.tracker.all_done());
+        prop_assert!(sim.world.logic.tracker.get(0).received >= size);
+    }
+}
