@@ -4,9 +4,9 @@
 //! spectral analysis.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
 use simkit::engine::{EventContext, EventHandler, Simulator};
 use simkit::{SimRng, SimTime};
+use std::time::Duration;
 
 struct Ticker {
     remaining: u64,

@@ -23,9 +23,9 @@ fn main() {
 }
 
 /// 1. With offset reconfiguration at most one switch is down and the
-/// remaining u−1 matchings keep the network connected; simultaneous
-/// reconfiguration leaves *zero* circuits during every reconfiguration
-/// window — connectivity drops to nothing r/slice of the time.
+///    remaining u−1 matchings keep the network connected; simultaneous
+///    reconfiguration leaves *zero* circuits during every reconfiguration
+///    window — connectivity drops to nothing r/slice of the time.
 fn ablate_offset() {
     let t = SliceTiming::paper_default();
     let params = OperaParams::example_648();
@@ -42,7 +42,8 @@ fn ablate_offset() {
     println!("offset,{offset_up:.4},none (expander always available)");
     println!(
         "simultaneous,{simultaneous_up:.4},whole-network outage every slice ({} of {})",
-        t.reconfig, t.slice()
+        t.reconfig,
+        t.slice()
     );
     println!();
 }

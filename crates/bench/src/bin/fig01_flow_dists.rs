@@ -11,7 +11,9 @@ fn main() {
         println!("size_bytes,cdf_flows,cdf_bytes");
         // Byte CDF at x = fraction of bytes in flows of size <= x.
         let n = 4000;
-        let total: f64 = (0..n).map(|i| d.quantile((i as f64 + 0.5) / n as f64)).sum();
+        let total: f64 = (0..n)
+            .map(|i| d.quantile((i as f64 + 0.5) / n as f64))
+            .sum();
         for &s in &sizes {
             let flows = d.cdf(s);
             let bytes: f64 = (0..n)

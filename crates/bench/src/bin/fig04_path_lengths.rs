@@ -31,7 +31,13 @@ fn main() {
     let (opera, seed) = OperaTopology::generate_validated(OperaParams::example_648(), 1, 64);
     let mut hist = vec![0u64; 12];
     for s in 0..opera.slices_per_cycle() {
-        for (l, &c) in opera.slice(s).graph().path_length_histogram().iter().enumerate() {
+        for (l, &c) in opera
+            .slice(s)
+            .graph()
+            .path_length_histogram()
+            .iter()
+            .enumerate()
+        {
             hist[l] += c;
         }
     }

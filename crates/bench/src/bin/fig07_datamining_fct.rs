@@ -14,7 +14,13 @@ use workloads::gen::PoissonGen;
 use workloads::FlowSpec;
 
 fn gen_flows(hosts: usize, load: f64, window: SimTime, seed: u64) -> Vec<FlowSpec> {
-    let mut g = PoissonGen::new(FlowSizeDist::of(Workload::Datamining), hosts, 10.0, load, seed);
+    let mut g = PoissonGen::new(
+        FlowSizeDist::of(Workload::Datamining),
+        hosts,
+        10.0,
+        load,
+        seed,
+    );
     g.flows_until(window)
 }
 
@@ -30,7 +36,11 @@ fn main() {
     println!("# Figure 7: Datamining FCTs (arrival window {window}, horizon {run_until})");
     for &load in &loads {
         // --- Opera ---
-        let cfg = if full { PaperTrio::opera() } else { MiniTrio::opera() };
+        let cfg = if full {
+            PaperTrio::opera()
+        } else {
+            MiniTrio::opera()
+        };
         let flows = gen_flows(cfg.hosts(), load, window, 42);
         let nflows = flows.len();
         let mut sim = opera_net::build(cfg, flows);
@@ -47,7 +57,11 @@ fn main() {
         );
 
         // --- RotorNet (non-hybrid) ---
-        let mut cfg = if full { PaperTrio::opera() } else { MiniTrio::opera() };
+        let mut cfg = if full {
+            PaperTrio::opera()
+        } else {
+            MiniTrio::opera()
+        };
         cfg.mode = RotorMode::RotorNonHybrid;
         let flows = gen_flows(cfg.hosts(), load, window, 42);
         let mut sim = opera_net::build(cfg, flows);
@@ -59,21 +73,42 @@ fn main() {
         );
 
         // --- RotorNet (hybrid, +33% cost) ---
-        let mut cfg = if full { PaperTrio::opera() } else { MiniTrio::opera() };
+        let mut cfg = if full {
+            PaperTrio::opera()
+        } else {
+            MiniTrio::opera()
+        };
         cfg.mode = RotorMode::RotorHybrid;
         let flows = gen_flows(cfg.hosts(), load, window, 42);
         let mut sim = opera_net::build(cfg, flows);
         sim.run_until(run_until);
         let t = sim.world.logic.tracker();
         print_fct_table(
-            &format!("rotornet-hybrid(+33%cost) load={load} ({} done)", t.completed()),
+            &format!(
+                "rotornet-hybrid(+33%cost) load={load} ({} done)",
+                t.completed()
+            ),
             &FctStats::from_tracker(t, &FctStats::default_edges()),
         );
 
         // --- static expander & Clos ---
         for (name, cfg) in [
-            ("expander", if full { PaperTrio::expander() } else { MiniTrio::expander() }),
-            ("folded-clos", if full { PaperTrio::clos() } else { MiniTrio::clos() }),
+            (
+                "expander",
+                if full {
+                    PaperTrio::expander()
+                } else {
+                    MiniTrio::expander()
+                },
+            ),
+            (
+                "folded-clos",
+                if full {
+                    PaperTrio::clos()
+                } else {
+                    MiniTrio::clos()
+                },
+            ),
         ] {
             let hosts = match &cfg.kind {
                 opera::StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,

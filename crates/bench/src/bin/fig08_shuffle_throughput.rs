@@ -35,7 +35,9 @@ fn p99_ms(tracker: &netsim::FlowTracker) -> f64 {
         return f64::NAN;
     }
     fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    fcts[(fcts.len() * 99 / 100).saturating_sub(1).min(fcts.len() - 1)]
+    fcts[(fcts.len() * 99 / 100)
+        .saturating_sub(1)
+        .min(fcts.len() - 1)]
 }
 
 fn print_series(label: &str, series: &[(SimTime, f64)], hosts: usize) {
@@ -58,7 +60,11 @@ fn main() {
     println!("# Figure 8: 100KB all-to-all shuffle, throughput vs time");
 
     // --- Opera: all flows tagged bulk, all start together ---
-    let mut cfg = if full { PaperTrio::opera() } else { MiniTrio::opera() };
+    let mut cfg = if full {
+        PaperTrio::opera()
+    } else {
+        MiniTrio::opera()
+    };
     cfg.bulk_threshold = 0; // application tags everything bulk
     let hosts = cfg.hosts();
     let flows = ScenarioGen::shuffle(hosts, flow_size, SimTime::ZERO);
@@ -76,8 +82,22 @@ fn main() {
 
     // --- static networks: staggered starts over 10 ms ---
     for (name, cfg) in [
-        ("expander", if full { PaperTrio::expander() } else { MiniTrio::expander() }),
-        ("folded-clos", if full { PaperTrio::clos() } else { MiniTrio::clos() }),
+        (
+            "expander",
+            if full {
+                PaperTrio::expander()
+            } else {
+                MiniTrio::expander()
+            },
+        ),
+        (
+            "folded-clos",
+            if full {
+                PaperTrio::clos()
+            } else {
+                MiniTrio::clos()
+            },
+        ),
     ] {
         let hosts = match &cfg.kind {
             opera::StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,

@@ -11,7 +11,13 @@ use workloads::gen::PoissonGen;
 use workloads::FlowSpec;
 
 fn gen_flows(hosts: usize, load: f64, window: SimTime, seed: u64) -> Vec<FlowSpec> {
-    let mut g = PoissonGen::new(FlowSizeDist::of(Workload::Websearch), hosts, 10.0, load, seed);
+    let mut g = PoissonGen::new(
+        FlowSizeDist::of(Workload::Websearch),
+        hosts,
+        10.0,
+        load,
+        seed,
+    );
     g.flows_until(window)
 }
 
@@ -26,7 +32,11 @@ fn main() {
 
     println!("# Figure 9: Websearch FCTs (all flows low-latency in Opera)");
     for &load in &loads {
-        let mut cfg = if full { PaperTrio::opera() } else { MiniTrio::opera() };
+        let mut cfg = if full {
+            PaperTrio::opera()
+        } else {
+            MiniTrio::opera()
+        };
         // Figure 9's premise: every Websearch flow sits below the bulk
         // threshold (15 MB at paper scale) and rides indirect paths.
         cfg.bulk_threshold = 20_000_000;
@@ -41,8 +51,22 @@ fn main() {
         );
 
         for (name, cfg) in [
-            ("expander", if full { PaperTrio::expander() } else { MiniTrio::expander() }),
-            ("folded-clos", if full { PaperTrio::clos() } else { MiniTrio::clos() }),
+            (
+                "expander",
+                if full {
+                    PaperTrio::expander()
+                } else {
+                    MiniTrio::expander()
+                },
+            ),
+            (
+                "folded-clos",
+                if full {
+                    PaperTrio::clos()
+                } else {
+                    MiniTrio::clos()
+                },
+            ),
         ] {
             let hosts = match &cfg.kind {
                 opera::StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,

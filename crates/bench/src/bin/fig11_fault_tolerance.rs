@@ -7,7 +7,10 @@ use topo::failures::{analyze_opera, opera_link_domain, FailureSet};
 use topo::opera::{OperaParams, OperaTopology};
 
 fn main() {
-    let mini = !matches!(std::env::var("OPERA_SCALE").as_deref(), Ok("full") | Ok("FULL"));
+    let mini = !matches!(
+        std::env::var("OPERA_SCALE").as_deref(),
+        Ok("full") | Ok("FULL")
+    );
     let params = if mini {
         // Same structure, fewer racks so the slice sweep stays fast.
         OperaParams {
@@ -24,7 +27,10 @@ fn main() {
     let mut rng = SimRng::new(11);
     let fractions = [0.01, 0.025, 0.05, 0.10, 0.20, 0.40];
 
-    println!("# Figure 11: Opera connectivity loss under failures ({} racks)", params.racks);
+    println!(
+        "# Figure 11: Opera connectivity loss under failures ({} racks)",
+        params.racks
+    );
     for (label, kind) in [("links", 0usize), ("tors", 1), ("switches", 2)] {
         println!("failure_kind,{label}");
         println!("fraction,worst_slice_loss,all_slices_loss");

@@ -4,7 +4,10 @@
 //! paper shows has nearly identical performance-cost scaling (Appendix C).
 
 fn main() {
-    let k = if matches!(std::env::var("OPERA_SCALE").as_deref(), Ok("full") | Ok("FULL")) {
+    let k = if matches!(
+        std::env::var("OPERA_SCALE").as_deref(),
+        Ok("full") | Ok("FULL")
+    ) {
         24
     } else {
         12

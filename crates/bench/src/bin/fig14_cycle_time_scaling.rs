@@ -20,9 +20,7 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "# k=64-class network: grouped cycle grows ~6x from k=12 (paper: 'factor of 6'),"
-    );
+    println!("# k=64-class network: grouped cycle grows ~6x from k=12 (paper: 'factor of 6'),");
     println!(
         "# bulk threshold scales accordingly: {:.0} MB at k=60 grouped vs {:.0} MB at k=12",
         t.bulk_threshold_bytes(cycle_slices_grouped(60, 6), 10.0) as f64 / 1e6,

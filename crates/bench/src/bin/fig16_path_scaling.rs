@@ -6,12 +6,22 @@ use topo::expander::{ExpanderParams, ExpanderTopology};
 use topo::opera::{OperaParams, OperaTopology};
 
 fn main() {
-    let full = matches!(std::env::var("OPERA_SCALE").as_deref(), Ok("full") | Ok("FULL"));
-    let ks: Vec<usize> = if full { vec![12, 24, 36, 48] } else { vec![12, 24] };
+    let full = matches!(
+        std::env::var("OPERA_SCALE").as_deref(),
+        Ok("full") | Ok("FULL")
+    );
+    let ks: Vec<usize> = if full {
+        vec![12, 24, 36, 48]
+    } else {
+        vec![12, 24]
+    };
     let alphas = [1.0, 1.4, 2.0, 3.0];
 
     println!("# Figure 16: average path length vs ToR radix");
-    println!("k,hosts,opera_avg,opera_max,{}", alphas.map(|a| format!("exp_a{a}")).join(","));
+    println!(
+        "k,hosts,opera_avg,opera_max,{}",
+        alphas.map(|a| format!("exp_a{a}")).join(",")
+    );
     for &k in &ks {
         let racks = 3 * k * k / 4;
         let hosts = racks * k / 2;

@@ -5,7 +5,10 @@ use opera::ruleset::{ruleset_for, table1_rows};
 
 fn main() {
     println!("# Table 1: Opera ruleset sizes");
-    println!("{:>8} {:>8} {:>12} {:>12}", "racks", "uplinks", "entries", "util_%");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12}",
+        "racks", "uplinks", "entries", "util_%"
+    );
     for (racks, uplinks) in table1_rows() {
         let r = ruleset_for(racks, uplinks);
         println!(

@@ -72,4 +72,3 @@ pub fn run(k: usize) {
     let o = opera_model(&opera, &a2a, rate, duty, true).throughput_fraction();
     println!("all_to_all,opera,{}", f(o));
 }
-

@@ -33,6 +33,8 @@ pub mod mcf;
 pub mod models;
 pub mod solver;
 
-pub use models::{clos_throughput, expander_model, graph_model, opera_model, Demand, ModelResult, Routing};
 pub use mcf::{max_concurrent_flow, McfResult};
+pub use models::{
+    clos_throughput, expander_model, graph_model, opera_model, Demand, ModelResult, Routing,
+};
 pub use solver::{max_min_rates, Instance};

@@ -78,8 +78,8 @@ pub fn max_concurrent_flow(
     let n = g.len();
     let mut edge_offset = vec![0usize; n];
     let mut total_edges = 0;
-    for v in 0..n {
-        edge_offset[v] = total_edges;
+    for (v, off) in edge_offset.iter_mut().enumerate() {
+        *off = total_edges;
         total_edges += g.degree(v);
     }
     if total_edges == 0 || demands.is_empty() {
@@ -114,10 +114,7 @@ pub fn max_concurrent_flow(
     }
 
     // Scale to fit: each demand has routed `phases * amount` total.
-    let worst = load
-        .iter()
-        .map(|&l| l / link_rate)
-        .fold(0.0f64, f64::max);
+    let worst = load.iter().map(|&l| l / link_rate).fold(0.0f64, f64::max);
     let mut lambda = if worst > 0.0 {
         phases as f64 / worst
     } else {

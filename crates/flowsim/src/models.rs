@@ -198,8 +198,8 @@ pub fn graph_model(
     // Directed graph edges.
     let mut edge_offset = vec![0usize; g.len()];
     let mut next = 0;
-    for v in 0..g.len() {
-        edge_offset[v] = next;
+    for (v, off) in edge_offset.iter_mut().enumerate() {
+        *off = next;
         next += g.degree(v);
     }
     for _ in 0..next {
@@ -509,8 +509,8 @@ mod tests {
         let g = t.graph();
         let mut edge_offset = vec![0usize; g.len()];
         let mut next = 0;
-        for v in 0..g.len() {
-            edge_offset[v] = next;
+        for (v, off) in edge_offset.iter_mut().enumerate() {
+            *off = next;
             next += g.degree(v);
         }
         let loads = ecmp_loads(g, &edge_offset, 0, 13);

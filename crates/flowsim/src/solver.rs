@@ -98,8 +98,8 @@ pub fn max_min_rates(inst: &Instance) -> Vec<f64> {
         // Load per link from unfrozen flows.
         let mut load = vec![0.0; inst.links()];
         let mut any = false;
-        for f in 0..nf {
-            if frozen[f] {
+        for (f, &is_frozen) in frozen.iter().enumerate() {
+            if is_frozen {
                 continue;
             }
             any = true;
@@ -143,8 +143,7 @@ pub fn max_min_rates(inst: &Instance) -> Vec<f64> {
             if frozen[f] {
                 continue;
             }
-            let at_ceiling =
-                inst.ceilings[f].is_finite() && rates[f] + EPS >= inst.ceilings[f];
+            let at_ceiling = inst.ceilings[f].is_finite() && rates[f] + EPS >= inst.ceilings[f];
             let at_bottleneck = inst.routes[f]
                 .iter()
                 .any(|&(l, w)| w > EPS && rem[l] <= 1e-9);

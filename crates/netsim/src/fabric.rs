@@ -532,9 +532,7 @@ mod tests {
                         let pkt = Packet::data(0, 0, 1, 0, MTU);
                         self.fabric.send(ctx, 0, 0, pkt);
                     }
-                    NetEvent::PortFree { node, port } => {
-                        self.fabric.on_port_free(ctx, node, port)
-                    }
+                    NetEvent::PortFree { node, port } => self.fabric.on_port_free(ctx, node, port),
                     NetEvent::Arrive { .. } => panic!("nothing should arrive"),
                 }
             }
@@ -651,7 +649,10 @@ mod tests {
         sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
         sim.run();
         let got = sim.world.inner.arrivals.len();
-        assert!((240..=360).contains(&got), "arrivals {got} of 400 at p=0.25");
+        assert!(
+            (240..=360).contains(&got),
+            "arrivals {got} of 400 at p=0.25"
+        );
         assert_eq!(
             sim.world.inner.fabric.counters.failed_drops as usize,
             400 - got
@@ -679,9 +680,7 @@ mod tests {
                         // One is serializing; four are queued. Drain them.
                         self.drained = self.fabric.drain_bulk(0, 0).len();
                     }
-                    NetEvent::PortFree { node, port } => {
-                        self.fabric.on_port_free(ctx, node, port)
-                    }
+                    NetEvent::PortFree { node, port } => self.fabric.on_port_free(ctx, node, port),
                     _ => {}
                 }
             }

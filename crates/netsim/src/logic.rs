@@ -55,7 +55,8 @@ impl<L: NetLogic> EventHandler for NetWorld<L> {
     fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
         match ev {
             NetEvent::Arrive { node, port, packet } => {
-                self.logic.on_arrive(&mut self.fabric, ctx, node, port, packet);
+                self.logic
+                    .on_arrive(&mut self.fabric, ctx, node, port, packet);
             }
             NetEvent::PortFree { node, port } => {
                 self.fabric.on_port_free(ctx, node, port);
@@ -88,12 +89,7 @@ mod tests {
             packet: Packet,
         ) {
             if node == 1 {
-                let reply = Packet::control(
-                    packet.flow,
-                    1,
-                    packet.src,
-                    PacketKind::Ack { seq: 0 },
-                );
+                let reply = Packet::control(packet.flow, 1, packet.src, PacketKind::Ack { seq: 0 });
                 fabric.send(ctx, 1, 0, reply);
             } else {
                 self.got_at_0.push(packet);

@@ -31,20 +31,42 @@ pub const PRIORITY_LEVELS: usize = 3;
 pub enum PacketKind {
     /// NDP data segment `seq` of its flow. `trimmed` means the payload was
     /// cut at an overloaded queue and only the header is in flight.
-    Data { seq: u32, trimmed: bool },
+    Data {
+        /// Sequence number of this segment within its flow.
+        seq: u32,
+        /// The payload was cut at an overloaded queue; only the header flies.
+        trimmed: bool,
+    },
     /// NDP acknowledgment of segment `seq`.
-    Ack { seq: u32 },
+    Ack {
+        /// Acknowledged segment sequence number.
+        seq: u32,
+    },
     /// NDP negative acknowledgment of segment `seq` (generated from a
     /// trimmed header at the receiver).
-    Nack { seq: u32 },
+    Nack {
+        /// Negatively acknowledged segment sequence number.
+        seq: u32,
+    },
     /// NDP pull: receiver-paced credit for one more data packet.
-    Pull { count: u32 },
+    Pull {
+        /// Cumulative pull counter pacing the sender.
+        count: u32,
+    },
     /// RotorLB bulk data segment. `relay` is `Some(final_rack)` while the
     /// packet is on the first hop of a two-hop Valiant path.
-    BulkData { seq: u32, relay: Option<u32> },
+    BulkData {
+        /// Sequence number of this bulk segment within its flow.
+        seq: u32,
+        /// `Some(final_rack)` on the first hop of a two-hop Valiant path.
+        relay: Option<u32>,
+    },
     /// RotorLB bulk NACK: ToR could not forward the segment within its
     /// transmission window (§4.2.2); sender must requeue it.
-    BulkNack { seq: u32 },
+    BulkNack {
+        /// Sequence number the sender must requeue.
+        seq: u32,
+    },
     /// Fault-detection hello exchanged when a new circuit is established
     /// (§3.6.2).
     Hello,
@@ -81,7 +103,10 @@ impl Packet {
             dst,
             size,
             prio: Priority::LowLatency,
-            kind: PacketKind::Data { seq, trimmed: false },
+            kind: PacketKind::Data {
+                seq,
+                trimmed: false,
+            },
             hops: 0,
         }
     }

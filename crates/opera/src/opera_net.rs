@@ -279,7 +279,12 @@ impl OperaLogic {
     fn wire_switch(&self, fabric: &mut Fabric, j: usize, position: usize) {
         let m = self.topo.matching(j, position);
         for (a, b) in m.pairs() {
-            fabric.rewire(self.tor_node(a), self.up_port(j), self.tor_node(b), self.up_port(j));
+            fabric.rewire(
+                self.tor_node(a),
+                self.up_port(j),
+                self.tor_node(b),
+                self.up_port(j),
+            );
         }
         // Self-paired racks' ports stay dark (disconnect happened earlier).
     }
@@ -309,10 +314,20 @@ impl OperaLogic {
         }
         // This slice's reconfiguring group goes dark ε from now (r before
         // the next boundary).
-        ctx.schedule_in(self.cfg.timing.epsilon, NetEvent::Timer { token: encode(Token::Dark) });
+        ctx.schedule_in(
+            self.cfg.timing.epsilon,
+            NetEvent::Timer {
+                token: encode(Token::Dark),
+            },
+        );
         self.start_feeders(fabric, ctx);
         if self.horizon == SimTime::ZERO || ctx.now() < self.horizon {
-            ctx.schedule_in(self.cfg.timing.slice(), NetEvent::Timer { token: encode(Token::SliceBoundary) });
+            ctx.schedule_in(
+                self.cfg.timing.slice(),
+                NetEvent::Timer {
+                    token: encode(Token::SliceBoundary),
+                },
+            );
         }
     }
 
@@ -362,7 +377,9 @@ impl OperaLogic {
                 self.hello_pending[fi] = true;
                 ctx.schedule_at(
                     ctx.now() + self.hello_timeout(),
-                    NetEvent::Timer { token: encode(Token::HelloCheck(peer, j)) },
+                    NetEvent::Timer {
+                        token: encode(Token::HelloCheck(peer, j)),
+                    },
                 );
             }
         }
@@ -381,7 +398,9 @@ impl OperaLogic {
         // A hello from a link previously marked bad proves it healthy
         // again (e.g. a false positive from corrupted hello frames, or a
         // repaired transceiver): restore it.
-        let m = self.topo.matching(uplink, self.topo.position_at(uplink, self.slice));
+        let m = self
+            .topo
+            .matching(uplink, self.topo.position_at(uplink, self.slice));
         let partner = m.partner(rack);
         if let Some(pos) = self.bad_links.iter().position(|&b| b == (partner, uplink)) {
             self.bad_links.swap_remove(pos);
@@ -400,7 +419,9 @@ impl OperaLogic {
         }
         self.hello_pending[fi] = false;
         // Identify the partner whose hello went missing.
-        let m = self.topo.matching(uplink, self.topo.position_at(uplink, self.slice));
+        let m = self
+            .topo
+            .matching(uplink, self.topo.position_at(uplink, self.slice));
         let partner = m.partner(rack);
         let bad = (partner, uplink);
         if partner == rack || self.bad_links.contains(&bad) {
@@ -467,7 +488,12 @@ impl OperaLogic {
                 self.feeders[fi].circuit_dst = dst;
                 if !self.feeders[fi].running && self.has_bulk_work(rack, dst) {
                     self.feeders[fi].running = true;
-                    ctx.schedule_in(SimTime::ZERO, NetEvent::Timer { token: encode(Token::Feeder(rack, uplink)) });
+                    ctx.schedule_in(
+                        SimTime::ZERO,
+                        NetEvent::Timer {
+                            token: encode(Token::Feeder(rack, uplink)),
+                        },
+                    );
                 }
             }
         }
@@ -500,8 +526,7 @@ impl OperaLogic {
                     // Poll the source host: it emits the packet now. If
                     // its NIC staging queue is full (several feeders
                     // polling one host), put the bytes back and retry.
-                    let nic_full = fabric.queued_bytes_at(pkt.src, 0, Priority::Bulk)
-                        + MTU as u64
+                    let nic_full = fabric.queued_bytes_at(pkt.src, 0, Priority::Bulk) + MTU as u64
                         > self.cfg.queues.cap_bytes[Priority::Bulk as usize];
                     if nic_full || fabric.send(ctx, pkt.src, 0, pkt) == SendOutcome::Dropped {
                         let dst_rack = self.rack_of(pkt.dst);
@@ -520,22 +545,27 @@ impl OperaLogic {
                 return;
             }
         }
-        ctx.schedule_in(tick, NetEvent::Timer { token: encode(Token::Feeder(rack, uplink)) });
+        ctx.schedule_in(
+            tick,
+            NetEvent::Timer {
+                token: encode(Token::Feeder(rack, uplink)),
+            },
+        );
     }
 
     /// Kick the feeder serving `dst_rack` from `rack`, if a circuit is up.
-    fn kick_feeder(
-        &mut self,
-        ctx: &mut EventContext<'_, NetEvent>,
-        rack: usize,
-        dst_rack: usize,
-    ) {
+    fn kick_feeder(&mut self, ctx: &mut EventContext<'_, NetEvent>, rack: usize, dst_rack: usize) {
         // Direct circuit.
         if let Some(uplink) = self.bulk_tables.direct_uplink(self.slice, rack, dst_rack) {
             let fi = self.feeder_idx(rack, uplink);
             if !self.feeders[fi].running {
                 self.feeders[fi].running = true;
-                ctx.schedule_in(SimTime::ZERO, NetEvent::Timer { token: encode(Token::Feeder(rack, uplink)) });
+                ctx.schedule_in(
+                    SimTime::ZERO,
+                    NetEvent::Timer {
+                        token: encode(Token::Feeder(rack, uplink)),
+                    },
+                );
             }
         } else if self.cfg.allow_vlb {
             // No direct circuit this slice: VLB can still move the bytes
@@ -544,7 +574,12 @@ impl OperaLogic {
                 let fi = self.feeder_idx(rack, uplink);
                 if !self.feeders[fi].running && self.has_bulk_work(rack, dst) {
                     self.feeders[fi].running = true;
-                    ctx.schedule_in(SimTime::ZERO, NetEvent::Timer { token: encode(Token::Feeder(rack, uplink)) });
+                    ctx.schedule_in(
+                        SimTime::ZERO,
+                        NetEvent::Timer {
+                            token: encode(Token::Feeder(rack, uplink)),
+                        },
+                    );
                 }
             }
         }
@@ -585,12 +620,18 @@ impl OperaLogic {
         match packet.kind {
             PacketKind::BulkData { .. } => {
                 debug_assert_eq!(packet.dst, host);
-                self.tracker.deliver(packet.flow, packet.payload() as u64, ctx.now());
+                self.tracker
+                    .deliver(packet.flow, packet.payload() as u64, ctx.now());
             }
             _ => {
                 let actions = self.hosts[host].on_packet(fabric, ctx, &mut self.tracker, packet);
                 for (at, which) in actions.timers {
-                    ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(host, which)) });
+                    ctx.schedule_at(
+                        at,
+                        NetEvent::Timer {
+                            token: encode(Token::Ndp(host, which)),
+                        },
+                    );
                 }
             }
         }
@@ -724,8 +765,7 @@ impl OperaLogic {
     // ------------------------------------------------------------------
 
     fn inject_due_flows(&mut self, fabric: &mut Fabric, ctx: &mut EventContext<'_, NetEvent>) {
-        while self.next_flow < self.pending.len()
-            && self.pending[self.next_flow].start <= ctx.now()
+        while self.next_flow < self.pending.len() && self.pending[self.next_flow].start <= ctx.now()
         {
             let spec = self.pending[self.next_flow];
             self.next_flow += 1;
@@ -738,7 +778,12 @@ impl OperaLogic {
                     let actions =
                         self.hosts[spec.src].start_flow(fabric, ctx, id, spec.dst, spec.size);
                     for (at, which) in actions.timers {
-                        ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(spec.src, which)) });
+                        ctx.schedule_at(
+                            at,
+                            NetEvent::Timer {
+                                token: encode(Token::Ndp(spec.src, which)),
+                            },
+                        );
                     }
                 }
                 FlowClass::Bulk => {
@@ -750,7 +795,12 @@ impl OperaLogic {
                         let actions =
                             self.hosts[spec.src].start_flow(fabric, ctx, id, spec.dst, spec.size);
                         for (at, which) in actions.timers {
-                            ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(spec.src, which)) });
+                            ctx.schedule_at(
+                                at,
+                                NetEvent::Timer {
+                                    token: encode(Token::Ndp(spec.src, which)),
+                                },
+                            );
                         }
                     } else {
                         self.bulk[rack].enqueue(transport::BulkChunk {
@@ -769,7 +819,9 @@ impl OperaLogic {
         if self.next_flow < self.pending.len() {
             ctx.schedule_at(
                 self.pending[self.next_flow].start,
-                NetEvent::Timer { token: encode(Token::FlowArrival) },
+                NetEvent::Timer {
+                    token: encode(Token::FlowArrival),
+                },
             );
         }
     }
@@ -790,7 +842,12 @@ impl NetLogic for OperaLogic {
     fn on_timer(&mut self, fabric: &mut Fabric, ctx: &mut EventContext<'_, NetEvent>, token: u64) {
         if token == 0 {
             // Bootstrap: initial wiring happened in build; start clocks.
-            ctx.schedule_in(self.cfg.timing.slice(), NetEvent::Timer { token: encode(Token::SliceBoundary) });
+            ctx.schedule_in(
+                self.cfg.timing.slice(),
+                NetEvent::Timer {
+                    token: encode(Token::SliceBoundary),
+                },
+            );
             self.start_feeders(fabric, ctx);
             self.inject_due_flows(fabric, ctx);
             return;
@@ -800,7 +857,12 @@ impl NetLogic for OperaLogic {
             Token::Ndp(host, which) => {
                 let actions = self.hosts[host].on_timer(fabric, ctx, which);
                 for (at, w) in actions.timers {
-                    ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(host, w)) });
+                    ctx.schedule_at(
+                        at,
+                        NetEvent::Timer {
+                            token: encode(Token::Ndp(host, w)),
+                        },
+                    );
                 }
             }
             Token::SliceBoundary => self.on_slice_boundary(fabric, ctx),
@@ -863,7 +925,9 @@ pub fn build(cfg: OperaNetConfig, mut flows: Vec<FlowSpec>) -> OperaNet {
     }
 
     let logic = OperaLogic {
-        hosts: (0..hosts_total).map(|h| NdpHost::new(h, 0, cfg.ndp)).collect(),
+        hosts: (0..hosts_total)
+            .map(|h| NdpHost::new(h, 0, cfg.ndp))
+            .collect(),
         bulk: (0..cfg.params.racks)
             .map(|r| RackBulk::new(r, cfg.params.racks, cfg.rotorlb))
             .collect(),
@@ -958,7 +1022,10 @@ mod tests {
             slow.as_ns() > 5 * fast.as_ns(),
             "rotor {slow} vs opera {fast}"
         );
-        assert!(slow > SimTime::from_us(20), "rotor flow beat the cycle: {slow}");
+        assert!(
+            slow > SimTime::from_us(20),
+            "rotor flow beat the cycle: {slow}"
+        );
     }
 
     #[test]
@@ -1037,12 +1104,15 @@ mod tests {
         );
         // The network still delivers traffic from/to rack 2.
         drop(sim);
-        let mut sim = build(OperaNetConfig::small_test(), vec![FlowSpec {
-            src: 8, // host in rack 2
-            dst: 30,
-            size: 50_000,
-            start: SimTime::from_us(200),
-        }]);
+        let mut sim = build(
+            OperaNetConfig::small_test(),
+            vec![FlowSpec {
+                src: 8, // host in rack 2
+                dst: 30,
+                size: 50_000,
+                start: SimTime::from_us(200),
+            }],
+        );
         let (node, port) = sim.world.logic.uplink_addr(2, 1);
         sim.world.fabric.set_failed(node, port, true);
         sim.run_until(SimTime::from_ms(10));

@@ -138,8 +138,7 @@ impl StaticLogic {
     }
 
     fn inject_due_flows(&mut self, fabric: &mut Fabric, ctx: &mut EventContext<'_, NetEvent>) {
-        while self.next_flow < self.pending.len()
-            && self.pending[self.next_flow].start <= ctx.now()
+        while self.next_flow < self.pending.len() && self.pending[self.next_flow].start <= ctx.now()
         {
             let spec = self.pending[self.next_flow];
             self.next_flow += 1;
@@ -152,13 +151,20 @@ impl StaticLogic {
             );
             let actions = self.hosts[spec.src].start_flow(fabric, ctx, id, spec.dst, spec.size);
             for (at, which) in actions.timers {
-                ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(spec.src, which)) });
+                ctx.schedule_at(
+                    at,
+                    NetEvent::Timer {
+                        token: encode(Token::Ndp(spec.src, which)),
+                    },
+                );
             }
         }
         if self.next_flow < self.pending.len() {
             ctx.schedule_at(
                 self.pending[self.next_flow].start,
-                NetEvent::Timer { token: encode(Token::FlowArrival) },
+                NetEvent::Timer {
+                    token: encode(Token::FlowArrival),
+                },
             );
         }
     }
@@ -178,7 +184,12 @@ impl NetLogic for StaticLogic {
             debug_assert!(!matches!(packet.kind, PacketKind::BulkData { .. }));
             let actions = self.hosts[node].on_packet(fabric, ctx, &mut self.tracker, packet);
             for (at, which) in actions.timers {
-                ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(node, which)) });
+                ctx.schedule_at(
+                    at,
+                    NetEvent::Timer {
+                        token: encode(Token::Ndp(node, which)),
+                    },
+                );
             }
             return;
         }
@@ -209,7 +220,12 @@ impl NetLogic for StaticLogic {
             Token::Ndp(host, which) => {
                 let actions = self.hosts[host].on_timer(fabric, ctx, which);
                 for (at, w) in actions.timers {
-                    ctx.schedule_at(at, NetEvent::Timer { token: encode(Token::Ndp(host, w)) });
+                    ctx.schedule_at(
+                        at,
+                        NetEvent::Timer {
+                            token: encode(Token::Ndp(host, w)),
+                        },
+                    );
                 }
             }
             other => panic!("unexpected timer {other:?} in static network"),
@@ -279,10 +295,7 @@ pub fn build(cfg: StaticNetConfig, mut flows: Vec<FlowSpec>) -> StaticNet {
                             // edges precede index i, pick the matching
                             // reverse occurrence.
                             let occ = graph.edges(v)[..i].iter().filter(|x| x.to == e.to).count();
-                            let rocc = graph.edges(e.to)[..jj]
-                                .iter()
-                                .filter(|x| x.to == v)
-                                .count();
+                            let rocc = graph.edges(e.to)[..jj].iter().filter(|x| x.to == v).count();
                             occ == rocc
                         }
                     })
@@ -295,7 +308,9 @@ pub fn build(cfg: StaticNetConfig, mut flows: Vec<FlowSpec>) -> StaticNet {
     }
 
     let logic = StaticLogic {
-        hosts: (0..hosts_total).map(|h| NdpHost::new(h, 0, cfg.ndp)).collect(),
+        hosts: (0..hosts_total)
+            .map(|h| NdpHost::new(h, 0, cfg.ndp))
+            .collect(),
         tracker: FlowTracker::new(),
         rng: SimRng::new(cfg.seed.wrapping_add(77)),
         graph,

@@ -267,11 +267,7 @@ mod tests {
                 let slices_with_direct: Vec<usize> = (0..t.slices_per_cycle())
                     .filter(|&s| tables.direct_uplink(s, a, b).is_some())
                     .collect();
-                assert_eq!(
-                    slices_with_direct,
-                    t.direct_slices(a, b),
-                    "pair ({a},{b})"
-                );
+                assert_eq!(slices_with_direct, t.direct_slices(a, b), "pair ({a},{b})");
             }
         }
     }

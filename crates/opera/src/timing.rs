@@ -33,9 +33,8 @@ impl SliceTiming {
         prop: SimTime,
         reconfig: SimTime,
     ) -> Self {
-        let per_hop = serialization_ns(queue_bytes, gbps)
-            + serialization_ns(mtu as u64, gbps)
-            + prop.as_ns();
+        let per_hop =
+            serialization_ns(queue_bytes, gbps) + serialization_ns(mtu as u64, gbps) + prop.as_ns();
         SliceTiming {
             epsilon: SimTime::from_ns(per_hop * worst_hops as u64),
             reconfig,
@@ -146,12 +145,14 @@ mod tests {
         // Figure 14: with groups of 6, k=12 -> 108 slices... and cycle
         // slices grow linearly in k (9k per the 3k²/4 / (k/12) algebra).
         assert_eq!(cycle_slices_ungrouped(12), 108);
-        assert_eq!(cycle_slices_grouped(12, 6), 108); // one group at k=12
+        // One group at k=12.
+        assert_eq!(cycle_slices_grouped(12, 6), 108);
         // "doubling the ToR radix ... cut the cycle time in half by
         // reconfiguring two circuit switches at a time": k=24 grouped is
         // 2x k=12, not 4x.
         assert_eq!(cycle_slices_grouped(24, 6), 216);
-        assert_eq!(cycle_slices_grouped(48, 6), 432); // 9k: linear
+        // 9k: linear.
+        assert_eq!(cycle_slices_grouped(48, 6), 432);
         // Ungrouped grows quadratically.
         assert_eq!(cycle_slices_ungrouped(24), 432);
         assert_eq!(cycle_slices_ungrouped(48), 1728);

@@ -49,16 +49,12 @@ pub fn encode(t: Token) -> u64 {
         }
         Token::SliceBoundary => K_SLICE << 56,
         Token::Dark => K_RECONNECT << 56,
-        Token::Feeder(rack, uplink) => {
-            (K_FEEDER << 56) | ((rack as u64) << 16) | uplink as u64
-        }
+        Token::Feeder(rack, uplink) => (K_FEEDER << 56) | ((rack as u64) << 16) | uplink as u64,
         Token::WindowClose(rack, uplink) => {
             (K_WINDOW << 56) | ((rack as u64) << 16) | uplink as u64
         }
         Token::Stats => K_STATS << 56,
-        Token::HelloCheck(rack, uplink) => {
-            (K_HELLO << 56) | ((rack as u64) << 16) | uplink as u64
-        }
+        Token::HelloCheck(rack, uplink) => (K_HELLO << 56) | ((rack as u64) << 16) | uplink as u64,
     }
 }
 
@@ -69,7 +65,10 @@ pub fn decode(raw: u64) -> Token {
     match kind {
         K_ARRIVAL => Token::FlowArrival,
         K_NDP_PACER => Token::Ndp(low as usize, NdpTimer::PullPacer),
-        K_NDP_RTO => Token::Ndp((low >> 32) as usize, NdpTimer::Rto((low & 0xFFFF_FFFF) as u32)),
+        K_NDP_RTO => Token::Ndp(
+            (low >> 32) as usize,
+            NdpTimer::Rto((low & 0xFFFF_FFFF) as u32),
+        ),
         K_SLICE => Token::SliceBoundary,
         K_RECONNECT => Token::Dark,
         K_FEEDER => Token::Feeder((low >> 16) as usize, (low & 0xFFFF) as usize),

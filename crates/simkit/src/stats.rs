@@ -182,8 +182,7 @@ impl LogHistogram {
         for (b, &c) in self.counts.iter().enumerate() {
             cum += c;
             if cum >= target {
-                let edge =
-                    self.min_value * 10f64.powf((b as f64 + 1.0) / self.buckets_per_decade);
+                let edge = self.min_value * 10f64.powf((b as f64 + 1.0) / self.buckets_per_decade);
                 return Some(edge);
             }
         }
@@ -232,10 +231,7 @@ impl TimeSeries {
     /// Per-bin rate: total divided by bin width in seconds.
     pub fn rate_per_sec(&self) -> Vec<(SimTime, f64)> {
         let w = self.bin.as_secs_f64();
-        self.series()
-            .into_iter()
-            .map(|(t, v)| (t, v / w))
-            .collect()
+        self.series().into_iter().map(|(t, v)| (t, v / w)).collect()
     }
 
     /// Sum over all bins.

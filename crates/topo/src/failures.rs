@@ -170,11 +170,7 @@ pub fn analyze_opera(topo: &OperaTopology, fails: &FailureSet) -> FailureReport 
 /// failures. `tor_ids` are the nodes whose pairwise connectivity counts;
 /// `switch` failures remove whole nodes by id; `links` are `(a, b)` node
 /// pairs.
-pub fn analyze_static(
-    graph: &Graph,
-    tor_ids: &[NodeId],
-    fails: &FailureSet,
-) -> FailureReport {
+pub fn analyze_static(graph: &Graph, tor_ids: &[NodeId], fails: &FailureSet) -> FailureReport {
     let n = graph.len();
     let mut dead = vec![false; n];
     for &t in &fails.tors {
@@ -201,11 +197,7 @@ pub fn analyze_static(
             }
         }
     }
-    let alive: Vec<NodeId> = tor_ids
-        .iter()
-        .copied()
-        .filter(|&t| !dead[t])
-        .collect();
+    let alive: Vec<NodeId> = tor_ids.iter().copied().filter(|&t| !dead[t]).collect();
     let alive_pairs = alive.len() * alive.len().saturating_sub(1);
     let mut connected = 0usize;
     let mut sum = 0usize;

@@ -64,15 +64,14 @@ pub fn lift_factorization(base: &[Matching]) -> Vec<Matching> {
 /// or small `n`. Produces the same invariants as `factorize_complete`.
 pub fn factorize_lifted(n: usize, rng: &mut SimRng) -> Vec<Matching> {
     const DIRECT_THRESHOLD: usize = 64;
-    fn inner(n: usize, rng: &mut SimRng) -> Vec<Matching> {
+    fn inner(n: usize) -> Vec<Matching> {
         if n % 2 == 1 || n <= DIRECT_THRESHOLD {
             crate::matching::canonical_factorization(n)
         } else {
-            let base = inner(n / 2, rng);
-            lift_factorization(&base)
+            lift_factorization(&inner(n / 2))
         }
     }
-    let ms = inner(n, rng);
+    let ms = inner(n);
     let mut perm: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut perm);
     let mut ms: Vec<Matching> = ms.iter().map(|m| m.relabel(&perm)).collect();
@@ -80,7 +79,11 @@ pub fn factorize_lifted(n: usize, rng: &mut SimRng) -> Vec<Matching> {
     // The lift is highly structured (copies + cyclic shifts); Kempe-mix to
     // obtain a genuinely random-looking factorization (see
     // `matching::factorize_complete`).
-    crate::matching::kempe_mix(&mut ms, rng, crate::matching::DEFAULT_MIX_STEPS_PER_RACK * n);
+    crate::matching::kempe_mix(
+        &mut ms,
+        rng,
+        crate::matching::DEFAULT_MIX_STEPS_PER_RACK * n,
+    );
     ms
 }
 

@@ -218,8 +218,8 @@ fn odd_rounds(n: usize) -> Vec<Matching> {
     (0..n)
         .map(|r| {
             let mut pair: Vec<NodeId> = vec![0; n];
-            for i in 0..n {
-                pair[i] = (r + n - i % n) % n;
+            for (i, p) in pair.iter_mut().enumerate() {
+                *p = (r + n - i % n) % n;
             }
             Matching::new(pair)
         })
@@ -237,12 +237,11 @@ fn even_rounds(n: usize) -> Vec<Matching> {
             pair[m] = r;
             pair[r] = m;
             // Remaining: i + j ≡ 2r (mod m).
-            for i in 0..m {
+            for (i, p) in pair.iter_mut().enumerate().take(m) {
                 if i == r {
                     continue;
                 }
-                let j = (2 * r + m - i % m) % m;
-                pair[i] = j;
+                *p = (2 * r + m - i % m) % m;
             }
             Matching::new(pair)
         })

@@ -236,9 +236,7 @@ impl OperaTopology {
             .locate_pair(a, b)
             .expect("every pair appears in exactly one matching");
         (0..self.slices_per_cycle)
-            .filter(|&s| {
-                self.position_at(sw, s) == pos && !self.reconfiguring(s).contains(&sw)
-            })
+            .filter(|&s| self.position_at(sw, s) == pos && !self.reconfiguring(s).contains(&sw))
             .collect()
     }
 
@@ -348,10 +346,10 @@ mod tests {
         let u = t.switches();
         let mut pos = vec![0usize; u];
         for s in 0..t.slices_per_cycle() * 2 {
-            for j in 0..u {
+            for (j, &p) in pos.iter().enumerate() {
                 assert_eq!(
                     t.position_at(j, s),
-                    pos[j],
+                    p,
                     "switch {j} slice {s} disagrees with iterative schedule"
                 );
             }

@@ -40,8 +40,7 @@ fn shifted_mat_vec(g: &Graph, shift: f64, v: &[f64], out: &mut [f64]) {
     for (o, x) in out.iter_mut().zip(v) {
         *o = shift * x;
     }
-    for i in 0..g.len() {
-        let vi = v[i];
+    for (i, &vi) in v.iter().enumerate() {
         for e in g.edges(i) {
             out[e.to] += vi;
         }

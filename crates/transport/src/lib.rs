@@ -18,6 +18,6 @@
 pub mod ndp;
 pub mod rotorlb;
 
-pub use ndp::{NdpHost, NdpParams};
 pub use ndp::{NdpActions, NdpTimer};
+pub use ndp::{NdpHost, NdpParams};
 pub use rotorlb::{BulkChunk, RackBulk, RotorLbParams};

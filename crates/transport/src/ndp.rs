@@ -206,7 +206,9 @@ impl NdpHost {
             Self::emit_next(&self.params, &mut st, fabric, ctx, self.nic, self.nic_port);
         }
         let mut actions = NdpActions::default();
-        actions.timers.push((ctx.now() + self.params.rto, NdpTimer::Rto(flow)));
+        actions
+            .timers
+            .push((ctx.now() + self.params.rto, NdpTimer::Rto(flow)));
         self.sending.insert(flow, st);
         actions
     }
@@ -361,7 +363,9 @@ impl NdpHost {
                     self.pacer_free_at = ctx.now() + self.params.pull_interval;
                     if !self.pull_queue.is_empty() {
                         self.pacer_armed = true;
-                        actions.timers.push((self.pacer_free_at, NdpTimer::PullPacer));
+                        actions
+                            .timers
+                            .push((self.pacer_free_at, NdpTimer::PullPacer));
                     }
                 }
             }
@@ -405,7 +409,12 @@ mod tests {
     }
 
     impl TwoHostLogic {
-        fn apply(&mut self, host: usize, actions: NdpActions, ctx: &mut EventContext<'_, NetEvent>) {
+        fn apply(
+            &mut self,
+            host: usize,
+            actions: NdpActions,
+            ctx: &mut EventContext<'_, NetEvent>,
+        ) {
             for (at, which) in actions.timers {
                 let token = encode(host, which);
                 ctx.schedule_at(at, NetEvent::Timer { token });
@@ -450,9 +459,13 @@ mod tests {
             if token == u64::MAX {
                 if !self.started {
                     self.started = true;
-                    let id =
-                        self.tracker
-                            .register(0, 1, self.flow_size, netsim::FlowClass::LowLatency, ctx.now());
+                    let id = self.tracker.register(
+                        0,
+                        1,
+                        self.flow_size,
+                        netsim::FlowClass::LowLatency,
+                        ctx.now(),
+                    );
                     let actions = self.hosts[0].start_flow(fabric, ctx, id, 1, self.flow_size);
                     self.apply(0, actions, ctx);
                 }
@@ -556,7 +569,12 @@ mod tests {
                 ctx: &mut EventContext<'_, NetEvent>,
             ) {
                 for (at, which) in actions.timers {
-                    ctx.schedule_at(at, NetEvent::Timer { token: encode(host, which) });
+                    ctx.schedule_at(
+                        at,
+                        NetEvent::Timer {
+                            token: encode(host, which),
+                        },
+                    );
                 }
             }
         }

@@ -225,10 +225,7 @@ mod tests {
     fn hadoop_median_near_100kb() {
         let d = FlowSizeDist::of(Workload::Hadoop);
         let med = d.quantile(0.5);
-        assert!(
-            (20e3..300e3).contains(&med),
-            "median {med} not ~100KB"
-        );
+        assert!((20e3..300e3).contains(&med), "median {med} not ~100KB");
     }
 
     #[test]

@@ -1,14 +1,37 @@
+//! Scratch driver: MCF λ on a 64-rack expander under a permutation demand.
+//! Handy when poking at solver accuracy; not part of any figure.
+
 use flowsim::*;
 use topo::expander::*;
-fn main(){
-    let t = ExpanderTopology::generate(ExpanderParams{racks:64,uplinks:7,hosts_per_rack:5},5);
-    let n=64;
-    let demands: Vec<Demand> = (0..n).map(|r| Demand{src:r,dst:(r+n/2)%n,amount:50.0}).collect();
+
+fn main() {
+    let t = ExpanderTopology::generate(
+        ExpanderParams {
+            racks: 64,
+            uplinks: 7,
+            hosts_per_rack: 5,
+        },
+        5,
+    );
+    let n = 64;
+    let demands: Vec<Demand> = (0..n)
+        .map(|r| Demand {
+            src: r,
+            dst: (r + n / 2) % n,
+            amount: 50.0,
+        })
+        .collect();
     let tor: Vec<usize> = (0..n).collect();
     let res = expander_model(t.graph(), &tor, &demands, 10.0, 50.0);
     let mut rates = res.rates.clone();
-    rates.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    println!("min {:.2} med {:.2} max {:.2} agg {:.3}", rates[0], rates[n/2], rates[n-1], res.throughput_fraction());
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "min {:.2} med {:.2} max {:.2} agg {:.3}",
+        rates[0],
+        rates[n / 2],
+        rates[n - 1],
+        res.throughput_fraction()
+    );
     let stats = t.graph().path_length_stats();
     println!("avg path len {:.2} max {}", stats.avg, stats.max);
 }

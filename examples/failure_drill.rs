@@ -28,7 +28,10 @@ fn main() {
     );
 
     println!("progressively failing uplink cables:");
-    println!("{:>8} {:>12} {:>12} {:>10} {:>10}", "failed", "worst_slice", "integrated", "avg_path", "max_path");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10}",
+        "failed", "worst_slice", "integrated", "avg_path", "max_path"
+    );
     for pct in [2, 5, 10, 20, 30] {
         let n = domain.len() * pct / 100;
         let fails = FailureSet::sample(&mut rng, 0, topo.racks(), 0, topo.switches(), n, &domain);
@@ -40,7 +43,10 @@ fn main() {
     }
 
     println!("\nkilling circuit switches one by one:");
-    println!("{:>8} {:>12} {:>12} {:>10}", "killed", "worst_slice", "integrated", "avg_path");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "killed", "worst_slice", "integrated", "avg_path"
+    );
     for k in 0..topo.switches() - 2 {
         let fails = FailureSet {
             switches: (0..k).collect(),

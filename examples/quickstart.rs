@@ -25,8 +25,18 @@ fn main() {
     //   * 2 MB    -> bulk class: buffered by RotorLB until direct circuits
     //                to rack 7 come around, paying zero bandwidth tax.
     let flows = vec![
-        FlowSpec { src: 1, dst: 30, size: 20_000, start: SimTime::ZERO },
-        FlowSpec { src: 1, dst: 30, size: 2_000_000, start: SimTime::ZERO },
+        FlowSpec {
+            src: 1,
+            dst: 30,
+            size: 20_000,
+            start: SimTime::ZERO,
+        },
+        FlowSpec {
+            src: 1,
+            dst: 30,
+            size: 2_000_000,
+            start: SimTime::ZERO,
+        },
     ];
 
     let mut sim = opera_net::build(cfg, flows);
@@ -38,7 +48,9 @@ fn main() {
             "flow {i}: {:>9} bytes, class {:?}, FCT = {}",
             f.size,
             f.class,
-            f.fct().map(|t| t.to_string()).unwrap_or_else(|| "unfinished".into()),
+            f.fct()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "unfinished".into()),
         );
     }
     println!(

@@ -21,7 +21,12 @@ fn main() {
     cfg.bulk_threshold = 0;
     let hosts = cfg.hosts();
     let flows = ScenarioGen::shuffle(hosts, flow_size, SimTime::ZERO);
-    println!("shuffle: {} hosts, {} flows x {} KB", hosts, flows.len(), flow_size / 1000);
+    println!(
+        "shuffle: {} hosts, {} flows x {} KB",
+        hosts,
+        flows.len(),
+        flow_size / 1000
+    );
 
     let mut sim = opera_net::build(cfg, flows);
     sim.run_until(horizon);

@@ -27,7 +27,10 @@ fn main() {
         .map(|(s, p)| topo.matching(s, p).clone())
         .collect();
     validate_factorization(&all, topo.racks()).expect("disjoint complete factorization");
-    println!("[ok] the {} matchings tile every rack pair exactly once", all.len());
+    println!(
+        "[ok] the {} matchings tile every rack pair exactly once",
+        all.len()
+    );
 
     // Guarantee 2 (§3.1.2): every slice is a connected expander.
     let mut worst_gap = f64::INFINITY;
@@ -42,7 +45,11 @@ fn main() {
             worst_gap = worst_gap.min(sp.gap());
         }
     }
-    println!("[ok] all {} slices connected; worst diameter {} hops", topo.slices_per_cycle(), worst_diameter);
+    println!(
+        "[ok] all {} slices connected; worst diameter {} hops",
+        topo.slices_per_cycle(),
+        worst_diameter
+    );
     println!("[ok] sampled spectral gap >= {worst_gap:.2} (expander in every slice)");
 
     // Guarantee 3 (§3.1): every rack pair gets direct circuits each cycle.

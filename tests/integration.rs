@@ -43,7 +43,12 @@ fn light_load_equivalence() {
 }
 
 fn avg_fct_us(t: &netsim::FlowTracker) -> f64 {
-    let v: Vec<f64> = t.flows().iter().filter_map(|f| f.fct()).map(|x| x.as_us_f64()).collect();
+    let v: Vec<f64> = t
+        .flows()
+        .iter()
+        .filter_map(|f| f.fct())
+        .map(|x| x.as_us_f64())
+        .collect();
     v.iter().sum::<f64>() / v.len() as f64
 }
 
@@ -151,7 +156,10 @@ fn no_unexplained_loss_across_networks() {
     assert_eq!(sim.world.logic.counters.hop_limit_drops, 0);
 
     // Static nets
-    for cfg in [StaticNetConfig::small_expander(), StaticNetConfig::paper_clos_648()] {
+    for cfg in [
+        StaticNetConfig::small_expander(),
+        StaticNetConfig::paper_clos_648(),
+    ] {
         let hosts = match &cfg.kind {
             opera::StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,
             opera::StaticTopologyKind::FoldedClos(p) => p.hosts(),

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this vendored stub
+//! implements the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`], range and `prop::collection::vec`
+//! strategies, and [`test_runner::ProptestConfig`].
+//!
+//! Semantics versus real proptest:
+//! * cases are generated from a deterministic per-test seed (FNV-1a of the
+//!   test name mixed with the case index), so failures reproduce exactly;
+//! * there is **no shrinking** — a failing case reports its inputs via the
+//!   ordinary `assert!` panic message;
+//! * `PROPTEST_CASES` in the environment overrides the configured case
+//!   count, like the real crate.
+
+pub mod strategy {
+    //! Value-generation strategies (uniform draws, no shrinking).
+
+    use std::ops::Range;
+
+    /// A source of random bits for strategy sampling.
+    ///
+    /// xoshiro256**-style, seeded via SplitMix64; self-contained so the
+    /// stub has no dependencies.
+    #[derive(Debug, Clone)]
+    pub struct CaseRng {
+        s: [u64; 4],
+    }
+
+    impl CaseRng {
+        /// Expand a 64-bit seed into generator state.
+        pub fn new(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            CaseRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty strategy range");
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128) * (bound as u128);
+                let lo = m as u64;
+                if lo >= bound.wrapping_neg() % bound {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+    }
+
+    /// Anything that can produce values for a `proptest!` argument.
+    pub trait Strategy {
+        /// The type of value this strategy yields.
+        type Value;
+        /// Draw one value.
+        fn generate(&self, rng: &mut CaseRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut CaseRng) -> usize {
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl Strategy for Range<u32> {
+        type Value = u32;
+        fn generate(&self, rng: &mut CaseRng) -> u32 {
+            self.start + rng.below((self.end - self.start) as u64) as u32
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut CaseRng) -> u64 {
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<i64> {
+        type Value = i64;
+        fn generate(&self, rng: &mut CaseRng) -> i64 {
+            self.start + rng.below((self.end - self.start) as u64) as i64
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut CaseRng) -> f64 {
+            self.start + rng.f64() * (self.end - self.start)
+        }
+    }
+
+    /// FNV-1a over a test name, for stable per-test seeds.
+    pub fn seed_for(name: &str, case: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ case.wrapping_mul(0xA24B_AED4_963E_E407)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::{CaseRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with element strategy `S` and a length
+    /// drawn uniformly from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy: lengths from `len`, elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut CaseRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Mirror of proptest's `ProptestConfig`; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(cfg: &ProptestConfig) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cfg.cases)
+    }
+}
+
+/// `prop::` path namespace, as re-exported by the real prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a `proptest!` body (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each listed function runs `cases` times with
+/// arguments drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = $crate::test_runner::effective_cases(&cfg);
+                for case in 0..cases as u64 {
+                    let mut __proptest_rng = $crate::strategy::CaseRng::new(
+                        $crate::strategy::seed_for(stringify!($name), case),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..9, x in 1.5f64..2.5, s in 0u64..10) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!(s < 10);
+        }
+
+        #[test]
+        fn vec_strategy_len_and_bounds(v in prop::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        use crate::strategy::seed_for;
+        assert_eq!(seed_for("a", 0), seed_for("a", 0));
+        assert_ne!(seed_for("a", 0), seed_for("a", 1));
+        assert_ne!(seed_for("a", 0), seed_for("b", 0));
+    }
+}
