@@ -1,152 +1,11 @@
-//! Ablations of Opera's key design choices (DESIGN.md §"Key design
-//! decisions"):
+//! Ablations of Opera's key design choices (offset reconfig, uplink count, bulk threshold, VLB).
 //!
-//! 1. **Offset vs simultaneous reconfiguration** (§3.1.1, Figure 3):
-//!    fraction of time with full rack-to-rack reachability.
-//! 2. **Expansion needs u−1 ≥ 3 matchings** (§3.1.2): slice connectivity
-//!    and diameter as the switch count shrinks.
-//! 3. **Bulk threshold** (§4.1): FCT of a mid-size flow when classified
-//!    bulk vs low-latency.
-//! 4. **VLB for skew** (§4.2.2): hot-rack drain time with and without
-//!    two-hop Valiant.
-
-use opera::{opera_net, OperaNetConfig, SliceTiming};
-use simkit::{SimRng, SimTime};
-use topo::opera::{OperaParams, OperaTopology};
-use workloads::FlowSpec;
+//! Thin wrapper over [`bench::figures::ablate_design`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    ablate_offset();
-    ablate_uplink_count();
-    ablate_threshold();
-    ablate_vlb();
-}
-
-/// 1. With offset reconfiguration at most one switch is down and the
-///    remaining u−1 matchings keep the network connected; simultaneous
-///    reconfiguration leaves *zero* circuits during every reconfiguration
-///    window — connectivity drops to nothing r/slice of the time.
-fn ablate_offset() {
-    let t = SliceTiming::paper_default();
-    let params = OperaParams::example_648();
-    let (topo, _) = OperaTopology::generate_validated(params, 1, 64);
-    let connected_slices = (0..topo.slices_per_cycle())
-        .filter(|&s| topo.slice(s).graph().is_connected())
-        .count();
-    let offset_up = connected_slices as f64 / topo.slices_per_cycle() as f64;
-    // Simultaneous: all switches reconfigure together; the network is
-    // fully dark for r out of every matching period.
-    let simultaneous_up = 1.0 - t.reconfig.as_ns() as f64 / t.slice().as_ns() as f64;
-    println!("# Ablation 1: offset vs simultaneous reconfiguration");
-    println!("strategy,fraction_of_time_fully_connected,disruption");
-    println!("offset,{offset_up:.4},none (expander always available)");
-    println!(
-        "simultaneous,{simultaneous_up:.4},whole-network outage every slice ({} of {})",
-        t.reconfig,
-        t.slice()
+    expt::run_main(
+        bench::figures::ablate_design::EXPERIMENT,
+        bench::figures::ablate_design::tables,
     );
-    println!();
-}
-
-/// 2. Slice expansion vs number of circuit switches.
-fn ablate_uplink_count() {
-    println!("# Ablation 2: slice connectivity vs uplink count (96 racks)");
-    println!("uplinks,active_matchings,connected_slices,avg_path,max_path");
-    for u in [3usize, 4, 6, 8] {
-        let params = OperaParams {
-            racks: 96,
-            uplinks: u,
-            hosts_per_rack: 4,
-            groups: 1,
-        };
-        let topo = OperaTopology::generate(params, 7);
-        let mut connected = 0;
-        let mut avg = 0.0;
-        let mut max = 0;
-        let samples = 12.min(topo.slices_per_cycle());
-        for i in 0..samples {
-            let s = i * topo.slices_per_cycle() / samples;
-            let g = topo.slice(s).graph();
-            if g.is_connected() {
-                connected += 1;
-            }
-            let st = g.path_length_stats();
-            avg += st.avg / samples as f64;
-            max = max.max(st.max);
-        }
-        println!("{u},{},{}/{},{avg:.2},{max}", u - 1, connected, samples);
-    }
-    println!();
-}
-
-/// 3. The same 2 MB flow serviced as bulk vs low-latency.
-fn ablate_threshold() {
-    println!("# Ablation 3: bulk threshold — one 2MB flow, bulk vs low-latency service");
-    println!("class,fct_ms,note");
-    for (label, threshold) in [("bulk", 1_000u64), ("low_latency", u64::MAX)] {
-        let mut cfg = OperaNetConfig::small_test();
-        cfg.params.racks = 16;
-        cfg.bulk_threshold = threshold;
-        let flows = vec![FlowSpec {
-            src: 1,
-            dst: 62,
-            size: 2_000_000,
-            start: SimTime::ZERO,
-        }];
-        let mut sim = opera_net::build(cfg, flows);
-        sim.run_until(SimTime::from_ms(100));
-        let t = sim.world.logic.tracker();
-        let fct = t.get(0).fct().map(|x| x.as_ms_f64()).unwrap_or(f64::NAN);
-        let note = match label {
-            "bulk" => "waits for circuits, zero tax",
-            _ => "immediate, pays expander tax",
-        };
-        println!("{label},{fct:.3},{note}");
-    }
-    println!("# shape: at this size the two are comparable; the threshold is the");
-    println!("# size where a cycle's wait amortizes (15MB at paper scale, §4.1).");
-    println!();
-}
-
-/// 4. Hot-rack drain with and without Valiant load balancing.
-fn ablate_vlb() {
-    println!("# Ablation 4: VLB under skew — rack 0 sends 1MB to each host of rack 1");
-    println!("vlb,completion_fraction_at_40ms,avg_bulk_fct_ms");
-    for allow in [true, false] {
-        let mut cfg = OperaNetConfig::small_test();
-        cfg.params.racks = 16;
-        cfg.allow_vlb = allow;
-        cfg.bulk_threshold = 0;
-        let mut rng = SimRng::new(4);
-        let mut flows = Vec::new();
-        for i in 0..4 {
-            for j in 0..4 {
-                flows.push(FlowSpec {
-                    src: i,
-                    dst: 4 + j,
-                    size: 1_000_000,
-                    start: SimTime::from_us(rng.below(100)),
-                });
-            }
-        }
-        let mut sim = opera_net::build(cfg, flows);
-        sim.run_until(SimTime::from_ms(40));
-        let t = sim.world.logic.tracker();
-        let done = t.completed() as f64 / t.len() as f64;
-        let mut fcts: Vec<f64> = t
-            .flows()
-            .iter()
-            .filter_map(|f| f.fct())
-            .map(|x| x.as_ms_f64())
-            .collect();
-        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let avg = if fcts.is_empty() {
-            f64::NAN
-        } else {
-            fcts.iter().sum::<f64>() / fcts.len() as f64
-        };
-        println!("{allow},{done:.2},{avg:.2}");
-    }
-    println!("# shape: VLB sprays the hot pair over idle circuits (RotorLB), cutting");
-    println!("# drain time roughly (u-1)x for a single hot destination.");
 }

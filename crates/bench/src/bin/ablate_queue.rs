@@ -1,73 +1,11 @@
-//! Ablation: queue depth vs end-to-end delay (§4.1's key sizing choice).
+//! Ablation: low-latency queue depth vs trimming and end-to-end delay (§4.1).
 //!
-//! ε — and with it the slice length, the cycle time, and the bulk
-//! threshold — is driven by the switch queue depth. Deeper queues trim
-//! less but inflate worst-case delay; the paper picks 24 KB (8 full
-//! packets + headers) to keep ε at 90 µs. This ablation sweeps the
-//! low-latency queue depth on a fixed incast-heavy workload and reports
-//! trimming rates, FCTs, and the ε each depth would force.
-
-use netsim::fabric::QueueConfig;
-use opera::timing::SliceTiming;
-use opera::{opera_net, OperaNetConfig};
-use simkit::{SimRng, SimTime};
-use workloads::FlowSpec;
+//! Thin wrapper over [`bench::figures::ablate_queue`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    println!("# Ablation: low-latency queue depth (incast of 24 x 30KB flows)");
-    println!("queue_kb,forced_epsilon_us,trimmed_pkts,avg_fct_us,p99_fct_us,done");
-    for kb in [3u64, 6, 12, 24, 48] {
-        let mut cfg = OperaNetConfig::small_test();
-        cfg.params.racks = 16;
-        cfg.bulk_threshold = u64::MAX;
-        cfg.queues = QueueConfig {
-            cap_bytes: [12_000, kb * 1000, 24_000],
-            trim: true,
-        };
-        // Incast: many senders to hosts of one rack.
-        let mut rng = SimRng::new(3);
-        let mut flows = Vec::new();
-        for i in 0..24 {
-            flows.push(FlowSpec {
-                src: 8 + rng.index(48), // racks 2..15
-                dst: i % 4,             // rack 0
-                size: 30_000,
-                start: SimTime::from_us(rng.below(20)),
-            });
-        }
-        let mut sim = opera_net::build(cfg, flows);
-        sim.world.logic.set_hello_enabled(false);
-        sim.run_until(SimTime::from_ms(60));
-        let t = sim.world.logic.tracker();
-        let mut fcts: Vec<f64> = t
-            .flows()
-            .iter()
-            .filter_map(|f| f.fct())
-            .map(|x| x.as_us_f64())
-            .collect();
-        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let avg = fcts.iter().sum::<f64>() / fcts.len().max(1) as f64;
-        let p99 = fcts.last().copied().unwrap_or(f64::NAN);
-        // The ε this queue depth forces at paper parameters (5 hops,
-        // 10G, 500ns propagation), per §4.1's derivation.
-        let eps = SliceTiming::derive(
-            5,
-            kb * 1000 + 12_000,
-            1500,
-            10.0,
-            SimTime::from_ns(500),
-            SimTime::from_us(10),
-        )
-        .epsilon
-        .as_us_f64();
-        println!(
-            "{kb},{eps:.0},{},{avg:.1},{p99:.1},{}/{}",
-            sim.world.fabric.counters.trimmed,
-            t.completed(),
-            t.len()
-        );
-    }
-    println!("# shape: deeper queues trim less but force a longer ε (and thus a");
-    println!("# longer cycle and a higher bulk threshold); 12-24KB balances both,");
-    println!("# which is exactly the paper's choice (§4.1).");
+    expt::run_main(
+        bench::figures::ablate_queue::EXPERIMENT,
+        bench::figures::ablate_queue::tables,
+    );
 }

@@ -1,33 +1,11 @@
 //! Figure 1: flow-count and byte CDFs of the three published workloads.
-
-use workloads::dists::{FlowSizeDist, Workload};
+//!
+//! Thin wrapper over [`bench::figures::fig01`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    println!("# Figure 1: flow-size distributions (CDF of flows, CDF of bytes)");
-    let sizes: Vec<f64> = (4..=36).map(|i| 10f64.powf(i as f64 / 4.0)).collect();
-    for w in [Workload::Datamining, Workload::Websearch, Workload::Hadoop] {
-        let d = FlowSizeDist::of(w);
-        println!("workload,{w:?}");
-        println!("size_bytes,cdf_flows,cdf_bytes");
-        // Byte CDF at x = fraction of bytes in flows of size <= x.
-        let n = 4000;
-        let total: f64 = (0..n)
-            .map(|i| d.quantile((i as f64 + 0.5) / n as f64))
-            .sum();
-        for &s in &sizes {
-            let flows = d.cdf(s);
-            let bytes: f64 = (0..n)
-                .map(|i| d.quantile((i as f64 + 0.5) / n as f64))
-                .filter(|&q| q <= s)
-                .sum::<f64>()
-                / total;
-            println!("{s:.0},{flows:.4},{bytes:.4}");
-        }
-        println!(
-            "# mean={:.0} bytes, byte share >=15MB: {:.3}",
-            d.mean(),
-            d.byte_fraction_above(15e6)
-        );
-        println!();
-    }
+    expt::run_main(
+        bench::figures::fig01::EXPERIMENT,
+        bench::figures::fig01::tables,
+    );
 }

@@ -1,63 +1,11 @@
-//! Figure 4: CDF of ToR-to-ToR path lengths for the cost-equivalent
-//! 648-host Opera, 650-host u=7 expander, and 648-host 3:1 folded Clos.
-
-use topo::clos::{ClosParams, ClosTopology};
-use topo::expander::{ExpanderParams, ExpanderTopology};
-use topo::opera::{OperaParams, OperaTopology};
-
-fn print_cdf(label: &str, hist: &[u64]) {
-    let total: u64 = hist.iter().sum();
-    println!("network,{label}");
-    println!("hops,pdf,cdf");
-    let mut cum = 0u64;
-    for (len, &c) in hist.iter().enumerate() {
-        if c == 0 {
-            continue;
-        }
-        cum += c;
-        println!(
-            "{len},{:.4},{:.4}",
-            c as f64 / total as f64,
-            cum as f64 / total as f64
-        );
-    }
-    println!();
-}
+//! Figure 4: CDF of ToR-to-ToR path lengths for the cost-equivalent trio.
+//!
+//! Thin wrapper over [`bench::figures::fig04`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    println!("# Figure 4: path-length CDFs (cost-equivalent 648-host networks)");
-
-    // Opera: aggregate over all 108 slices of the cycle.
-    let (opera, seed) = OperaTopology::generate_validated(OperaParams::example_648(), 1, 64);
-    let mut hist = vec![0u64; 12];
-    for s in 0..opera.slices_per_cycle() {
-        for (l, &c) in opera
-            .slice(s)
-            .graph()
-            .path_length_histogram()
-            .iter()
-            .enumerate()
-        {
-            hist[l] += c;
-        }
-    }
-    println!("# opera seed {seed}");
-    print_cdf("Opera-648", &hist);
-
-    // u = 7 static expander (650 hosts).
-    let exp = ExpanderTopology::generate(ExpanderParams::example_650(), 1);
-    print_cdf("Expander-u7-650", &exp.graph().path_length_histogram());
-
-    // 3:1 folded Clos: ToR-to-ToR distances only.
-    let clos = ClosTopology::generate(ClosParams::example_648());
-    let mut chist = vec![0u64; 8];
-    for tor in 0..clos.tors() {
-        let d = clos.graph().bfs_distances(tor);
-        for other in 0..clos.tors() {
-            if other != tor {
-                chist[d[other]] += 1;
-            }
-        }
-    }
-    print_cdf("FoldedClos-3to1-648", &chist);
+    expt::run_main(
+        bench::figures::fig04::EXPERIMENT,
+        bench::figures::fig04::tables,
+    );
 }

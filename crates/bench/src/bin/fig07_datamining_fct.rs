@@ -1,128 +1,11 @@
-//! Figure 7: FCTs for the Datamining workload on the cost-equivalent
-//! trio (Opera / u-expander / 3:1 Clos) plus non-hybrid RotorNet, across
-//! offered loads.
+//! Figure 7: FCTs for the Datamining workload on the trio plus RotorNet, across loads.
 //!
-//! Mini scale (default): 192-host trio, flows arriving over a short
-//! window; `OPERA_SCALE=full` uses the 648-host networks (slow).
-
-use bench::{scale, MiniTrio, PaperTrio, Scale};
-use opera::harness::{print_fct_table, FctStats};
-use opera::{opera_net, static_net, RotorMode};
-use simkit::SimTime;
-use workloads::dists::{FlowSizeDist, Workload};
-use workloads::gen::PoissonGen;
-use workloads::FlowSpec;
-
-fn gen_flows(hosts: usize, load: f64, window: SimTime, seed: u64) -> Vec<FlowSpec> {
-    let mut g = PoissonGen::new(
-        FlowSizeDist::of(Workload::Datamining),
-        hosts,
-        10.0,
-        load,
-        seed,
-    );
-    g.flows_until(window)
-}
+//! Thin wrapper over [`bench::figures::fig07`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let full = scale() == Scale::Full;
-    let (window, run_until) = if full {
-        (SimTime::from_ms(50), SimTime::from_ms(800))
-    } else {
-        (SimTime::from_ms(40), SimTime::from_ms(600))
-    };
-    let loads = [0.01, 0.10, 0.25];
-
-    println!("# Figure 7: Datamining FCTs (arrival window {window}, horizon {run_until})");
-    for &load in &loads {
-        // --- Opera ---
-        let cfg = if full {
-            PaperTrio::opera()
-        } else {
-            MiniTrio::opera()
-        };
-        let flows = gen_flows(cfg.hosts(), load, window, 42);
-        let nflows = flows.len();
-        let mut sim = opera_net::build(cfg, flows);
-        sim.run_until(run_until);
-        let t = sim.world.logic.tracker();
-        print_fct_table(
-            &format!(
-                "opera load={load} ({}/{} done, counters {:?})",
-                t.completed(),
-                nflows,
-                sim.world.logic.counters
-            ),
-            &FctStats::from_tracker(t, &FctStats::default_edges()),
-        );
-
-        // --- RotorNet (non-hybrid) ---
-        let mut cfg = if full {
-            PaperTrio::opera()
-        } else {
-            MiniTrio::opera()
-        };
-        cfg.mode = RotorMode::RotorNonHybrid;
-        let flows = gen_flows(cfg.hosts(), load, window, 42);
-        let mut sim = opera_net::build(cfg, flows);
-        sim.run_until(run_until);
-        let t = sim.world.logic.tracker();
-        print_fct_table(
-            &format!("rotornet-nonhybrid load={load} ({} done)", t.completed()),
-            &FctStats::from_tracker(t, &FctStats::default_edges()),
-        );
-
-        // --- RotorNet (hybrid, +33% cost) ---
-        let mut cfg = if full {
-            PaperTrio::opera()
-        } else {
-            MiniTrio::opera()
-        };
-        cfg.mode = RotorMode::RotorHybrid;
-        let flows = gen_flows(cfg.hosts(), load, window, 42);
-        let mut sim = opera_net::build(cfg, flows);
-        sim.run_until(run_until);
-        let t = sim.world.logic.tracker();
-        print_fct_table(
-            &format!(
-                "rotornet-hybrid(+33%cost) load={load} ({} done)",
-                t.completed()
-            ),
-            &FctStats::from_tracker(t, &FctStats::default_edges()),
-        );
-
-        // --- static expander & Clos ---
-        for (name, cfg) in [
-            (
-                "expander",
-                if full {
-                    PaperTrio::expander()
-                } else {
-                    MiniTrio::expander()
-                },
-            ),
-            (
-                "folded-clos",
-                if full {
-                    PaperTrio::clos()
-                } else {
-                    MiniTrio::clos()
-                },
-            ),
-        ] {
-            let hosts = match &cfg.kind {
-                opera::StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,
-                opera::StaticTopologyKind::FoldedClos(p) => p.hosts(),
-            };
-            let flows = gen_flows(hosts, load, window, 42);
-            let mut sim = static_net::build(cfg, flows);
-            sim.run_until(run_until);
-            let t = sim.world.logic.tracker();
-            print_fct_table(
-                &format!("{name} load={load} ({} done)", t.completed()),
-                &FctStats::from_tracker(t, &FctStats::default_edges()),
-            );
-        }
-        println!();
-    }
+    expt::run_main(
+        bench::figures::fig07::EXPERIMENT,
+        bench::figures::fig07::tables,
+    );
 }

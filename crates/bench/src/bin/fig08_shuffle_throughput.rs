@@ -1,121 +1,11 @@
-//! Figure 8: delivered throughput over time for a 100 KB all-to-all
-//! shuffle. Opera carries every flow over direct circuits (application
-//! bulk tagging, §3.4); the static networks run NDP with staggered starts.
-
-use bench::{scale, MiniTrio, PaperTrio, Scale};
-use opera::{opera_net, static_net, OperaNet, OperaNetConfig, StaticNet, StaticNetConfig};
-use simkit::{SimRng, SimTime};
-use workloads::gen::ScenarioGen;
-use workloads::FlowSpec;
-
-/// Build an Opera sim with a throughput time-series attached.
-fn build_opera(cfg: OperaNetConfig, flows: Vec<FlowSpec>, bin: SimTime) -> OperaNet {
-    let mut sim = opera_net::build(cfg, flows);
-    let t = std::mem::take(sim.world.logic.tracker_mut());
-    *sim.world.logic.tracker_mut() = t.with_throughput_bins(bin);
-    sim
-}
-
-/// Build a static sim with a throughput time-series attached.
-fn build_static(cfg: StaticNetConfig, flows: Vec<FlowSpec>, bin: SimTime) -> StaticNet {
-    let mut sim = static_net::build(cfg, flows);
-    let t = std::mem::take(sim.world.logic.tracker_mut());
-    *sim.world.logic.tracker_mut() = t.with_throughput_bins(bin);
-    sim
-}
-
-fn p99_ms(tracker: &netsim::FlowTracker) -> f64 {
-    let mut fcts: Vec<f64> = tracker
-        .flows()
-        .iter()
-        .filter_map(|f| f.fct())
-        .map(|x| x.as_ms_f64())
-        .collect();
-    if fcts.is_empty() {
-        return f64::NAN;
-    }
-    fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    fcts[(fcts.len() * 99 / 100)
-        .saturating_sub(1)
-        .min(fcts.len() - 1)]
-}
-
-fn print_series(label: &str, series: &[(SimTime, f64)], hosts: usize) {
-    // Normalize to aggregate host capacity (hosts × 10G).
-    let cap = hosts as f64 * 10e9;
-    println!("network,{label}");
-    println!("time_ms,normalized_throughput");
-    for (t, bytes_per_sec) in series {
-        println!("{:.1},{:.4}", t.as_ms_f64(), bytes_per_sec * 8.0 / cap);
-    }
-    println!();
-}
+//! Figure 8: delivered throughput over time for an all-to-all shuffle.
+//!
+//! Thin wrapper over [`bench::figures::fig08`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let full = scale() == Scale::Full;
-    let flow_size = 100_000u64;
-    let bin = SimTime::from_ms(1);
-    let horizon = SimTime::from_ms(if full { 300 } else { 150 });
-
-    println!("# Figure 8: 100KB all-to-all shuffle, throughput vs time");
-
-    // --- Opera: all flows tagged bulk, all start together ---
-    let mut cfg = if full {
-        PaperTrio::opera()
-    } else {
-        MiniTrio::opera()
-    };
-    cfg.bulk_threshold = 0; // application tags everything bulk
-    let hosts = cfg.hosts();
-    let flows = ScenarioGen::shuffle(hosts, flow_size, SimTime::ZERO);
-    let total = flows.len();
-    let mut sim = build_opera(cfg, flows, bin);
-    sim.run_until(horizon);
-    let t = sim.world.logic.tracker();
-    println!(
-        "# opera: {}/{} flows done, 99%-tile FCT {:.1} ms",
-        t.completed(),
-        total,
-        p99_ms(t)
+    expt::run_main(
+        bench::figures::fig08::EXPERIMENT,
+        bench::figures::fig08::tables,
     );
-    print_series("opera", &t.throughput().unwrap().rate_per_sec(), hosts);
-
-    // --- static networks: staggered starts over 10 ms ---
-    for (name, cfg) in [
-        (
-            "expander",
-            if full {
-                PaperTrio::expander()
-            } else {
-                MiniTrio::expander()
-            },
-        ),
-        (
-            "folded-clos",
-            if full {
-                PaperTrio::clos()
-            } else {
-                MiniTrio::clos()
-            },
-        ),
-    ] {
-        let hosts = match &cfg.kind {
-            opera::StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,
-            opera::StaticTopologyKind::FoldedClos(p) => p.hosts(),
-        };
-        let mut rng = SimRng::new(8);
-        let flows =
-            ScenarioGen::shuffle_staggered(hosts, flow_size, SimTime::from_ms(10), &mut rng);
-        let total = flows.len();
-        let mut sim = build_static(cfg, flows, bin);
-        sim.run_until(horizon);
-        let t = sim.world.logic.tracker();
-        println!(
-            "# {name}: {}/{} flows done, 99%-tile FCT {:.1} ms",
-            t.completed(),
-            total,
-            p99_ms(t)
-        );
-        print_series(name, &t.throughput().unwrap().rate_per_sec(), hosts);
-    }
 }

@@ -1,87 +1,11 @@
-//! Figure 9: FCTs for the Websearch workload — Opera's worst case, since
-//! every flow is under the bulk threshold and rides indirect expander
-//! paths paying the bandwidth tax.
-
-use bench::{scale, MiniTrio, PaperTrio, Scale};
-use opera::harness::{print_fct_table, FctStats};
-use opera::{opera_net, static_net};
-use simkit::SimTime;
-use workloads::dists::{FlowSizeDist, Workload};
-use workloads::gen::PoissonGen;
-use workloads::FlowSpec;
-
-fn gen_flows(hosts: usize, load: f64, window: SimTime, seed: u64) -> Vec<FlowSpec> {
-    let mut g = PoissonGen::new(
-        FlowSizeDist::of(Workload::Websearch),
-        hosts,
-        10.0,
-        load,
-        seed,
-    );
-    g.flows_until(window)
-}
+//! Figure 9: FCTs for the Websearch workload (Opera's worst case).
+//!
+//! Thin wrapper over [`bench::figures::fig09`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let full = scale() == Scale::Full;
-    let (window, run_until) = if full {
-        (SimTime::from_ms(40), SimTime::from_ms(500))
-    } else {
-        (SimTime::from_ms(6), SimTime::from_ms(200))
-    };
-    let loads = [0.01, 0.05, 0.10];
-
-    println!("# Figure 9: Websearch FCTs (all flows low-latency in Opera)");
-    for &load in &loads {
-        let mut cfg = if full {
-            PaperTrio::opera()
-        } else {
-            MiniTrio::opera()
-        };
-        // Figure 9's premise: every Websearch flow sits below the bulk
-        // threshold (15 MB at paper scale) and rides indirect paths.
-        cfg.bulk_threshold = 20_000_000;
-        let flows = gen_flows(cfg.hosts(), load, window, 17);
-        let n = flows.len();
-        let mut sim = opera_net::build(cfg, flows);
-        sim.run_until(run_until);
-        let t = sim.world.logic.tracker();
-        print_fct_table(
-            &format!("opera load={load} ({}/{} done)", t.completed(), n),
-            &FctStats::from_tracker(t, &FctStats::default_edges()),
-        );
-
-        for (name, cfg) in [
-            (
-                "expander",
-                if full {
-                    PaperTrio::expander()
-                } else {
-                    MiniTrio::expander()
-                },
-            ),
-            (
-                "folded-clos",
-                if full {
-                    PaperTrio::clos()
-                } else {
-                    MiniTrio::clos()
-                },
-            ),
-        ] {
-            let hosts = match &cfg.kind {
-                opera::StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,
-                opera::StaticTopologyKind::FoldedClos(p) => p.hosts(),
-            };
-            let flows = gen_flows(hosts, load, window, 17);
-            let n = flows.len();
-            let mut sim = static_net::build(cfg, flows);
-            sim.run_until(run_until);
-            let t = sim.world.logic.tracker();
-            print_fct_table(
-                &format!("{name} load={load} ({}/{} done)", t.completed(), n),
-                &FctStats::from_tracker(t, &FctStats::default_edges()),
-            );
-        }
-        println!();
-    }
+    expt::run_main(
+        bench::figures::fig09::EXPERIMENT,
+        bench::figures::fig09::tables,
+    );
 }

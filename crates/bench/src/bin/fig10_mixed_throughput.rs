@@ -1,72 +1,11 @@
-//! Figure 10: aggregate network throughput vs Websearch (low-latency)
-//! load for a combined Websearch + Shuffle workload.
+//! Figure 10: aggregate throughput vs Websearch load for a mixed workload.
 //!
-//! The bulk component is a saturating all-to-all demand; the low-latency
-//! component is Websearch at the given fraction of host capacity. We
-//! report delivered throughput normalized to aggregate host capacity, per
-//! network, using the flow-level models for the bulk plane (steady state)
-//! and charging the static networks their measured bandwidth tax.
-
-use bench::f;
-use flowsim::models::Demand;
-use flowsim::{clos_throughput, max_concurrent_flow, opera_model};
-use simkit::SimRng;
-use topo::expander::{ExpanderParams, ExpanderTopology};
-use topo::opera::{OperaParams, OperaTopology};
-use workloads::gen::ScenarioGen;
+//! Thin wrapper over [`bench::figures::fig10`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let rate = 10.0;
-    // Cost-equivalent trio at k = 12 (the paper's 648-host setting).
-    let opera = OperaTopology::generate(OperaParams::example_648(), 5);
-    let exp = ExpanderTopology::generate(ExpanderParams::example_650(), 5);
-    let d_o = 6.0; // Opera hosts/rack
-    let d_e = 5.0; // expander hosts/rack
-
-    println!("# Figure 10: throughput vs Websearch load (Websearch+Shuffle mix)");
-    println!("websearch_load,opera,expander,clos");
-    for &ws in &[0.01f64, 0.025, 0.05, 0.10, 0.20, 0.40] {
-        // Opera: low-latency traffic takes ws of each host's capacity and
-        // pays the expander tax on the slice fabric (avg path ~3.2 hops);
-        // the remaining host capacity feeds tax-free direct circuits.
-        // Opera admits at most ~10% low-latency load (§5.3).
-        let ll_tax = 3.2; // average slice path length (Fig. 4)
-        let admitted_ws_o = ws.min(0.10);
-        let fabric_frac = admitted_ws_o * ll_tax * d_o / (opera.switches() as f64 - 1.0);
-        let bulk_budget = (1.0 - fabric_frac).max(0.0);
-        let a2a = ScenarioGen::all_to_all_demands(opera.racks(), 6, rate, 1.0 - admitted_ws_o);
-        let bulk_tp = opera_model(&opera, &a2a, rate * bulk_budget, 0.98, true)
-            .throughput_fraction()
-            * (1.0 - admitted_ws_o);
-        let opera_total = admitted_ws_o + bulk_tp;
-
-        // Expander: everything shares the fabric; bulk gets what's left
-        // after Websearch, both paying the multipath tax.
-        let mut rng = SimRng::new(3);
-        let racks_e = exp.racks();
-        let a2a_e: Vec<Demand> = ScenarioGen::all_to_all_demands(racks_e, 5, rate, 1.0);
-        let tor: Vec<usize> = (0..racks_e).collect();
-        let lam = max_concurrent_flow(exp.graph(), &tor, &a2a_e, rate, d_e * rate, 40).lambda;
-        // Websearch load is served first (it is admissible while ws <= lam);
-        // bulk gets the residual concurrent capacity.
-        let ws_e = ws.min(lam);
-        let bulk_e = (lam - ws_e).max(0.0);
-        let exp_total = ws_e + bulk_e * (1.0 - ws_e).min(1.0);
-        let _ = &mut rng;
-
-        // Clos: admission bound 1/3 independent of mix.
-        let clos_cap = clos_throughput(4.0 / 3.0);
-        let ws_c = ws.min(clos_cap);
-        let clos_total = ws_c + (clos_cap - ws_c);
-
-        println!(
-            "{ws},{},{},{}",
-            f(opera_total.min(1.0)),
-            f(exp_total.min(1.0)),
-            f(clos_total.min(1.0))
-        );
-    }
-    println!();
-    println!("# expected shape: Opera ≈2-4x the static nets at low websearch load,");
-    println!("# converging toward them as low-latency load approaches Opera's ~10% cap.");
+    expt::run_main(
+        bench::figures::fig10::EXPERIMENT,
+        bench::figures::fig10::tables,
+    );
 }

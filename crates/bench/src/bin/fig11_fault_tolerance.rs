@@ -1,72 +1,11 @@
-//! Figure 11: connectivity loss of a 648-host, 108-rack Opera network
-//! under random link, ToR, and circuit-switch failures (worst slice and
-//! integrated across all slices).
-
-use simkit::SimRng;
-use topo::failures::{analyze_opera, opera_link_domain, FailureSet};
-use topo::opera::{OperaParams, OperaTopology};
+//! Figure 11: Opera connectivity loss under link/ToR/switch failures.
+//!
+//! Thin wrapper over [`bench::figures::fig11`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let mini = !matches!(
-        std::env::var("OPERA_SCALE").as_deref(),
-        Ok("full") | Ok("FULL")
+    expt::run_main(
+        bench::figures::fig11::EXPERIMENT,
+        bench::figures::fig11::tables,
     );
-    let params = if mini {
-        // Same structure, fewer racks so the slice sweep stays fast.
-        OperaParams {
-            racks: 48,
-            uplinks: 6,
-            hosts_per_rack: 6,
-            groups: 1,
-        }
-    } else {
-        OperaParams::example_648()
-    };
-    let (topo, _) = OperaTopology::generate_validated(params, 3, 64);
-    let domain = opera_link_domain(&topo);
-    let mut rng = SimRng::new(11);
-    let fractions = [0.01, 0.025, 0.05, 0.10, 0.20, 0.40];
-
-    println!(
-        "# Figure 11: Opera connectivity loss under failures ({} racks)",
-        params.racks
-    );
-    for (label, kind) in [("links", 0usize), ("tors", 1), ("switches", 2)] {
-        println!("failure_kind,{label}");
-        println!("fraction,worst_slice_loss,all_slices_loss");
-        for &frac in &fractions {
-            let fails = match kind {
-                0 => FailureSet::sample(
-                    &mut rng,
-                    0,
-                    topo.racks(),
-                    0,
-                    topo.switches(),
-                    (frac * domain.len() as f64).round() as usize,
-                    &domain,
-                ),
-                1 => FailureSet::sample(
-                    &mut rng,
-                    (frac * topo.racks() as f64).round() as usize,
-                    topo.racks(),
-                    0,
-                    topo.switches(),
-                    0,
-                    &domain,
-                ),
-                _ => FailureSet::sample(
-                    &mut rng,
-                    0,
-                    topo.racks(),
-                    (frac * topo.switches() as f64).round() as usize,
-                    topo.switches(),
-                    0,
-                    &domain,
-                ),
-            };
-            let r = analyze_opera(&topo, &fails);
-            println!("{frac},{:.4},{:.4}", r.worst_slice_loss, r.all_slices_loss);
-        }
-        println!();
-    }
 }

@@ -1,0 +1,11 @@
+//! Figures 12 and 15 (folded): throughput vs relative cost α at ToR radix k (--k to override).
+//!
+//! Thin wrapper over [`bench::figures::fig12`]; all sweep/output logic
+//! lives in the shared `expt` harness.
+
+fn main() {
+    expt::run_main(
+        bench::figures::fig12::EXPERIMENT,
+        bench::figures::fig12::tables,
+    );
+}

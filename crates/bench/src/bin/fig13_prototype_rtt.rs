@@ -1,18 +1,11 @@
-//! Figure 13: RTT CDF of the hardware prototype's ping-pong traffic, with
-//! and without bulk background traffic (model of §6.1).
-
-use opera::prototype::{simulate_prototype, PrototypeParams};
+//! Figure 13: RTT CDF of the prototype's ping-pong traffic (§6.1).
+//!
+//! Thin wrapper over [`bench::figures::fig13`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let r = simulate_prototype(PrototypeParams::paper_default(), 100_000, 7);
-    println!("# Figure 13: prototype ping-pong RTT CDFs (µs)");
-    for (label, mut s) in [("no_bulk", r.quiet), ("with_bulk", r.with_bulk)] {
-        println!("series,{label}");
-        println!("rtt_us,cdf");
-        for q in 1..=100 {
-            let v = s.quantile(q as f64 / 100.0).unwrap();
-            println!("{v:.2},{:.2}", q as f64 / 100.0);
-        }
-        println!();
-    }
+    expt::run_main(
+        bench::figures::fig13::EXPERIMENT,
+        bench::figures::fig13::tables,
+    );
 }

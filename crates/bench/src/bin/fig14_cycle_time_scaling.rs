@@ -1,29 +1,11 @@
-//! Figure 14: relative cycle time vs ToR radix, with and without circuit-
-//! switch grouping (Appendix B).
-
-use opera::timing::{cycle_slices_grouped, cycle_slices_ungrouped, SliceTiming};
+//! Figure 14: relative cycle time vs ToR radix, grouped vs ungrouped (Appendix B).
+//!
+//! Thin wrapper over [`bench::figures::fig14`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let base = cycle_slices_ungrouped(12) as f64;
-    let t = SliceTiming::paper_default();
-    println!("# Figure 14: relative cycle time vs ToR radix (normalized to k=12)");
-    println!("k,racks,no_groups,groups_of_6,cycle_ms_grouped");
-    for k in (12..=60).step_by(4) {
-        let ungrouped = cycle_slices_ungrouped(k);
-        let grouped = cycle_slices_grouped(k, 6.min(k / 2));
-        println!(
-            "{k},{},{:.2},{:.2},{:.2}",
-            3 * k * k / 4,
-            ungrouped as f64 / base,
-            grouped as f64 / base,
-            t.cycle(grouped).as_ms_f64()
-        );
-    }
-    println!();
-    println!("# k=64-class network: grouped cycle grows ~6x from k=12 (paper: 'factor of 6'),");
-    println!(
-        "# bulk threshold scales accordingly: {:.0} MB at k=60 grouped vs {:.0} MB at k=12",
-        t.bulk_threshold_bytes(cycle_slices_grouped(60, 6), 10.0) as f64 / 1e6,
-        t.bulk_threshold_bytes(cycle_slices_ungrouped(12), 10.0) as f64 / 1e6,
+    expt::run_main(
+        bench::figures::fig14::EXPERIMENT,
+        bench::figures::fig14::tables,
     );
 }

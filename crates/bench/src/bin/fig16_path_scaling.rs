@@ -1,55 +1,11 @@
-//! Figure 16: average path length vs ToR radix for Opera and for static
-//! expanders at several cost points α (Appendix C).
-
-use topo::cost::{expander_racks, expander_uplinks};
-use topo::expander::{ExpanderParams, ExpanderTopology};
-use topo::opera::{OperaParams, OperaTopology};
+//! Figure 16: average path length vs ToR radix (Appendix C).
+//!
+//! Thin wrapper over [`bench::figures::fig16`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let full = matches!(
-        std::env::var("OPERA_SCALE").as_deref(),
-        Ok("full") | Ok("FULL")
+    expt::run_main(
+        bench::figures::fig16::EXPERIMENT,
+        bench::figures::fig16::tables,
     );
-    let ks: Vec<usize> = if full {
-        vec![12, 24, 36, 48]
-    } else {
-        vec![12, 24]
-    };
-    let alphas = [1.0, 1.4, 2.0, 3.0];
-
-    println!("# Figure 16: average path length vs ToR radix");
-    println!(
-        "k,hosts,opera_avg,opera_max,{}",
-        alphas.map(|a| format!("exp_a{a}")).join(",")
-    );
-    for &k in &ks {
-        let racks = 3 * k * k / 4;
-        let hosts = racks * k / 2;
-        let topo = OperaTopology::generate(OperaParams::from_radix(k, racks), 2);
-        // Sample a few slices (all slices are statistically identical).
-        let mut avg = 0.0;
-        let mut max = 0usize;
-        let samples = 4.min(topo.slices_per_cycle());
-        for i in 0..samples {
-            let s = i * topo.slices_per_cycle() / samples;
-            let st = topo.slice(s).graph().path_length_stats();
-            avg += st.avg / samples as f64;
-            max = max.max(st.max);
-        }
-        let mut cols = Vec::new();
-        for &alpha in &alphas {
-            let u = expander_uplinks(alpha, k).clamp(3, k - 1);
-            let r = expander_racks(hosts, k, u);
-            let e = ExpanderTopology::generate(
-                ExpanderParams {
-                    racks: r,
-                    uplinks: u,
-                    hosts_per_rack: k - u,
-                },
-                3,
-            );
-            cols.push(format!("{:.3}", e.graph().path_length_stats().avg));
-        }
-        println!("{k},{hosts},{avg:.3},{max},{}", cols.join(","));
-    }
 }

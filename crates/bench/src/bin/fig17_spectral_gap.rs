@@ -1,57 +1,11 @@
-//! Figure 17 / Appendix D: spectral gap vs path length for Opera's
-//! topology slices compared to static expanders of varying degree, all on
-//! k = 12 ToRs with ~650 hosts.
-
-use topo::expander::{ExpanderParams, ExpanderTopology};
-use topo::opera::{OperaParams, OperaTopology};
-use topo::spectral::adjacency_spectrum;
+//! Figure 17: spectral gap vs path length (Appendix D).
+//!
+//! Thin wrapper over [`bench::figures::fig17`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    println!("# Figure 17: spectral gap vs path length (k=12, ~648 hosts)");
-    println!("series,gap,avg_path,max_path,lambda2,ramanujan_bound");
-
-    // Opera: every slice of the 108-rack cycle (sampled to keep it fast).
-    let (topo, _) = OperaTopology::generate_validated(OperaParams::example_648(), 1, 64);
-    let step = 6;
-    for s in (0..topo.slices_per_cycle()).step_by(step) {
-        let g = topo.slice(s).graph();
-        let sp = adjacency_spectrum(&g, 300, 40 + s as u64);
-        let st = g.path_length_stats();
-        println!(
-            "opera_slice,{:.3},{:.3},{},{:.3},{:.3}",
-            sp.gap(),
-            st.avg,
-            st.max,
-            sp.lambda2,
-            sp.ramanujan_bound()
-        );
-    }
-
-    // Static expanders with u = 5..8 (more uplinks -> fewer hosts/rack ->
-    // more racks for the same host count).
-    for u in 5..=8usize {
-        let d = 12 - u;
-        let racks = {
-            let r = 650usize.div_ceil(d);
-            r + r % 2
-        };
-        let e = ExpanderTopology::generate(
-            ExpanderParams {
-                racks,
-                uplinks: u,
-                hosts_per_rack: d,
-            },
-            9,
-        );
-        let sp = adjacency_spectrum(e.graph(), 300, 70 + u as u64);
-        let st = e.graph().path_length_stats();
-        println!(
-            "static_u{u},{:.3},{:.3},{},{:.3},{:.3}",
-            sp.gap(),
-            st.avg,
-            st.max,
-            sp.lambda2,
-            sp.ramanujan_bound()
-        );
-    }
+    expt::run_main(
+        bench::figures::fig17::EXPERIMENT,
+        bench::figures::fig17::tables,
+    );
 }

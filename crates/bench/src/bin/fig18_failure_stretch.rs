@@ -1,69 +1,11 @@
-//! Figure 18 / Appendix E: average and worst-case Opera path length under
-//! link, ToR, and circuit-switch failures.
-
-use simkit::SimRng;
-use topo::failures::{analyze_opera, opera_link_domain, FailureSet};
-use topo::opera::{OperaParams, OperaTopology};
+//! Figure 18: Opera path stretch under failures (Appendix E).
+//!
+//! Thin wrapper over [`bench::figures::fig18`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let mini = !matches!(
-        std::env::var("OPERA_SCALE").as_deref(),
-        Ok("full") | Ok("FULL")
+    expt::run_main(
+        bench::figures::fig18::EXPERIMENT,
+        bench::figures::fig18::tables,
     );
-    let params = if mini {
-        OperaParams {
-            racks: 48,
-            uplinks: 6,
-            hosts_per_rack: 6,
-            groups: 1,
-        }
-    } else {
-        OperaParams::example_648()
-    };
-    let (topo, _) = OperaTopology::generate_validated(params, 3, 64);
-    let domain = opera_link_domain(&topo);
-    let mut rng = SimRng::new(18);
-
-    println!(
-        "# Figure 18: Opera path stretch under failures ({} racks)",
-        params.racks
-    );
-    for (label, kind) in [("links", 0usize), ("tors", 1), ("switches", 2)] {
-        println!("failure_kind,{label}");
-        println!("fraction,avg_path,worst_path");
-        for &frac in &[0.01f64, 0.025, 0.05, 0.10, 0.20, 0.40] {
-            let fails = match kind {
-                0 => FailureSet::sample(
-                    &mut rng,
-                    0,
-                    topo.racks(),
-                    0,
-                    topo.switches(),
-                    (frac * domain.len() as f64).round() as usize,
-                    &domain,
-                ),
-                1 => FailureSet::sample(
-                    &mut rng,
-                    (frac * topo.racks() as f64).round() as usize,
-                    topo.racks(),
-                    0,
-                    topo.switches(),
-                    0,
-                    &domain,
-                ),
-                _ => FailureSet::sample(
-                    &mut rng,
-                    0,
-                    topo.racks(),
-                    (frac * topo.switches() as f64).round() as usize,
-                    topo.switches(),
-                    0,
-                    &domain,
-                ),
-            };
-            let r = analyze_opera(&topo, &fails);
-            println!("{frac},{:.3},{}", r.avg_path_len, r.max_path_len);
-        }
-        println!();
-    }
 }

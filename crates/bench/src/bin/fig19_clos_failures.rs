@@ -1,51 +1,11 @@
-//! Figure 19 / Appendix E: connectivity loss and path stretch of the 3:1
-//! folded Clos under link and switch failures.
-
-use simkit::SimRng;
-use topo::clos::{ClosParams, ClosTopology};
-use topo::failures::{analyze_static, clos_link_domain, FailureSet};
+//! Figure 19: folded Clos under failures (Appendix E).
+//!
+//! Thin wrapper over [`bench::figures::fig19`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let clos = ClosTopology::generate(ClosParams::example_648());
-    let tors: Vec<usize> = (0..clos.tors()).collect();
-    let domain = clos_link_domain(&clos);
-    let switches = clos.graph().len(); // all switch nodes can fail
-    let mut rng = SimRng::new(19);
-
-    println!("# Figure 19: 3:1 folded Clos under failures (648 hosts)");
-    for (label, kind) in [("links", 0usize), ("switches", 1)] {
-        println!("failure_kind,{label}");
-        println!("fraction,connectivity_loss,avg_path,worst_path");
-        for &frac in &[0.01f64, 0.025, 0.05, 0.10, 0.20, 0.40] {
-            let fails = match kind {
-                0 => {
-                    let n = (frac * domain.len() as f64).round() as usize;
-                    let mut all: Vec<usize> = (0..domain.len()).collect();
-                    rng.shuffle(&mut all);
-                    FailureSet {
-                        links: all[..n].iter().map(|&i| domain[i]).collect(),
-                        ..Default::default()
-                    }
-                }
-                _ => {
-                    // Switch failures: sample among non-ToR switches (aggs
-                    // + cores), as the paper's ToR failures are separate.
-                    let aggs_cores: Vec<usize> = (clos.tors()..switches).collect();
-                    let n = (frac * aggs_cores.len() as f64).round() as usize;
-                    let mut pool = aggs_cores.clone();
-                    rng.shuffle(&mut pool);
-                    FailureSet {
-                        switches: pool[..n].to_vec(),
-                        ..Default::default()
-                    }
-                }
-            };
-            let r = analyze_static(clos.graph(), &tors, &fails);
-            println!(
-                "{frac},{:.4},{:.3},{}",
-                r.worst_slice_loss, r.avg_path_len, r.max_path_len
-            );
-        }
-        println!();
-    }
+    expt::run_main(
+        bench::figures::fig19::EXPERIMENT,
+        bench::figures::fig19::tables,
+    );
 }

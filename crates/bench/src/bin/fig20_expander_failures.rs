@@ -1,56 +1,11 @@
-//! Figure 20 / Appendix E: connectivity loss and path stretch of the u=7
-//! static expander under link and ToR failures.
-
-use simkit::SimRng;
-use topo::expander::{ExpanderParams, ExpanderTopology};
-use topo::failures::{analyze_static, FailureSet};
+//! Figure 20: static expander under failures (Appendix E).
+//!
+//! Thin wrapper over [`bench::figures::fig20`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let exp = ExpanderTopology::generate(ExpanderParams::example_650(), 20);
-    let g = exp.graph();
-    let tors: Vec<usize> = (0..exp.racks()).collect();
-    // Undirected link domain.
-    let mut domain = Vec::new();
-    for a in 0..g.len() {
-        for e in g.edges(a) {
-            if a < e.to {
-                domain.push((a, e.to));
-            }
-        }
-    }
-    let mut rng = SimRng::new(20);
-
-    println!("# Figure 20: u=7 expander under failures (650 hosts)");
-    for (label, kind) in [("links", 0usize), ("tors", 1)] {
-        println!("failure_kind,{label}");
-        println!("fraction,connectivity_loss,avg_path,worst_path");
-        for &frac in &[0.01f64, 0.025, 0.05, 0.10, 0.20, 0.40] {
-            let fails = match kind {
-                0 => {
-                    let n = (frac * domain.len() as f64).round() as usize;
-                    let mut all: Vec<usize> = (0..domain.len()).collect();
-                    rng.shuffle(&mut all);
-                    FailureSet {
-                        links: all[..n].iter().map(|&i| domain[i]).collect(),
-                        ..Default::default()
-                    }
-                }
-                _ => {
-                    let n = (frac * exp.racks() as f64).round() as usize;
-                    let mut pool = tors.clone();
-                    rng.shuffle(&mut pool);
-                    FailureSet {
-                        tors: pool[..n].to_vec(),
-                        ..Default::default()
-                    }
-                }
-            };
-            let r = analyze_static(g, &tors, &fails);
-            println!(
-                "{frac},{:.4},{:.3},{}",
-                r.worst_slice_loss, r.avg_path_len, r.max_path_len
-            );
-        }
-        println!();
-    }
+    expt::run_main(
+        bench::figures::fig20::EXPERIMENT,
+        bench::figures::fig20::tables,
+    );
 }

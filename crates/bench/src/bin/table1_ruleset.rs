@@ -1,21 +1,11 @@
-//! Table 1: routing-state entries and switch-memory utilization for Opera
-//! rulesets at various datacenter sizes (§6.2).
-
-use opera::ruleset::{ruleset_for, table1_rows};
+//! Table 1: Opera ruleset sizes and switch-memory utilization (§6.2).
+//!
+//! Thin wrapper over [`bench::figures::table1`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    println!("# Table 1: Opera ruleset sizes");
-    println!(
-        "{:>8} {:>8} {:>12} {:>12}",
-        "racks", "uplinks", "entries", "util_%"
+    expt::run_main(
+        bench::figures::table1::EXPERIMENT,
+        bench::figures::table1::tables,
     );
-    for (racks, uplinks) in table1_rows() {
-        let r = ruleset_for(racks, uplinks);
-        println!(
-            "{:>8} {:>8} {:>12} {:>12.1}",
-            r.racks, r.uplinks, r.entries, r.utilization_pct
-        );
-    }
-    println!();
-    println!("# paper: 12096/0.7, 65268/3.8, 276120/16.2, 600576/35.3, 1032192/60.7, 1461600/85.9");
 }

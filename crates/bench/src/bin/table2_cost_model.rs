@@ -1,39 +1,11 @@
-//! Table 2 / Appendix A: cost per "port" for a static network vs Opera,
-//! and the derived cost-normalization quantities.
-
-use topo::cost::{clos_hosts, clos_oversubscription, expander_uplinks, table2_alpha, PortCost};
+//! Table 2 / Appendix A: per-port cost model and derived quantities.
+//!
+//! Thin wrapper over [`bench::figures::table2`]; all sweep/output logic
+//! lives in the shared `expt` harness.
 
 fn main() {
-    let s = PortCost::static_port();
-    let o = PortCost::opera_port();
-    println!("# Table 2: per-port cost breakdown (USD)");
-    println!("{:<24} {:>8} {:>8}", "component", "static", "opera");
-    println!(
-        "{:<24} {:>8.0} {:>8.0}",
-        "SR transceiver", s.transceiver, o.transceiver
-    );
-    println!("{:<24} {:>8.0} {:>8.0}", "optical fiber", s.fiber, o.fiber);
-    println!("{:<24} {:>8.0} {:>8.0}", "ToR port", s.tor_port, o.tor_port);
-    println!(
-        "{:<24} {:>8.0} {:>8.0}",
-        "rotor components", s.rotor_components, o.rotor_components
-    );
-    println!("{:<24} {:>8.0} {:>8.0}", "total", s.total(), o.total());
-    println!();
-    println!("alpha = {:.3} (paper: 1.3)", table2_alpha());
-    println!();
-    println!("# Appendix A derived quantities at alpha:");
-    let a = table2_alpha();
-    println!(
-        "cost-equivalent Clos oversubscription F = {:.2}",
-        clos_oversubscription(a, 3)
-    );
-    println!(
-        "cost-equivalent Clos hosts (k=12): {:.0}",
-        clos_hosts(4.0 / 3.0, 12)
-    );
-    println!(
-        "cost-equivalent expander uplinks (k=12): u = {}",
-        expander_uplinks(1.4, 12)
+    expt::run_main(
+        bench::figures::table2::EXPERIMENT,
+        bench::figures::table2::tables,
     );
 }

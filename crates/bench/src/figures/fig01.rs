@@ -1,0 +1,69 @@
+//! Figure 1: flow-count and byte CDFs of the three published workloads.
+
+use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use workloads::dists::{FlowSizeDist, Workload};
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "fig01_flow_dists",
+    title: "Figure 1: flow-size distributions (CDF of flows, CDF of bytes)",
+};
+
+/// Build the figure's tables.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    // Quantile-integration resolution for the byte CDF.
+    let n: usize = ctx.by_scale(400, 4000, 4000);
+    let size_step: usize = ctx.by_scale(2, 1, 1);
+    let sizes: Vec<f64> = (4..=36)
+        .step_by(size_step)
+        .map(|i| 10f64.powf(i as f64 / 4.0))
+        .collect();
+
+    let sweep = Sweep::grid1(
+        &[Workload::Datamining, Workload::Websearch, Workload::Hadoop],
+        |w| w,
+    );
+    let per_workload = ctx.run(&sweep, |&w, _| {
+        let d = FlowSizeDist::of(w);
+        let total: f64 = (0..n)
+            .map(|i| d.quantile((i as f64 + 0.5) / n as f64))
+            .sum();
+        let rows: Vec<Vec<Cell>> = sizes
+            .iter()
+            .map(|&s| {
+                let flows = d.cdf(s);
+                let bytes: f64 = (0..n)
+                    .map(|i| d.quantile((i as f64 + 0.5) / n as f64))
+                    .filter(|&q| q <= s)
+                    .sum::<f64>()
+                    / total;
+                vec![
+                    Cell::from(format!("{w:?}")),
+                    Cell::from(format!("{s:.0}")),
+                    expt::f(flows),
+                    expt::f(bytes),
+                ]
+            })
+            .collect();
+        let summary = vec![
+            Cell::from(format!("{w:?}")),
+            Cell::from(format!("{:.0}", d.mean())),
+            expt::f3(d.byte_fraction_above(15e6)),
+        ];
+        (rows, summary)
+    });
+
+    let mut cdfs = Table::new(
+        "flow_size_cdfs",
+        &["workload", "size_bytes", "cdf_flows", "cdf_bytes"],
+    );
+    let mut summary = Table::new(
+        "byte_summary",
+        &["workload", "mean_bytes", "byte_share_above_15mb"],
+    );
+    for (rows, srow) in per_workload {
+        cdfs.extend(rows);
+        summary.push(srow);
+    }
+    vec![cdfs, summary]
+}

@@ -1,0 +1,100 @@
+//! Figure 7: FCTs for the Datamining workload on the cost-equivalent
+//! trio (Opera / u-expander / 3:1 Clos) plus non-hybrid and hybrid
+//! RotorNet, across offered loads.
+
+use crate::figures::{completion_row, fct_rows, FCT_COLUMNS};
+use crate::{clos_cfg, expander_cfg, opera_cfg, static_hosts};
+use expt::{Ctx, Experiment, Sweep, Table};
+use opera::{opera_net, static_net, RotorMode};
+use simkit::SimTime;
+use workloads::dists::{FlowSizeDist, Workload};
+use workloads::gen::PoissonGen;
+use workloads::FlowSpec;
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "fig07_datamining_fct",
+    title: "Figure 7: Datamining FCTs across offered loads",
+};
+
+/// The five systems of the figure.
+const SYSTEMS: [&str; 5] = [
+    "opera",
+    "rotornet-nonhybrid",
+    "rotornet-hybrid",
+    "expander",
+    "folded-clos",
+];
+
+fn gen_flows(hosts: usize, load: f64, window: SimTime, seed: u64) -> Vec<FlowSpec> {
+    let mut g = PoissonGen::new(
+        FlowSizeDist::of(Workload::Datamining),
+        hosts,
+        10.0,
+        load,
+        seed,
+    );
+    g.flows_until(window)
+}
+
+/// Build the figure's tables.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let scale = ctx.args.scale;
+    let (window, run_until) = ctx.by_scale(
+        (SimTime::from_ms(4), SimTime::from_ms(120)),
+        (SimTime::from_ms(40), SimTime::from_ms(600)),
+        (SimTime::from_ms(50), SimTime::from_ms(800)),
+    );
+    let loads: &[f64] = ctx.by_scale(&[0.10], &[0.01, 0.10, 0.25], &[0.01, 0.10, 0.25]);
+
+    // Every system at a given load sees the same flow arrivals, so the
+    // workload seed depends on the load index only.
+    let sweep = Sweep::grid2(&SYSTEMS, loads, |s, l| (s, l));
+    let results = ctx.run(&sweep, |&(system, load), pt| {
+        let load_idx = pt.index % loads.len();
+        let seed = expt::derive_seed(ctx.runner.base_seed() ^ 42, load_idx as u64);
+        match system {
+            "opera" | "rotornet-nonhybrid" | "rotornet-hybrid" => {
+                let mut cfg = opera_cfg(scale);
+                cfg.mode = match system {
+                    "rotornet-nonhybrid" => RotorMode::RotorNonHybrid,
+                    "rotornet-hybrid" => RotorMode::RotorHybrid,
+                    _ => RotorMode::Opera,
+                };
+                let flows = gen_flows(cfg.hosts(), load, window, seed);
+                let n = flows.len();
+                let mut sim = opera_net::build(cfg, flows);
+                sim.run_until(run_until);
+                let t = sim.world.logic.tracker();
+                (
+                    fct_rows(system, load, t),
+                    completion_row(system, load, t, n),
+                )
+            }
+            _ => {
+                let cfg = if system == "expander" {
+                    expander_cfg(scale)
+                } else {
+                    clos_cfg(scale)
+                };
+                let flows = gen_flows(static_hosts(&cfg), load, window, seed);
+                let n = flows.len();
+                let mut sim = static_net::build(cfg, flows);
+                sim.run_until(run_until);
+                let t = sim.world.logic.tracker();
+                (
+                    fct_rows(system, load, t),
+                    completion_row(system, load, t, n),
+                )
+            }
+        }
+    });
+
+    let mut fct = Table::new("fct_by_size", &FCT_COLUMNS);
+    let mut completion = Table::new("completion", &["system", "load", "completed", "offered"]);
+    for (rows, crow) in results {
+        fct.extend(rows);
+        completion.push(crow);
+    }
+    vec![fct, completion]
+}

@@ -1,0 +1,115 @@
+//! Figure 8: delivered throughput over time for an all-to-all shuffle.
+//! Opera carries every flow over direct circuits (application bulk
+//! tagging, §3.4); the static networks run NDP with staggered starts.
+
+use crate::{clos_cfg, expander_cfg, opera_cfg, static_hosts};
+use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use netsim::FlowTracker;
+use opera::{opera_net, static_net};
+use simkit::SimTime;
+use workloads::gen::ScenarioGen;
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "fig08_shuffle_throughput",
+    title: "Figure 8: 100KB all-to-all shuffle, throughput vs time",
+};
+
+const SYSTEMS: [&str; 3] = ["opera", "expander", "folded-clos"];
+
+fn series_rows(label: &str, series: &[(SimTime, f64)], hosts: usize) -> Vec<Vec<Cell>> {
+    // Normalize to aggregate host capacity (hosts × 10G).
+    let cap = hosts as f64 * 10e9;
+    series
+        .iter()
+        .map(|(t, bytes_per_sec)| {
+            vec![
+                Cell::from(label),
+                Cell::from(format!("{:.1}", t.as_ms_f64())),
+                expt::f(bytes_per_sec * 8.0 / cap),
+            ]
+        })
+        .collect()
+}
+
+fn summary_row(label: &str, tracker: &FlowTracker, offered: usize) -> Vec<Cell> {
+    let fcts = tracker
+        .flows()
+        .iter()
+        .filter_map(|f| f.fct())
+        .map(|x| x.as_ms_f64());
+    let s = expt::summarize(fcts);
+    vec![
+        Cell::from(label),
+        Cell::from(tracker.completed()),
+        Cell::from(offered),
+        expt::f2(s.p99),
+        expt::f2(s.mean),
+    ]
+}
+
+/// Build the figure's tables.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let scale = ctx.args.scale;
+    let flow_size: u64 = ctx.by_scale(30_000, 100_000, 100_000);
+    let bin = SimTime::from_ms(1);
+    let horizon = SimTime::from_ms(ctx.by_scale(60, 150, 300));
+
+    let sweep = Sweep::grid1(&SYSTEMS, |s| s);
+    let results = ctx.run(&sweep, |&system, pt| {
+        if system == "opera" {
+            // All flows tagged bulk, all start together.
+            let mut cfg = opera_cfg(scale);
+            cfg.bulk_threshold = 0; // application tags everything bulk
+            let hosts = cfg.hosts();
+            let flows = ScenarioGen::shuffle(hosts, flow_size, SimTime::ZERO);
+            let total = flows.len();
+            let mut sim = opera_net::build_with_throughput(cfg, flows, bin);
+            sim.run_until(horizon);
+            let t = sim.world.logic.tracker();
+            (
+                series_rows(system, &t.throughput().unwrap().rate_per_sec(), hosts),
+                summary_row(system, t, total),
+            )
+        } else {
+            // Static networks: staggered starts over 10 ms.
+            let cfg = if system == "expander" {
+                expander_cfg(scale)
+            } else {
+                clos_cfg(scale)
+            };
+            let hosts = static_hosts(&cfg);
+            let mut rng = pt.rng();
+            let flows =
+                ScenarioGen::shuffle_staggered(hosts, flow_size, SimTime::from_ms(10), &mut rng);
+            let total = flows.len();
+            let mut sim = static_net::build_with_throughput(cfg, flows, bin);
+            sim.run_until(horizon);
+            let t = sim.world.logic.tracker();
+            (
+                series_rows(system, &t.throughput().unwrap().rate_per_sec(), hosts),
+                summary_row(system, t, total),
+            )
+        }
+    });
+
+    let mut series = Table::new(
+        "throughput_timeseries",
+        &["network", "time_ms", "normalized_throughput"],
+    );
+    let mut summary = Table::new(
+        "completion_summary",
+        &[
+            "network",
+            "completed",
+            "offered",
+            "p99_fct_ms",
+            "mean_fct_ms",
+        ],
+    );
+    for (rows, srow) in results {
+        series.extend(rows);
+        summary.push(srow);
+    }
+    vec![series, summary]
+}

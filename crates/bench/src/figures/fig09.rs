@@ -1,0 +1,90 @@
+//! Figure 9: FCTs for the Websearch workload — Opera's worst case, since
+//! every flow is under the bulk threshold and rides indirect expander
+//! paths paying the bandwidth tax.
+
+use crate::figures::{completion_row, fct_rows, FCT_COLUMNS};
+use crate::{clos_cfg, expander_cfg, opera_cfg, static_hosts};
+use expt::{Ctx, Experiment, Sweep, Table};
+use opera::{opera_net, static_net};
+use simkit::SimTime;
+use workloads::dists::{FlowSizeDist, Workload};
+use workloads::gen::PoissonGen;
+use workloads::FlowSpec;
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "fig09_websearch_fct",
+    title: "Figure 9: Websearch FCTs (all flows low-latency in Opera)",
+};
+
+const SYSTEMS: [&str; 3] = ["opera", "expander", "folded-clos"];
+
+fn gen_flows(hosts: usize, load: f64, window: SimTime, seed: u64) -> Vec<FlowSpec> {
+    let mut g = PoissonGen::new(
+        FlowSizeDist::of(Workload::Websearch),
+        hosts,
+        10.0,
+        load,
+        seed,
+    );
+    g.flows_until(window)
+}
+
+/// Build the figure's tables.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let scale = ctx.args.scale;
+    let (window, run_until) = ctx.by_scale(
+        (SimTime::from_ms(2), SimTime::from_ms(80)),
+        (SimTime::from_ms(6), SimTime::from_ms(200)),
+        (SimTime::from_ms(40), SimTime::from_ms(500)),
+    );
+    let loads: &[f64] = ctx.by_scale(&[0.05], &[0.01, 0.05, 0.10], &[0.01, 0.05, 0.10]);
+
+    let sweep = Sweep::grid2(&SYSTEMS, loads, |s, l| (s, l));
+    let results = ctx.run(&sweep, |&(system, load), pt| {
+        let load_idx = pt.index % loads.len();
+        let seed = expt::derive_seed(ctx.runner.base_seed() ^ 17, load_idx as u64);
+        match system {
+            "opera" => {
+                let mut cfg = opera_cfg(scale);
+                // Figure 9's premise: every Websearch flow sits below the
+                // bulk threshold (15 MB at paper scale) and rides
+                // indirect paths.
+                cfg.bulk_threshold = 20_000_000;
+                let flows = gen_flows(cfg.hosts(), load, window, seed);
+                let n = flows.len();
+                let mut sim = opera_net::build(cfg, flows);
+                sim.run_until(run_until);
+                let t = sim.world.logic.tracker();
+                (
+                    fct_rows(system, load, t),
+                    completion_row(system, load, t, n),
+                )
+            }
+            _ => {
+                let cfg = if system == "expander" {
+                    expander_cfg(scale)
+                } else {
+                    clos_cfg(scale)
+                };
+                let flows = gen_flows(static_hosts(&cfg), load, window, seed);
+                let n = flows.len();
+                let mut sim = static_net::build(cfg, flows);
+                sim.run_until(run_until);
+                let t = sim.world.logic.tracker();
+                (
+                    fct_rows(system, load, t),
+                    completion_row(system, load, t, n),
+                )
+            }
+        }
+    });
+
+    let mut fct = Table::new("fct_by_size", &FCT_COLUMNS);
+    let mut completion = Table::new("completion", &["system", "load", "completed", "offered"]);
+    for (rows, crow) in results {
+        fct.extend(rows);
+        completion.push(crow);
+    }
+    vec![fct, completion]
+}

@@ -1,0 +1,130 @@
+//! Figures 12 and 15, folded into one parameterized driver: throughput
+//! vs relative cost α for hot-rack, skew[0.2,1], and permutation
+//! workloads at ToR radix `k`, flow-level.
+//!
+//! Figure 12 is `k = 24` (5184 hosts), Figure 15 the `k = 12` (648-host)
+//! version the paper's Appendix C shows to scale identically. Pass
+//! `--k K` to select the radix explicitly; otherwise quick mode uses
+//! `k = 8`, the default `k = 12`, and `--full` the paper's `k = 24`.
+
+use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use flowsim::models::Demand;
+use flowsim::{clos_throughput, max_concurrent_flow, opera_model};
+use topo::cost::{expander_racks, expander_uplinks};
+use topo::expander::{ExpanderParams, ExpanderTopology};
+use topo::opera::{OperaParams, OperaTopology};
+use workloads::gen::ScenarioGen;
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "fig12_cost_sweep",
+    title: "Figures 12/15: throughput vs relative cost alpha (flow-level)",
+};
+
+const WORKLOADS: [&str; 3] = ["hotrack", "skew02", "permutation"];
+
+/// Build the figure's tables.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let k = ctx.args.k.unwrap_or_else(|| ctx.by_scale(8, 12, 24));
+    let rate = 10.0;
+    let duty = 0.98;
+    let d_opera = k / 2;
+    let racks_opera = 3 * k * k / 4;
+    let hosts = racks_opera * d_opera;
+    let opera = OperaTopology::generate(OperaParams::from_radix(k, racks_opera), 5);
+    let alphas: &[f64] = ctx.by_scale(
+        &[1.0, 1.5, 2.0],
+        &[1.0, 1.25, 1.5, 1.75, 2.0],
+        &[1.0, 1.25, 1.5, 1.75, 2.0],
+    );
+    let mcf_iters: usize = ctx.by_scale(25, 60, 60);
+
+    // Demands per workload at Opera's rack granularity, plus Opera's
+    // α-independent throughput, computed once per workload.
+    let opera_side: Vec<(&str, Vec<Demand>, f64)> = WORKLOADS
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| {
+            let mut rng = ctx.runner.point_ctx(i).rng_stream(21);
+            let demands = match name {
+                "hotrack" => ScenarioGen::hotrack_demands(d_opera, rate),
+                "skew02" => ScenarioGen::skew_demands(racks_opera, 0.2, d_opera, rate, &mut rng),
+                _ => ScenarioGen::permutation_demands(racks_opera, d_opera, rate, &mut rng),
+            };
+            let o = opera_model(&opera, &demands, rate, duty, true).throughput_fraction();
+            (name, demands, o)
+        })
+        .collect();
+
+    // The expensive part — one max-concurrent-flow solve per
+    // (workload, α) — fans out over the runner.
+    let sweep = Sweep::grid2(&[0usize, 1, 2], alphas, |w, a| (w, a));
+    let rows = ctx.run(&sweep, |&(wi, alpha), pt| {
+        let (name, _, o) = &opera_side[wi];
+        // Cost-equivalent expander.
+        let u = expander_uplinks(alpha, k).clamp(3, k - 1);
+        let de = k - u;
+        let racks_e = expander_racks(hosts, k, u);
+        let exp = ExpanderTopology::generate(
+            ExpanderParams {
+                racks: racks_e,
+                uplinks: u,
+                hosts_per_rack: de,
+            },
+            7,
+        );
+        // Map the workload onto the expander's rack count.
+        let mut rng_e = pt.rng_stream(31);
+        let demands_e: Vec<Demand> = match *name {
+            "hotrack" => ScenarioGen::hotrack_demands(de, rate),
+            "skew02" => ScenarioGen::skew_demands(racks_e, 0.2, de, rate, &mut rng_e),
+            _ => ScenarioGen::permutation_demands(racks_e, de, rate, &mut rng_e),
+        };
+        let tor: Vec<usize> = (0..racks_e).collect();
+        let e = max_concurrent_flow(
+            exp.graph(),
+            &tor,
+            &demands_e,
+            rate,
+            de as f64 * rate,
+            mcf_iters,
+        )
+        .lambda;
+        let c = clos_throughput(alpha);
+        vec![
+            Cell::from(*name),
+            Cell::F64(alpha),
+            expt::f(*o),
+            expt::f(e),
+            expt::f(c),
+        ]
+    });
+
+    let mut sweep_table = Table::new(
+        "throughput_vs_alpha",
+        &["workload", "alpha", "opera", "expander", "clos"],
+    );
+    sweep_table.extend(rows);
+    // Header metadata the old driver printed as a comment.
+    let mut meta = Table::new("config", &["k", "racks", "hosts"]);
+    meta.push(vec![
+        Cell::from(k),
+        Cell::from(racks_opera),
+        Cell::from(hosts),
+    ]);
+
+    // All-to-all shuffle reference (Opera's direct-path advantage).
+    let a2a = ScenarioGen::all_to_all_demands(racks_opera, d_opera, rate, 1.0);
+    let o = opera_model(&opera, &a2a, rate, duty, true).throughput_fraction();
+    let mut reference = Table::new(
+        "all_to_all_reference",
+        &["workload", "network", "throughput"],
+    );
+    reference.push(vec![
+        Cell::from("all_to_all"),
+        Cell::from("opera"),
+        expt::f(o),
+    ]);
+
+    vec![meta, sweep_table, reference]
+}

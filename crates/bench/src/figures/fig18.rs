@@ -1,0 +1,41 @@
+//! Figure 18 / Appendix E: average and worst-case Opera path length
+//! under link, ToR, and circuit-switch failures.
+
+use crate::figures::fig11::{failure_params, fractions, sample_failures, KINDS};
+use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use topo::failures::{analyze_opera, opera_link_domain};
+use topo::opera::OperaTopology;
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "fig18_failure_stretch",
+    title: "Figure 18: Opera path stretch under failures",
+};
+
+/// Build the figure's tables.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let params = failure_params(ctx);
+    let (topo, _) = OperaTopology::generate_validated(params, 3, 64);
+    let domain = opera_link_domain(&topo);
+    let fracs = fractions(ctx);
+
+    let sweep = Sweep::grid2(&KINDS, fracs, |k, f| (k, f));
+    let rows = ctx.run(&sweep, |&(kind, frac), pt| {
+        let mut rng = pt.rng();
+        let fails = sample_failures(&topo, &domain, kind, frac, &mut rng);
+        let r = analyze_opera(&topo, &fails);
+        vec![
+            Cell::from(kind),
+            Cell::F64(frac),
+            expt::f3(r.avg_path_len),
+            Cell::from(r.max_path_len),
+        ]
+    });
+
+    let mut t = Table::new(
+        "path_stretch",
+        &["failure_kind", "fraction", "avg_path", "worst_path"],
+    );
+    t.extend(rows);
+    vec![t]
+}

@@ -1,0 +1,83 @@
+//! Figure 19 / Appendix E: connectivity loss and path stretch of the
+//! 3:1 folded Clos under link and switch failures.
+
+use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use topo::clos::{ClosParams, ClosTopology};
+use topo::failures::{analyze_static, clos_link_domain, FailureSet};
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "fig19_clos_failures",
+    title: "Figure 19: 3:1 folded Clos under failures",
+};
+
+/// Build the figure's tables.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let params = ctx.by_scale(
+        ClosParams {
+            radix: 8,
+            oversubscription: 3,
+        },
+        ClosParams::example_648(),
+        ClosParams::example_648(),
+    );
+    let clos = ClosTopology::generate(params);
+    let tors: Vec<usize> = (0..clos.tors()).collect();
+    let domain = clos_link_domain(&clos);
+    let switches = clos.graph().len(); // all switch nodes can fail
+    let fracs: &[f64] = ctx.by_scale(
+        &[0.05, 0.20],
+        &[0.01, 0.025, 0.05, 0.10, 0.20, 0.40],
+        &[0.01, 0.025, 0.05, 0.10, 0.20, 0.40],
+    );
+
+    let kinds = ["links", "switches"];
+    let sweep = Sweep::grid2(&kinds, fracs, |k, f| (k, f));
+    let rows = ctx.run(&sweep, |&(kind, frac), pt| {
+        let mut rng = pt.rng();
+        let fails = match kind {
+            "links" => {
+                let n = (frac * domain.len() as f64).round() as usize;
+                let mut all: Vec<usize> = (0..domain.len()).collect();
+                rng.shuffle(&mut all);
+                FailureSet {
+                    links: all[..n].iter().map(|&i| domain[i]).collect(),
+                    ..Default::default()
+                }
+            }
+            _ => {
+                // Switch failures: sample among non-ToR switches (aggs +
+                // cores), as the paper's ToR failures are separate.
+                let aggs_cores: Vec<usize> = (clos.tors()..switches).collect();
+                let n = (frac * aggs_cores.len() as f64).round() as usize;
+                let mut pool = aggs_cores.clone();
+                rng.shuffle(&mut pool);
+                FailureSet {
+                    switches: pool[..n].to_vec(),
+                    ..Default::default()
+                }
+            }
+        };
+        let r = analyze_static(clos.graph(), &tors, &fails);
+        vec![
+            Cell::from(kind),
+            Cell::F64(frac),
+            expt::f(r.worst_slice_loss),
+            expt::f3(r.avg_path_len),
+            Cell::from(r.max_path_len),
+        ]
+    });
+
+    let mut t = Table::new(
+        "clos_failures",
+        &[
+            "failure_kind",
+            "fraction",
+            "connectivity_loss",
+            "avg_path",
+            "worst_path",
+        ],
+    );
+    t.extend(rows);
+    vec![t]
+}

@@ -1,0 +1,89 @@
+//! Figure 20 / Appendix E: connectivity loss and path stretch of the
+//! u=7 static expander under link and ToR failures.
+
+use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use topo::expander::{ExpanderParams, ExpanderTopology};
+use topo::failures::{analyze_static, FailureSet};
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "fig20_expander_failures",
+    title: "Figure 20: u=7 expander under failures",
+};
+
+/// Build the figure's tables.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let params = ctx.by_scale(
+        ExpanderParams {
+            racks: 16,
+            uplinks: 4,
+            hosts_per_rack: 3,
+        },
+        ExpanderParams::example_650(),
+        ExpanderParams::example_650(),
+    );
+    let exp = ExpanderTopology::generate(params, 20);
+    let g = exp.graph();
+    let tors: Vec<usize> = (0..exp.racks()).collect();
+    // Undirected link domain.
+    let mut domain = Vec::new();
+    for a in 0..g.len() {
+        for e in g.edges(a) {
+            if a < e.to {
+                domain.push((a, e.to));
+            }
+        }
+    }
+    let fracs: &[f64] = ctx.by_scale(
+        &[0.05, 0.20],
+        &[0.01, 0.025, 0.05, 0.10, 0.20, 0.40],
+        &[0.01, 0.025, 0.05, 0.10, 0.20, 0.40],
+    );
+
+    let kinds = ["links", "tors"];
+    let sweep = Sweep::grid2(&kinds, fracs, |k, f| (k, f));
+    let rows = ctx.run(&sweep, |&(kind, frac), pt| {
+        let mut rng = pt.rng();
+        let fails = match kind {
+            "links" => {
+                let n = (frac * domain.len() as f64).round() as usize;
+                let mut all: Vec<usize> = (0..domain.len()).collect();
+                rng.shuffle(&mut all);
+                FailureSet {
+                    links: all[..n].iter().map(|&i| domain[i]).collect(),
+                    ..Default::default()
+                }
+            }
+            _ => {
+                let n = (frac * exp.racks() as f64).round() as usize;
+                let mut pool = tors.clone();
+                rng.shuffle(&mut pool);
+                FailureSet {
+                    tors: pool[..n].to_vec(),
+                    ..Default::default()
+                }
+            }
+        };
+        let r = analyze_static(g, &tors, &fails);
+        vec![
+            Cell::from(kind),
+            Cell::F64(frac),
+            expt::f(r.worst_slice_loss),
+            expt::f3(r.avg_path_len),
+            Cell::from(r.max_path_len),
+        ]
+    });
+
+    let mut t = Table::new(
+        "expander_failures",
+        &[
+            "failure_kind",
+            "fraction",
+            "connectivity_loss",
+            "avg_path",
+            "worst_path",
+        ],
+    );
+    t.extend(rows);
+    vec![t]
+}

@@ -1,0 +1,164 @@
+//! Declarative figure/table definitions on top of the [`expt`] harness.
+//!
+//! Each module exports an [`expt::Experiment`] (whose `name` matches the
+//! binary name and the `results/<name>/` output directory) and a
+//! `tables(&Ctx) -> Vec<Table>` builder. The binaries in `src/bin/` are
+//! one-line `expt::run_main` calls; [`all`] is the registry CI and tests
+//! iterate.
+
+pub mod ablate_design;
+pub mod ablate_queue;
+pub mod fig01;
+pub mod fig04;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod table1;
+pub mod table2;
+
+use expt::{Cell, Ctx, Experiment, Table};
+use netsim::FlowTracker;
+use opera::harness::FctStats;
+
+/// A figure's table builder.
+pub type BuildFn = fn(&Ctx) -> Vec<Table>;
+
+/// Every driver definition, in figure order.
+pub fn all() -> Vec<(Experiment, BuildFn)> {
+    vec![
+        (fig01::EXPERIMENT, fig01::tables),
+        (fig04::EXPERIMENT, fig04::tables),
+        (fig07::EXPERIMENT, fig07::tables),
+        (fig08::EXPERIMENT, fig08::tables),
+        (fig09::EXPERIMENT, fig09::tables),
+        (fig10::EXPERIMENT, fig10::tables),
+        (fig11::EXPERIMENT, fig11::tables),
+        (fig12::EXPERIMENT, fig12::tables),
+        (fig13::EXPERIMENT, fig13::tables),
+        (fig14::EXPERIMENT, fig14::tables),
+        (fig16::EXPERIMENT, fig16::tables),
+        (fig17::EXPERIMENT, fig17::tables),
+        (fig18::EXPERIMENT, fig18::tables),
+        (fig19::EXPERIMENT, fig19::tables),
+        (fig20::EXPERIMENT, fig20::tables),
+        (table1::EXPERIMENT, table1::tables),
+        (table2::EXPERIMENT, table2::tables),
+        (ablate_design::EXPERIMENT, ablate_design::tables),
+        (ablate_queue::EXPERIMENT, ablate_queue::tables),
+    ]
+}
+
+/// Column set of the per-size-bin FCT tables (Figures 7 and 9).
+pub(crate) const FCT_COLUMNS: [&str; 9] = [
+    "system",
+    "load",
+    "size_lo",
+    "size_hi",
+    "flows",
+    "unfinished",
+    "avg_us",
+    "p50_us",
+    "p99_us",
+];
+
+/// Per-size-bin FCT rows for one `(system, load)` run.
+pub(crate) fn fct_rows(system: &str, load: f64, tracker: &FlowTracker) -> Vec<Vec<Cell>> {
+    let stats = FctStats::from_tracker(tracker, &FctStats::default_edges());
+    stats
+        .bins
+        .iter()
+        .filter(|b| b.count > 0 || b.unfinished > 0)
+        .map(|b| {
+            vec![
+                Cell::from(system),
+                Cell::F64(load),
+                Cell::from(b.lo),
+                Cell::from(b.hi),
+                Cell::from(b.count),
+                Cell::from(b.unfinished),
+                expt::f2(b.avg_us),
+                expt::f2(b.p50_us),
+                expt::f2(b.p99_us),
+            ]
+        })
+        .collect()
+}
+
+/// Completion-summary row for one `(system, load)` run.
+pub(crate) fn completion_row(
+    system: &str,
+    load: f64,
+    tracker: &FlowTracker,
+    offered: usize,
+) -> Vec<Cell> {
+    vec![
+        Cell::from(system),
+        Cell::F64(load),
+        Cell::from(tracker.completed()),
+        Cell::from(offered),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expt::{ExptArgs, Scale};
+
+    fn quick_ctx(threads: usize) -> Ctx {
+        Ctx::new(ExptArgs {
+            scale: Scale::Quick,
+            threads,
+            no_write: true,
+            ..ExptArgs::default()
+        })
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let defs = all();
+        assert_eq!(defs.len(), 19);
+        let mut names: Vec<&str> = defs.iter().map(|(e, _)| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19, "duplicate experiment names");
+        for (e, _) in &defs {
+            assert!(!e.name.is_empty() && !e.title.is_empty());
+        }
+    }
+
+    #[test]
+    fn cheap_figures_produce_rows_in_quick_mode() {
+        let ctx = quick_ctx(2);
+        for build in [
+            fig01::tables as BuildFn,
+            fig14::tables,
+            table1::tables,
+            table2::tables,
+        ] {
+            let tables = build(&ctx);
+            assert!(!tables.is_empty());
+            assert!(tables.iter().any(|t| !t.is_empty()));
+        }
+    }
+
+    #[test]
+    fn parallel_quick_run_is_byte_identical_to_serial() {
+        // The acceptance bar for the harness: --threads 8 output equals
+        // --threads 1, byte for byte. fig11 exercises per-point RNG use.
+        for build in [fig11::tables as BuildFn, fig14::tables] {
+            let serial: Vec<String> = build(&quick_ctx(1)).iter().map(Table::to_csv).collect();
+            let parallel: Vec<String> = build(&quick_ctx(8)).iter().map(Table::to_csv).collect();
+            assert_eq!(serial, parallel);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Table 1: routing-state entries and switch-memory utilization for
+//! Opera rulesets at various datacenter sizes (§6.2).
+
+use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use opera::ruleset::{ruleset_for, table1_rows};
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "table1_ruleset",
+    title: "Table 1: Opera ruleset sizes",
+};
+
+/// The paper's published (entries, utilization %) values, row-aligned
+/// with [`table1_rows`].
+const PAPER: [(u64, f64); 6] = [
+    (12_096, 0.7),
+    (65_268, 3.8),
+    (276_120, 16.2),
+    (600_576, 35.3),
+    (1_032_192, 60.7),
+    (1_461_600, 85.9),
+];
+
+/// Build the table.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let sizes = table1_rows();
+    let sweep = Sweep::grid1(&sizes, |rc| rc);
+    let rows = ctx.run(&sweep, |&(racks, uplinks), pt| {
+        let r = ruleset_for(racks, uplinks);
+        let (paper_entries, paper_util) = PAPER.get(pt.index).copied().unwrap_or((0, 0.0));
+        vec![
+            Cell::from(r.racks),
+            Cell::from(r.uplinks),
+            Cell::from(r.entries),
+            expt::f2(r.utilization_pct),
+            Cell::from(paper_entries),
+            expt::f2(paper_util),
+        ]
+    });
+
+    let mut t = Table::new(
+        "ruleset_sizes",
+        &[
+            "racks",
+            "uplinks",
+            "entries",
+            "util_pct",
+            "paper_entries",
+            "paper_util_pct",
+        ],
+    );
+    t.extend(rows);
+    vec![t]
+}

@@ -1,0 +1,49 @@
+//! Table 2 / Appendix A: cost per "port" for a static network vs Opera,
+//! and the derived cost-normalization quantities.
+
+use expt::{Cell, Ctx, Experiment, Table};
+use topo::cost::{clos_hosts, clos_oversubscription, expander_uplinks, table2_alpha, PortCost};
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "table2_cost_model",
+    title: "Table 2: per-port cost breakdown (USD)",
+};
+
+/// Build the tables (closed-form; no sweep needed).
+pub fn tables(_ctx: &Ctx) -> Vec<Table> {
+    let s = PortCost::static_port();
+    let o = PortCost::opera_port();
+    let mut cost = Table::new("port_cost", &["component", "static_usd", "opera_usd"]);
+    for (label, sv, ov) in [
+        ("sr_transceiver", s.transceiver, o.transceiver),
+        ("optical_fiber", s.fiber, o.fiber),
+        ("tor_port", s.tor_port, o.tor_port),
+        ("rotor_components", s.rotor_components, o.rotor_components),
+        ("total", s.total(), o.total()),
+    ] {
+        cost.push(vec![
+            Cell::from(label),
+            Cell::from(format!("{sv:.0}")),
+            Cell::from(format!("{ov:.0}")),
+        ]);
+    }
+
+    // Appendix A derived quantities at alpha (paper: alpha = 1.3).
+    let a = table2_alpha();
+    let mut derived = Table::new("derived_quantities", &["quantity", "value"]);
+    derived.push(vec![Cell::from("alpha"), expt::f3(a)]);
+    derived.push(vec![
+        Cell::from("cost_equivalent_clos_oversubscription_F"),
+        expt::f2(clos_oversubscription(a, 3)),
+    ]);
+    derived.push(vec![
+        Cell::from("cost_equivalent_clos_hosts_k12"),
+        Cell::from(format!("{:.0}", clos_hosts(4.0 / 3.0, 12))),
+    ]);
+    derived.push(vec![
+        Cell::from("cost_equivalent_expander_uplinks_k12"),
+        Cell::from(expander_uplinks(1.4, 12)),
+    ]);
+    vec![cost, derived]
+}

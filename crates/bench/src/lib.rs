@@ -1,34 +1,24 @@
-//! Shared helpers for the figure/table regeneration binaries.
+//! Shared configuration and figure definitions for the reproduction
+//! drivers.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure from the
-//! paper. By default they run a *scaled-down* configuration so the whole
-//! suite completes in minutes on a laptop; set `OPERA_SCALE=full` to run
-//! the paper-scale networks (648 / 5184 hosts, 90 µs slices) where the
-//! binary supports it.
+//! paper through the [`expt`] harness: a declarative definition in
+//! [`figures`] plus a one-line `main`. All drivers accept the shared
+//! `--quick` / `--full` / `--threads` / `--seed` / `--out` flags
+//! (`OPERA_SCALE=full` still selects paper scale, as before):
+//!
+//! * **quick** — tiny grids and networks, the CI smoke configuration,
+//! * **default** — laptop-friendly mini networks, minutes for the suite,
+//! * **full** — the paper's configurations (648 / 5184 hosts, 90 µs
+//!   slices) where the driver supports it.
 
-pub mod cost_sweep;
+pub mod figures;
 
+use expt::Scale;
 use opera::{OperaNetConfig, SliceTiming, StaticNetConfig, StaticTopologyKind};
 use topo::clos::ClosParams;
 use topo::expander::ExpanderParams;
 use topo::opera::OperaParams;
-
-/// Experiment scale selected via the `OPERA_SCALE` environment variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Laptop-friendly mini networks (default).
-    Mini,
-    /// The paper's configurations.
-    Full,
-}
-
-/// Read the scale from the environment.
-pub fn scale() -> Scale {
-    match std::env::var("OPERA_SCALE").as_deref() {
-        Ok("full") | Ok("FULL") => Scale::Full,
-        _ => Scale::Mini,
-    }
-}
 
 /// The cost-equivalent trio at mini scale (`k = 8`, 192 hosts):
 /// * Opera: 48 racks × 4 hosts, u = 4,
@@ -104,15 +94,73 @@ impl PaperTrio {
     }
 }
 
-/// Print a CSV header + rows (simple, greppable output format).
-pub fn print_csv(header: &str, rows: &[Vec<String>]) {
-    println!("{header}");
-    for r in rows {
-        println!("{}", r.join(","));
+/// The smoke-test trio for `--quick` mode: not cost-equivalent, just the
+/// smallest networks that exercise every code path (8-rack Opera, 8-rack
+/// expander, k = 4 Clos).
+pub struct QuickTrio;
+
+impl QuickTrio {
+    /// 48-host Opera. 12 racks, not `small_test`'s 8: hybrid-RotorNet
+    /// runs drop one uplink (4 → 3), and the uplink count must divide
+    /// the rack count.
+    pub fn opera() -> OperaNetConfig {
+        OperaNetConfig {
+            params: OperaParams {
+                racks: 12,
+                uplinks: 4,
+                hosts_per_rack: 4,
+                groups: 1,
+            },
+            ..OperaNetConfig::small_test()
+        }
+    }
+    /// 32-host expander.
+    pub fn expander() -> StaticNetConfig {
+        StaticNetConfig::small_expander()
+    }
+    /// 24-host k = 4 Clos.
+    pub fn clos() -> StaticNetConfig {
+        StaticNetConfig {
+            kind: StaticTopologyKind::FoldedClos(ClosParams {
+                radix: 4,
+                oversubscription: 3,
+            }),
+            ..StaticNetConfig::small_expander()
+        }
     }
 }
 
-/// Format a float with 4 decimals.
-pub fn f(x: f64) -> String {
-    format!("{x:.4}")
+/// The Opera configuration for a scale.
+pub fn opera_cfg(scale: Scale) -> OperaNetConfig {
+    match scale {
+        Scale::Quick => QuickTrio::opera(),
+        Scale::Default => MiniTrio::opera(),
+        Scale::Full => PaperTrio::opera(),
+    }
+}
+
+/// The static-expander configuration for a scale.
+pub fn expander_cfg(scale: Scale) -> StaticNetConfig {
+    match scale {
+        Scale::Quick => QuickTrio::expander(),
+        Scale::Default => MiniTrio::expander(),
+        Scale::Full => PaperTrio::expander(),
+    }
+}
+
+/// The folded-Clos configuration for a scale.
+pub fn clos_cfg(scale: Scale) -> StaticNetConfig {
+    match scale {
+        Scale::Quick => QuickTrio::clos(),
+        Scale::Default => MiniTrio::clos(),
+        Scale::Full => PaperTrio::clos(),
+    }
+}
+
+/// Host count of a static-network configuration.
+pub fn static_hosts(cfg: &StaticNetConfig) -> usize {
+    match &cfg.kind {
+        StaticTopologyKind::Expander(p) => p.racks * p.hosts_per_rack,
+        StaticTopologyKind::FoldedClos(p) => p.hosts(),
+    }
 }

@@ -1,0 +1,191 @@
+//! Command-line arguments shared by every figure driver.
+//!
+//! All 19 binaries accept the same flags so CI and laptops exercise the
+//! same code paths:
+//!
+//! * `--quick` — tiny grids + fixed seed (CI smoke mode),
+//! * `--full` — paper-scale configurations (also `OPERA_SCALE=full`),
+//! * `--threads N` — worker threads (`0` = all cores, the default),
+//! * `--seed S` — base seed for per-point seed derivation,
+//! * `--out DIR` — results root (default `results/`),
+//! * `--no-write` — print CSV to stdout only,
+//! * `--k K` — ToR radix override where the driver supports it.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny grid, fixed seed: the CI smoke configuration.
+    Quick,
+    /// Laptop-friendly mini networks (the default).
+    Default,
+    /// The paper's configurations (slow).
+    Full,
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        })
+    }
+}
+
+/// Parsed arguments for one driver invocation.
+#[derive(Debug, Clone)]
+pub struct ExptArgs {
+    /// Selected scale (quick wins over full if both are given).
+    pub scale: Scale,
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Base seed all per-point seeds derive from.
+    pub seed: u64,
+    /// Results root directory.
+    pub out: PathBuf,
+    /// Skip writing result files.
+    pub no_write: bool,
+    /// Optional ToR-radix override (`--k`).
+    pub k: Option<usize>,
+}
+
+impl Default for ExptArgs {
+    fn default() -> Self {
+        ExptArgs {
+            scale: Scale::Default,
+            threads: 0,
+            seed: 0,
+            out: PathBuf::from("results"),
+            no_write: false,
+            k: None,
+        }
+    }
+}
+
+impl ExptArgs {
+    /// Parse from an explicit iterator (testable core of
+    /// [`ExptArgs::parse_or_exit`]). `env_scale` is the value of the
+    /// `OPERA_SCALE` environment variable, if any.
+    pub fn parse_from<I, S>(args: I, env_scale: Option<&str>) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = ExptArgs::default();
+        if matches!(env_scale, Some("full") | Some("FULL")) {
+            out.scale = Scale::Full;
+        }
+        let mut quick = false;
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(a) = it.next() {
+            let mut value_for =
+                |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--full" => out.scale = Scale::Full,
+                "--threads" => {
+                    out.threads = value_for("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--seed" => {
+                    out.seed = value_for("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--out" => out.out = PathBuf::from(value_for("--out")?),
+                "--no-write" => out.no_write = true,
+                "--k" => {
+                    out.k = Some(value_for("--k")?.parse().map_err(|e| format!("--k: {e}"))?);
+                }
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        if quick {
+            // Quick beats full: CI passes --quick unconditionally.
+            out.scale = Scale::Quick;
+        }
+        Ok(out)
+    }
+
+    /// Parse `std::env::args`, printing usage and exiting on error or
+    /// `--help`.
+    pub fn parse_or_exit(name: &str, title: &str) -> Self {
+        let env_scale = std::env::var("OPERA_SCALE").ok();
+        match Self::parse_from(std::env::args().skip(1), env_scale.as_deref()) {
+            Ok(a) => a,
+            Err(msg) => {
+                if !msg.is_empty() {
+                    eprintln!("error: {msg}");
+                }
+                eprintln!("{title}");
+                eprintln!(
+                    "usage: {name} [--quick] [--full] [--threads N] [--seed S] \
+                     [--out DIR] [--no-write] [--k K]"
+                );
+                std::process::exit(if msg.is_empty() { 0 } else { 2 });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = ExptArgs::parse_from(Vec::<String>::new(), None).unwrap();
+        assert_eq!(a.scale, Scale::Default);
+        assert_eq!(a.threads, 0);
+        assert_eq!(a.seed, 0);
+        assert_eq!(a.out, PathBuf::from("results"));
+        assert!(!a.no_write);
+        assert_eq!(a.k, None);
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = ExptArgs::parse_from(
+            [
+                "--quick",
+                "--threads",
+                "8",
+                "--seed",
+                "42",
+                "--out",
+                "tmp/r",
+                "--no-write",
+                "--k",
+                "12",
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.out, PathBuf::from("tmp/r"));
+        assert!(a.no_write);
+        assert_eq!(a.k, Some(12));
+    }
+
+    #[test]
+    fn quick_beats_full_and_env() {
+        let a = ExptArgs::parse_from(["--quick", "--full"], Some("full")).unwrap();
+        assert_eq!(a.scale, Scale::Quick);
+        let a = ExptArgs::parse_from(Vec::<String>::new(), Some("full")).unwrap();
+        assert_eq!(a.scale, Scale::Full);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(ExptArgs::parse_from(["--threads"], None).is_err());
+        assert!(ExptArgs::parse_from(["--threads", "x"], None).is_err());
+        assert!(ExptArgs::parse_from(["--bogus"], None).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! `expt` — the shared experiment harness behind every figure driver.
+//!
+//! The paper's headline results are parameter sweeps (load × workload ×
+//! topology × seed). Every point of such a sweep is an isolated,
+//! deterministic `simkit` run, which makes a full reproduction
+//! embarrassingly parallel. This crate factors the machinery every
+//! `crates/bench` binary used to re-implement by hand:
+//!
+//! * [`sweep::Sweep`] — a cartesian-grid builder that enumerates sweep
+//!   points in a fixed row-major order,
+//! * [`runner::Runner`] — fans points out over `std::thread::scope`
+//!   workers with deterministic per-point seeding and collects results
+//!   *in sweep order*, so `--threads 8` output is byte-identical to
+//!   `--threads 1`,
+//! * [`table::Table`] — the uniform result model (named columns × typed
+//!   cells),
+//! * [`output`] — CSV and JSON writers into `results/<figure>/`,
+//! * [`cli::ExptArgs`] — the `--quick` / `--threads` / `--out` /
+//!   `--full` / `--seed` flags shared by all drivers,
+//! * [`summary`] — percentile/CI summaries computed once here instead of
+//!   per-binary.
+//!
+//! A figure driver is now a declarative definition: an [`Experiment`]
+//! (name + title) and a function `fn(&Ctx) -> Vec<Table>`; its `main` is
+//! one call to [`run_main`].
+
+pub mod cli;
+pub mod output;
+pub mod runner;
+pub mod summary;
+pub mod sweep;
+pub mod table;
+
+pub use cli::{ExptArgs, Scale};
+pub use runner::{derive_seed, PointCtx, Runner};
+pub use summary::{summarize, Summary};
+pub use sweep::Sweep;
+pub use table::{f, f2, f3, Cell, Table};
+
+/// Static description of one figure/table driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Directory name under `results/` — by convention the binary name.
+    pub name: &'static str,
+    /// One-line human title printed at the top of the output.
+    pub title: &'static str,
+}
+
+/// Everything a figure definition needs at run time: the parsed CLI
+/// arguments plus a ready-to-use parallel [`Runner`].
+#[derive(Debug)]
+pub struct Ctx {
+    /// Parsed command-line arguments.
+    pub args: ExptArgs,
+    /// Parallel sweep runner (threads and base seed already set).
+    pub runner: Runner,
+}
+
+impl Ctx {
+    /// Build a context from parsed arguments.
+    pub fn new(args: ExptArgs) -> Self {
+        let runner = Runner::new(args.threads, args.seed);
+        Ctx { args, runner }
+    }
+
+    /// True in `--quick` smoke mode (tiny grids, fixed seed).
+    pub fn quick(&self) -> bool {
+        self.args.scale == Scale::Quick
+    }
+
+    /// True at paper scale (`--full` or `OPERA_SCALE=full`).
+    pub fn full(&self) -> bool {
+        self.args.scale == Scale::Full
+    }
+
+    /// Run a sweep through the parallel runner (ordered results).
+    pub fn run<P, R, F>(&self, sweep: &Sweep<P>, f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P, &PointCtx) -> R + Sync,
+    {
+        self.runner.run(sweep, f)
+    }
+
+    /// Pick among three values by scale: quick / default / full.
+    pub fn by_scale<T>(&self, quick: T, default: T, full: T) -> T {
+        match self.args.scale {
+            Scale::Quick => quick,
+            Scale::Default => default,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Entry point shared by every figure binary: parse the CLI, build the
+/// tables, print them as CSV to stdout, and (unless `--no-write`) write
+/// CSV + JSON files under `<out>/<experiment name>/`.
+pub fn run_main<F>(exp: Experiment, build: F)
+where
+    F: FnOnce(&Ctx) -> Vec<Table>,
+{
+    let args = ExptArgs::parse_or_exit(exp.name, exp.title);
+    let ctx = Ctx::new(args);
+    let tables = build(&ctx);
+    emit(&exp, &ctx, &tables);
+}
+
+/// Print tables to stdout and write result files.
+///
+/// Split from [`run_main`] so tests can drive it with synthetic args.
+pub fn emit(exp: &Experiment, ctx: &Ctx, tables: &[Table]) {
+    println!("# {}", exp.title);
+    println!(
+        "# mode={} threads={} seed={}",
+        ctx.args.scale,
+        ctx.runner.threads(),
+        ctx.args.seed
+    );
+    for t in tables {
+        println!("table,{}", t.name);
+        print!("{}", t.to_csv());
+        println!();
+    }
+    if !ctx.args.no_write {
+        let dir = ctx.args.out.join(exp.name);
+        match output::write_tables(&dir, tables) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("# wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing results under {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

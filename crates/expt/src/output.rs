@@ -1,0 +1,51 @@
+//! Result-file writers: `results/<figure>/<table>.csv` and `.json`.
+
+use crate::table::Table;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Write every table as both CSV and JSON under `dir`, creating the
+/// directory as needed. Returns the written paths (CSV then JSON per
+/// table, in table order). Existing files are overwritten so re-runs
+/// are idempotent.
+pub fn write_tables(dir: &Path, tables: &[Table]) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(tables.len() * 2);
+    for t in tables {
+        let csv = dir.join(format!("{}.csv", t.name));
+        fs::write(&csv, t.to_csv())?;
+        paths.push(csv);
+        let json = dir.join(format!("{}.json", t.name));
+        fs::write(&json, t.to_json())?;
+        paths.push(json);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("expt-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn writes_csv_and_json() {
+        let dir = tmp_dir("write");
+        let mut t = Table::new("series", &["x", "y"]);
+        t.push(vec![Cell::from(1u64), Cell::from(2u64)]);
+        let paths = write_tables(&dir, std::slice::from_ref(&t)).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(fs::read_to_string(&paths[0]).unwrap(), "x,y\n1,2\n");
+        assert!(fs::read_to_string(&paths[1]).unwrap().contains("\"rows\""));
+        // Overwrite is idempotent.
+        let again = write_tables(&dir, std::slice::from_ref(&t)).unwrap();
+        assert_eq!(paths, again);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

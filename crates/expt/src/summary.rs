@@ -1,0 +1,90 @@
+//! Percentile / confidence-interval summaries, computed once here
+//! instead of hand-rolled per figure binary.
+
+use simkit::stats::Samples;
+
+/// Summary statistics over a set of scalar observations.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Observation count.
+    pub count: usize,
+    /// Arithmetic mean (NaN when empty).
+    pub mean: f64,
+    /// Sample standard deviation (NaN when `count < 2`).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95% CI on the mean
+    /// (NaN when `count < 2`).
+    pub ci95: f64,
+    /// Minimum (NaN when empty).
+    pub min: f64,
+    /// Median (NaN when empty).
+    pub p50: f64,
+    /// 99th percentile (NaN when empty).
+    pub p99: f64,
+    /// Maximum (NaN when empty).
+    pub max: f64,
+}
+
+/// Summarize observations via [`simkit::stats::Samples`] percentiles.
+pub fn summarize(values: impl IntoIterator<Item = f64>) -> Summary {
+    let mut s = Samples::new();
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for v in values {
+        s.push(v);
+        sum += v;
+        sum_sq += v * v;
+    }
+    let n = s.len();
+    let mean = s.mean().unwrap_or(f64::NAN);
+    let std_dev = if n >= 2 {
+        ((sum_sq - sum * sum / n as f64) / (n as f64 - 1.0))
+            .max(0.0)
+            .sqrt()
+    } else {
+        f64::NAN
+    };
+    Summary {
+        count: n,
+        mean,
+        std_dev,
+        ci95: 1.96 * std_dev / (n as f64).sqrt(),
+        min: s.min().unwrap_or(f64::NAN),
+        p50: s.quantile(0.5).unwrap_or(f64::NAN),
+        p99: s.quantile(0.99).unwrap_or(f64::NAN),
+        max: s.max().unwrap_or(f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_nan() {
+        let s = summarize(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan() && s.p99.is_nan() && s.std_dev.is_nan());
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = summarize((1..=100).map(|i| i as f64));
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.std_dev - 29.011491975882016).abs() < 1e-9);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize([7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert!(s.std_dev.is_nan());
+    }
+}

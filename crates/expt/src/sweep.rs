@@ -1,0 +1,158 @@
+//! Cartesian sweep grids.
+//!
+//! A [`Sweep`] is an ordered list of points. The `grid*` constructors
+//! enumerate cartesian products in **row-major order** (the last axis
+//! varies fastest), which fixes both the per-point seed derivation
+//! (seeds depend on the point index) and the output row order, so a
+//! sweep's results are independent of how many workers execute it.
+
+/// An ordered list of sweep points.
+#[derive(Debug, Clone)]
+pub struct Sweep<P> {
+    points: Vec<P>,
+}
+
+impl<P> Sweep<P> {
+    /// A sweep over explicit points, in the given order.
+    pub fn from_points(points: Vec<P>) -> Self {
+        Sweep { points }
+    }
+
+    /// One-axis sweep.
+    pub fn grid1<A, F>(xs: &[A], mut f: F) -> Self
+    where
+        A: Clone,
+        F: FnMut(A) -> P,
+    {
+        Sweep {
+            points: xs.iter().map(|x| f(x.clone())).collect(),
+        }
+    }
+
+    /// Two-axis cartesian sweep; `ys` varies fastest.
+    pub fn grid2<A, B, F>(xs: &[A], ys: &[B], mut f: F) -> Self
+    where
+        A: Clone,
+        B: Clone,
+        F: FnMut(A, B) -> P,
+    {
+        let mut points = Vec::with_capacity(xs.len() * ys.len());
+        for x in xs {
+            for y in ys {
+                points.push(f(x.clone(), y.clone()));
+            }
+        }
+        Sweep { points }
+    }
+
+    /// Three-axis cartesian sweep; `zs` varies fastest.
+    pub fn grid3<A, B, C, F>(xs: &[A], ys: &[B], zs: &[C], mut f: F) -> Self
+    where
+        A: Clone,
+        B: Clone,
+        C: Clone,
+        F: FnMut(A, B, C) -> P,
+    {
+        let mut points = Vec::with_capacity(xs.len() * ys.len() * zs.len());
+        for x in xs {
+            for y in ys {
+                for z in zs {
+                    points.push(f(x.clone(), y.clone(), z.clone()));
+                }
+            }
+        }
+        Sweep { points }
+    }
+
+    /// Four-axis cartesian sweep; `ws` varies fastest.
+    pub fn grid4<A, B, C, D, F>(xs: &[A], ys: &[B], zs: &[C], ws: &[D], mut f: F) -> Self
+    where
+        A: Clone,
+        B: Clone,
+        C: Clone,
+        D: Clone,
+        F: FnMut(A, B, C, D) -> P,
+    {
+        let mut points = Vec::with_capacity(xs.len() * ys.len() * zs.len() * ws.len());
+        for x in xs {
+            for y in ys {
+                for z in zs {
+                    for w in ws {
+                        points.push(f(x.clone(), y.clone(), z.clone(), w.clone()));
+                    }
+                }
+            }
+        }
+        Sweep { points }
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, p: P) {
+        self.points.push(p);
+    }
+
+    /// Append all of another sweep's points after this one's.
+    pub fn chain(mut self, other: Sweep<P>) -> Self {
+        self.points.extend(other.points);
+        self
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points, in sweep order.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_row_major() {
+        let s = Sweep::grid2(&[1, 2], &["a", "b", "c"], |x, y| (x, y));
+        assert_eq!(
+            s.points(),
+            &[(1, "a"), (1, "b"), (1, "c"), (2, "a"), (2, "b"), (2, "c")]
+        );
+    }
+
+    #[test]
+    fn grid3_last_axis_fastest() {
+        let s = Sweep::grid3(&[0, 1], &[0, 1], &[0, 1], |a, b, c| a * 4 + b * 2 + c);
+        assert_eq!(s.points(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn grid4_count_and_order() {
+        let s = Sweep::grid4(
+            &[0u32, 1],
+            &[0u32, 1, 2],
+            &[0u32, 1],
+            &[0u32, 1, 2, 3],
+            |a, b, c, d| ((a * 3 + b) * 2 + c) * 4 + d,
+        );
+        assert_eq!(s.len(), 2 * 3 * 2 * 4);
+        let expect: Vec<u32> = (0..48).collect();
+        assert_eq!(s.points(), &expect[..]);
+    }
+
+    #[test]
+    fn chain_and_push_preserve_order() {
+        let mut a = Sweep::grid1(&[1, 2], |x| x);
+        a.push(3);
+        let b = Sweep::from_points(vec![4, 5]);
+        let c = a.chain(b);
+        assert_eq!(c.points(), &[1, 2, 3, 4, 5]);
+        assert!(!c.is_empty());
+    }
+}

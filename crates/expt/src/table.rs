@@ -1,0 +1,268 @@
+//! The uniform result model: named columns × typed cells.
+//!
+//! Every figure's data is one or more [`Table`]s. A table renders to CSV
+//! (the greppable stdout format and the `.csv` artifact) and to JSON
+//! (the machine-readable `.json` artifact); both renderings are pure
+//! functions of the cell values, so output is deterministic.
+
+use std::fmt;
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free-form label.
+    Str(String),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float, rendered with shortest round-trip formatting.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Float formatted to 4 decimals (the figure drivers' house style).
+pub fn f(x: f64) -> Cell {
+    Cell::Str(format!("{x:.4}"))
+}
+
+/// Float formatted to 2 decimals.
+pub fn f2(x: f64) -> Cell {
+    Cell::Str(format!("{x:.2}"))
+}
+
+/// Float formatted to 3 decimals.
+pub fn f3(x: f64) -> Cell {
+    Cell::Str(format!("{x:.3}"))
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Str(s) => out.write_str(s),
+            Cell::U64(v) => write!(out, "{v}"),
+            Cell::I64(v) => write!(out, "{v}"),
+            Cell::F64(v) => write!(out, "{v}"),
+            Cell::Bool(v) => write!(out, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Str(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Str(s)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::U64(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::U64(v as u64)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::I64(v)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::F64(v)
+    }
+}
+impl From<bool> for Cell {
+    fn from(v: bool) -> Self {
+        Cell::Bool(v)
+    }
+}
+
+/// A named table with a fixed column set.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name: the file stem under `results/<figure>/`.
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; every row has exactly `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the column count.
+    pub fn push(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "table {}: row has {} cells, expected {}",
+            self.name,
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Append many rows.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Vec<Cell>>) {
+        for r in rows {
+            self.push(r);
+        }
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (header line + one line per row, `\n` terminated).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&self.columns.join(","));
+        s.push('\n');
+        for row in &self.rows {
+            let mut first = true;
+            for cell in row {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&csv_escape(&cell.to_string()));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Render as JSON: `{"name": ..., "columns": [...], "rows": [{...}]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"name\": ");
+        json_string(&mut s, &self.name);
+        s.push_str(",\n  \"columns\": [");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            json_string(&mut s, c);
+        }
+        s.push_str("],\n  \"rows\": [");
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            for (ci, cell) in row.iter().enumerate() {
+                if ci > 0 {
+                    s.push_str(", ");
+                }
+                json_string(&mut s, &self.columns[ci]);
+                s.push_str(": ");
+                json_cell(&mut s, cell);
+            }
+            s.push('}');
+        }
+        if !self.rows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Quote a CSV field when it contains separators or quotes.
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_cell(out: &mut String, cell: &Cell) {
+    match cell {
+        Cell::Str(s) => json_string(out, s),
+        Cell::U64(v) => out.push_str(&v.to_string()),
+        Cell::I64(v) => out.push_str(&v.to_string()),
+        Cell::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
+        // NaN/inf are not valid JSON numbers.
+        Cell::F64(_) => out.push_str("null"),
+        Cell::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("demo", &["a", "b", "c"]);
+        t.push(vec![Cell::from("x,y"), Cell::from(3u64), f(0.5)]);
+        t.push(vec![Cell::from("plain"), Cell::from(4u64), Cell::F64(1.25)]);
+        assert_eq!(t.to_csv(), "a,b,c\n\"x,y\",3,0.5000\nplain,4,1.25\n");
+    }
+
+    #[test]
+    fn json_rendering() {
+        let mut t = Table::new("demo", &["label", "v"]);
+        t.push(vec![Cell::from("a\"b"), Cell::F64(f64::NAN)]);
+        let j = t.to_json();
+        assert!(j.contains("\"label\": \"a\\\"b\""));
+        assert!(j.contains("\"v\": null"));
+        assert!(j.starts_with("{\n  \"name\": \"demo\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec![Cell::from(1u64)]);
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f(1.0 / 3.0).to_string(), "0.3333");
+        assert_eq!(f2(1.0 / 3.0).to_string(), "0.33");
+        assert_eq!(f3(1.0 / 3.0).to_string(), "0.333");
+    }
+}

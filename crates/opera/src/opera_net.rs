@@ -955,6 +955,15 @@ pub fn build(cfg: OperaNetConfig, mut flows: Vec<FlowSpec>) -> OperaNet {
     NetWorld::new(fabric, logic).into_sim()
 }
 
+/// Like [`build`], but with a binned throughput time-series attached to
+/// the flow tracker (Figure 8's delivered-throughput-vs-time runs).
+pub fn build_with_throughput(cfg: OperaNetConfig, flows: Vec<FlowSpec>, bin: SimTime) -> OperaNet {
+    let mut sim = build(cfg, flows);
+    let t = std::mem::take(sim.world.logic.tracker_mut());
+    *sim.world.logic.tracker_mut() = t.with_throughput_bins(bin);
+    sim
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

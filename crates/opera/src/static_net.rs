@@ -325,6 +325,19 @@ pub fn build(cfg: StaticNetConfig, mut flows: Vec<FlowSpec>) -> StaticNet {
     NetWorld::new(fabric, logic).into_sim()
 }
 
+/// Like [`build`], but with a binned throughput time-series attached to
+/// the flow tracker (Figure 8's delivered-throughput-vs-time runs).
+pub fn build_with_throughput(
+    cfg: StaticNetConfig,
+    flows: Vec<FlowSpec>,
+    bin: simkit::SimTime,
+) -> StaticNet {
+    let mut sim = build(cfg, flows);
+    let t = std::mem::take(sim.world.logic.tracker_mut());
+    *sim.world.logic.tracker_mut() = t.with_throughput_bins(bin);
+    sim
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,3 +61,194 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
         (**self).try_fill_bytes(dest)
     }
 }
+
+pub mod distributions {
+    //! Minimal `rand::distributions` surface: the [`Distribution`] trait
+    //! and [`Uniform`] over floats and unsigned integers — exactly what
+    //! the workload generators need, so they no longer hand-roll
+    //! uniform sampling on top of raw generator output.
+
+    use crate::RngCore;
+
+    /// Types that can produce values of `T` from a source of randomness.
+    pub trait Distribution<T> {
+        /// Sample one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Types samplable uniformly from a range by [`Uniform`].
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Sample from `[low, high)` (or `[low, high]` when `inclusive`).
+        fn sample_range<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Uniform distribution over a range.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<X: SampleUniform> {
+        low: X,
+        high: X,
+        inclusive: bool,
+    }
+
+    impl<X: SampleUniform> Uniform<X> {
+        /// Uniform over the half-open range `[low, high)`.
+        ///
+        /// # Panics
+        /// Panics unless `low < high` (mirrors `rand` 0.8).
+        pub fn new(low: X, high: X) -> Self {
+            assert!(low < high, "Uniform::new called with empty range");
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over the closed range `[low, high]`.
+        ///
+        /// # Panics
+        /// Panics unless `low <= high`.
+        pub fn new_inclusive(low: X, high: X) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive with low > high");
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+            X::sample_range(rng, self.low, self.high, self.inclusive)
+        }
+    }
+
+    /// 53-bit uniform in `[0, 1)`.
+    fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Debiased integer sampling in `[0, range)` via Lemire's
+    /// widening-multiply method (identical to `simkit::SimRng::below`,
+    /// keeping streams stable if callers migrate).
+    fn below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (range as u128);
+            let lo = m as u64;
+            if lo >= range || lo >= lo.wrapping_neg() % range {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_range<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            // The closed/half-open distinction is measure-zero for floats.
+            low + unit_f64(rng) * (high - low)
+        }
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (high - low) as u64;
+                    let range = if inclusive { span.checked_add(1) } else { Some(span) };
+                    match range {
+                        // `low ..= u64::MAX`-style full range: raw output.
+                        None => rng.next_u64() as $t,
+                        Some(r) => low + below(rng, r) as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    uniform_uint!(u64, u32, usize);
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// xorshift64* — deterministic local test generator.
+        struct TestRng(u64);
+        impl RngCore for TestRng {
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                let mut x = self.0;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.0 = x;
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let b = self.next_u64().to_le_bytes();
+                    chunk.copy_from_slice(&b[..chunk.len()]);
+                }
+            }
+        }
+
+        #[test]
+        fn uniform_f64_in_range() {
+            let d = Uniform::new(2.0, 5.0);
+            let mut rng = TestRng(7);
+            for _ in 0..1000 {
+                let v = d.sample(&mut rng);
+                assert!((2.0..5.0).contains(&v), "{v}");
+            }
+        }
+
+        #[test]
+        fn uniform_u64_half_open_and_inclusive() {
+            let mut rng = TestRng(9);
+            let d = Uniform::new(10u64, 13);
+            let mut seen = [false; 3];
+            for _ in 0..300 {
+                let v = d.sample(&mut rng);
+                assert!((10..13).contains(&v));
+                seen[(v - 10) as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+            let di = Uniform::new_inclusive(0u64, u64::MAX);
+            let _ = di.sample(&mut rng); // full range must not overflow
+        }
+
+        #[test]
+        fn uniform_usize_deterministic() {
+            let run = |seed| {
+                let mut rng = TestRng(seed);
+                let d = Uniform::new(0usize, 1000);
+                (0..50).map(|_| d.sample(&mut rng)).collect::<Vec<_>>()
+            };
+            assert_eq!(run(3), run(3));
+            assert_ne!(run(3), run(4));
+        }
+
+        #[test]
+        #[should_panic(expected = "empty range")]
+        fn uniform_empty_range_panics() {
+            let _ = Uniform::new(5u64, 5);
+        }
+    }
+}
