@@ -1,0 +1,89 @@
+//! Golden-baseline regression check over every figure driver.
+//!
+//! Runs each `bench::figures` experiment in the canonical quick mode and
+//! diffs its tables against the committed CSVs under `goldens/<driver>/`
+//! ([`bench::figures::golden_run`]). Exits non-zero naming every driver,
+//! table, row, and column that drifted; `--bless` re-records the goldens
+//! instead (byte-idempotent on an unmodified tree).
+//!
+//! ```text
+//! golden_check [--bless] [--threads N] [--driver NAME]...
+//! ```
+
+use bench::figures;
+
+fn main() {
+    let mut bless = false;
+    let mut threads = 0usize;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bless" => bless = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads requires a number"));
+            }
+            "--driver" => {
+                only.push(
+                    args.next()
+                        .unwrap_or_else(|| usage("--driver requires a name")),
+                );
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let root = figures::golden_root();
+    let ctx = figures::golden_ctx(threads);
+    let known: Vec<&str> = figures::all().iter().map(|(e, _)| e.name).collect();
+    for name in &only {
+        // A typo'd --driver must not let the check pass vacuously.
+        if !known.contains(&name.as_str()) {
+            eprintln!("error: no experiment named {name:?}; known drivers: {known:?}");
+            std::process::exit(2);
+        }
+    }
+    let mut total = 0usize;
+    for (exp, build) in figures::all() {
+        if !only.is_empty() && !only.iter().any(|n| n == exp.name) {
+            continue;
+        }
+        let drifts = match figures::golden_run(&exp, build, &ctx, &root, bless) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {}: {e}", exp.name);
+                std::process::exit(1);
+            }
+        };
+        if bless {
+            println!("blessed {}", exp.name);
+        } else if drifts.is_empty() {
+            println!("ok      {}", exp.name);
+        } else {
+            println!("DRIFT   {} ({} difference(s))", exp.name, drifts.len());
+            for d in &drifts {
+                println!("  {d}");
+            }
+            total += drifts.len();
+        }
+    }
+    if total > 0 {
+        eprintln!(
+            "{total} drift(s) from committed goldens; if intended, re-record with \
+             `cargo run -p bench --bin golden_check -- --bless`"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: golden_check [--bless] [--threads N] [--driver NAME]...");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

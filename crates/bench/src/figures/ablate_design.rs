@@ -10,7 +10,7 @@
 //! 4. **VLB for skew** (§4.2.2): hot-rack drain time with and without
 //!    two-hop Valiant.
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use opera::{opera_net, OperaNetConfig, SliceTiming};
 use simkit::SimTime;
 use topo::opera::{OperaParams, OperaTopology};
@@ -31,6 +31,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
 ///    remaining u−1 matchings keep the network connected; simultaneous
 ///    reconfiguration leaves *zero* circuits during every reconfiguration
 ///    window — connectivity drops to nothing r/slice of the time.
+///    Closed-form at a fixed topology seed, so replicate CIs are zero.
 fn offset(ctx: &Ctx) -> Table {
     let t = SliceTiming::paper_default();
     let params = ctx.by_scale(
@@ -52,33 +53,42 @@ fn offset(ctx: &Ctx) -> Table {
     // fully dark for r out of every matching period.
     let simultaneous_up = 1.0 - t.reconfig.as_ns() as f64 / t.slice().as_ns() as f64;
 
-    let mut out = Table::new(
+    let mut out = RepTableBuilder::new(
         "offset_vs_simultaneous",
-        &["strategy", "fraction_fully_connected", "disruption"],
+        &["strategy", "disruption"],
+        &[("fraction_fully_connected", expt::f as MetricFmt)],
     );
-    out.push(vec![
-        Cell::from("offset"),
-        expt::f(offset_up),
-        Cell::from("none (expander always available)"),
-    ]);
-    out.push(vec![
-        Cell::from("simultaneous"),
-        expt::f(simultaneous_up),
-        Cell::from(format!(
-            "whole-network outage every slice ({} of {})",
-            t.reconfig,
-            t.slice()
-        )),
-    ]);
-    out
+    out.push_constant(
+        vec![
+            Cell::from("offset"),
+            Cell::from("none (expander always available)"),
+        ],
+        &[offset_up],
+        ctx.replicates(),
+    );
+    out.push_constant(
+        vec![
+            Cell::from("simultaneous"),
+            Cell::from(format!(
+                "whole-network outage every slice ({} of {})",
+                t.reconfig,
+                t.slice()
+            )),
+        ],
+        &[simultaneous_up],
+        ctx.replicates(),
+    );
+    out.build()
 }
 
-/// 2. Slice expansion vs number of circuit switches.
+/// 2. Slice expansion vs number of circuit switches. The topology seed
+///    is fixed (paper construction): computed once per point, recorded
+///    once per replicate, zero CI.
 fn uplink_count(ctx: &Ctx) -> Table {
     let us: &[usize] = ctx.by_scale(&[3, 6], &[3, 4, 6, 8], &[3, 4, 6, 8]);
     let racks: usize = ctx.by_scale(48, 96, 96);
     let sweep = Sweep::grid1(us, |u| u);
-    let rows = ctx.run(&sweep, |&u, _| {
+    let per_point = ctx.run(&sweep, |&u, _| {
         let params = OperaParams {
             racks,
             uplinks: u,
@@ -100,36 +110,35 @@ fn uplink_count(ctx: &Ctx) -> Table {
             avg += st.avg / samples as f64;
             max = max.max(st.max);
         }
-        vec![
-            Cell::from(u),
-            Cell::from(u - 1),
-            Cell::from(connected),
-            Cell::from(samples),
-            expt::f2(avg),
-            Cell::from(max),
-        ]
+        (
+            vec![Cell::from(u), Cell::from(u - 1)],
+            vec![connected as f64, samples as f64, avg, max as f64],
+        )
     });
-    let mut out = Table::new(
+    let mut out = RepTableBuilder::new(
         "uplink_count",
+        &["uplinks", "active_matchings"],
         &[
-            "uplinks",
-            "active_matchings",
-            "connected_slices",
-            "sampled_slices",
-            "avg_path",
-            "max_path",
+            ("connected_slices", expt::f0 as MetricFmt),
+            ("sampled_slices", expt::f0),
+            ("avg_path", expt::f2),
+            ("max_path", expt::f2),
         ],
     );
-    out.extend(rows);
-    out
+    for (key, metrics) in per_point {
+        out.push_constant(key, &metrics, ctx.replicates());
+    }
+    out.build()
 }
 
-/// 3. The same 2 MB flow serviced as bulk vs low-latency.
+/// 3. The same 2 MB flow serviced as bulk vs low-latency. The single
+///    flow is fixed: one simulation per case, recorded once per
+///    replicate, zero CI.
 fn threshold(ctx: &Ctx) -> Table {
     let racks: usize = ctx.by_scale(8, 16, 16);
     let cases = [("bulk", 1_000u64), ("low_latency", u64::MAX)];
     let sweep = Sweep::grid1(&cases, |c| c);
-    let rows = ctx.run(&sweep, |&(label, bulk_threshold), _| {
+    let per_point = ctx.run(&sweep, |&(label, bulk_threshold), _| {
         let mut cfg = OperaNetConfig::small_test();
         cfg.params.racks = racks;
         cfg.bulk_threshold = bulk_threshold;
@@ -148,28 +157,35 @@ fn threshold(ctx: &Ctx) -> Table {
             "bulk" => "waits for circuits, zero tax",
             _ => "immediate, pays expander tax",
         };
-        vec![Cell::from(label), expt::f3(fct), Cell::from(note)]
+        (vec![Cell::from(label), Cell::from(note)], vec![fct])
     });
     // Shape: at this size the two are comparable; the threshold is the
     // size where a cycle's wait amortizes (15 MB at paper scale, §4.1).
-    let mut out = Table::new("bulk_threshold", &["class", "fct_ms", "note"]);
-    out.extend(rows);
-    out
+    let mut out = RepTableBuilder::new(
+        "bulk_threshold",
+        &["class", "note"],
+        &[("fct_ms", expt::f3 as MetricFmt)],
+    );
+    for (key, metrics) in per_point {
+        out.push_constant(key, &metrics, ctx.replicates());
+    }
+    out.build()
 }
 
 /// 4. Hot-rack drain with and without Valiant load balancing: rack 0
 ///    sends 1 MB to each host of rack 1. VLB sprays the hot pair over
 ///    idle circuits (RotorLB), cutting drain time roughly (u−1)× for a
-///    single hot destination.
+///    single hot destination. Flow start jitter is drawn per replicate
+///    seed, so the CI columns reflect genuine spread.
 fn vlb(ctx: &Ctx) -> Table {
     let racks: usize = ctx.by_scale(8, 16, 16);
     let sweep = Sweep::grid1(&[true, false], |b| b);
-    let rows = ctx.run(&sweep, |&allow, pt| {
+    let per_point = ctx.run_replicated(&sweep, |&allow, rc| {
         let mut cfg = OperaNetConfig::small_test();
         cfg.params.racks = racks;
         cfg.allow_vlb = allow;
         cfg.bulk_threshold = 0;
-        let mut rng = pt.rng_stream(4);
+        let mut rng = rc.rng_stream(4);
         let mut flows = Vec::new();
         for i in 0..4 {
             for j in 0..4 {
@@ -191,12 +207,20 @@ fn vlb(ctx: &Ctx) -> Table {
                 .filter_map(|f| f.fct())
                 .map(|x| x.as_ms_f64()),
         );
-        vec![Cell::from(allow), expt::f2(done), expt::f2(s.mean)]
+        (vec![Cell::from(allow)], vec![done, s.mean])
     });
-    let mut out = Table::new(
+    let mut out = RepTableBuilder::new(
         "vlb_under_skew",
-        &["vlb", "completion_fraction_at_40ms", "avg_bulk_fct_ms"],
+        &["vlb"],
+        &[
+            ("completion_fraction_at_40ms", expt::f2 as MetricFmt),
+            ("avg_bulk_fct_ms", expt::f2),
+        ],
     );
-    out.extend(rows);
-    out
+    for point in per_point {
+        for (key, metrics) in point {
+            out.push(key, &metrics);
+        }
+    }
+    out.build()
 }

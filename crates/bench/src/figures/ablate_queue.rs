@@ -7,7 +7,7 @@
 //! low-latency queue depth on a fixed incast-heavy workload and reports
 //! trimming rates, FCTs, and the ε each depth would force.
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use netsim::fabric::QueueConfig;
 use opera::timing::SliceTiming;
 use opera::{opera_net, OperaNetConfig};
@@ -20,13 +20,14 @@ pub const EXPERIMENT: Experiment = Experiment {
     title: "Ablation: low-latency queue depth (incast of 24 x 30KB flows)",
 };
 
-/// Build the ablation's table.
+/// Build the ablation's table. The incast senders and start jitter are
+/// drawn per replicate seed, so the CI columns reflect genuine spread.
 pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let depths_kb: &[u64] = ctx.by_scale(&[6, 24], &[3, 6, 12, 24, 48], &[3, 6, 12, 24, 48]);
     let racks: usize = ctx.by_scale(8, 16, 16);
 
     let sweep = Sweep::grid1(depths_kb, |kb| kb);
-    let rows = ctx.run(&sweep, |&kb, pt| {
+    let per_point = ctx.run_replicated(&sweep, |&kb, rc| {
         let mut cfg = OperaNetConfig::small_test();
         cfg.params.racks = racks;
         cfg.bulk_threshold = u64::MAX;
@@ -35,7 +36,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             trim: true,
         };
         // Incast: many senders to hosts of one rack.
-        let mut rng = pt.rng_stream(3);
+        let mut rng = rc.rng_stream(3);
         let hosts = cfg.hosts();
         let mut flows = Vec::new();
         for i in 0..24 {
@@ -68,32 +69,36 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         )
         .epsilon
         .as_us_f64();
-        vec![
-            Cell::from(kb),
-            Cell::from(format!("{eps:.0}")),
-            Cell::from(sim.world.fabric.counters.trimmed),
-            expt::f2(s.mean),
-            expt::f2(s.max),
-            Cell::from(t.completed()),
-            Cell::from(t.len()),
-        ]
+        (
+            vec![Cell::from(kb), Cell::from(format!("{eps:.0}"))],
+            vec![
+                sim.world.fabric.counters.trimmed as f64,
+                s.mean,
+                s.max,
+                t.completed() as f64,
+                t.len() as f64,
+            ],
+        )
     });
 
     // Shape: deeper queues trim less but force a longer ε (and thus a
     // longer cycle and a higher bulk threshold); 12-24 KB balances both,
     // which is exactly the paper's choice (§4.1).
-    let mut out = Table::new(
+    let mut out = RepTableBuilder::new(
         "queue_depth",
+        &["queue_kb", "forced_epsilon_us"],
         &[
-            "queue_kb",
-            "forced_epsilon_us",
-            "trimmed_pkts",
-            "avg_fct_us",
-            "max_fct_us",
-            "completed",
-            "offered",
+            ("trimmed_pkts", expt::f2 as MetricFmt),
+            ("avg_fct_us", expt::f2),
+            ("max_fct_us", expt::f2),
+            ("completed", expt::f2),
+            ("offered", expt::f2),
         ],
     );
-    out.extend(rows);
-    vec![out]
+    for point in per_point {
+        for (key, metrics) in point {
+            out.push(key, &metrics);
+        }
+    }
+    vec![out.build()]
 }

@@ -1,6 +1,6 @@
 //! Figure 1: flow-count and byte CDFs of the three published workloads.
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use workloads::dists::{FlowSizeDist, Workload};
 
 /// Driver identity.
@@ -9,7 +9,10 @@ pub const EXPERIMENT: Experiment = Experiment {
     title: "Figure 1: flow-size distributions (CDF of flows, CDF of bytes)",
 };
 
-/// Build the figure's tables.
+/// Build the figure's tables. The CDFs are closed-form (no seed
+/// dependence), so each workload is integrated once and recorded once
+/// per replicate (push_constant): CIs are exactly zero, columns kept
+/// for schema uniformity across figures.
 pub fn tables(ctx: &Ctx) -> Vec<Table> {
     // Quantile-integration resolution for the byte CDF.
     let n: usize = ctx.by_scale(400, 4000, 4000);
@@ -28,7 +31,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         let total: f64 = (0..n)
             .map(|i| d.quantile((i as f64 + 0.5) / n as f64))
             .sum();
-        let rows: Vec<Vec<Cell>> = sizes
+        let rows: Vec<(Vec<Cell>, Vec<f64>)> = sizes
             .iter()
             .map(|&s| {
                 let flows = d.cdf(s);
@@ -37,33 +40,37 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
                     .filter(|&q| q <= s)
                     .sum::<f64>()
                     / total;
-                vec![
-                    Cell::from(format!("{w:?}")),
-                    Cell::from(format!("{s:.0}")),
-                    expt::f(flows),
-                    expt::f(bytes),
-                ]
+                (
+                    vec![Cell::from(format!("{w:?}")), Cell::from(format!("{s:.0}"))],
+                    vec![flows, bytes],
+                )
             })
             .collect();
-        let summary = vec![
-            Cell::from(format!("{w:?}")),
-            Cell::from(format!("{:.0}", d.mean())),
-            expt::f3(d.byte_fraction_above(15e6)),
-        ];
+        let summary = (
+            vec![Cell::from(format!("{w:?}"))],
+            vec![d.mean(), d.byte_fraction_above(15e6)],
+        );
         (rows, summary)
     });
 
-    let mut cdfs = Table::new(
+    let mut cdfs = RepTableBuilder::new(
         "flow_size_cdfs",
-        &["workload", "size_bytes", "cdf_flows", "cdf_bytes"],
+        &["workload", "size_bytes"],
+        &[("cdf_flows", expt::f as MetricFmt), ("cdf_bytes", expt::f)],
     );
-    let mut summary = Table::new(
+    let mut summary = RepTableBuilder::new(
         "byte_summary",
-        &["workload", "mean_bytes", "byte_share_above_15mb"],
+        &["workload"],
+        &[
+            ("mean_bytes", expt::f0 as MetricFmt),
+            ("byte_share_above_15mb", expt::f3),
+        ],
     );
-    for (rows, srow) in per_workload {
-        cdfs.extend(rows);
-        summary.push(srow);
+    for (rows, (skey, smetrics)) in per_workload {
+        for (key, metrics) in rows {
+            cdfs.push_constant(key, &metrics, ctx.replicates());
+        }
+        summary.push_constant(skey, &smetrics, ctx.replicates());
     }
-    vec![cdfs, summary]
+    vec![cdfs.build(), summary.build()]
 }

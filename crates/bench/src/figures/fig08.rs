@@ -3,7 +3,7 @@
 //! tagging, §3.4); the static networks run NDP with staggered starts.
 
 use crate::{clos_cfg, expander_cfg, opera_cfg, static_hosts};
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use netsim::FlowTracker;
 use opera::{opera_net, static_net};
 use simkit::SimTime;
@@ -15,37 +15,36 @@ pub const EXPERIMENT: Experiment = Experiment {
     title: "Figure 8: 100KB all-to-all shuffle, throughput vs time",
 };
 
-const SYSTEMS: [&str; 3] = ["opera", "expander", "folded-clos"];
+const STATIC_SYSTEMS: [&str; 2] = ["expander", "folded-clos"];
 
-fn series_rows(label: &str, series: &[(SimTime, f64)], hosts: usize) -> Vec<Vec<Cell>> {
+fn series_rows(label: &str, series: &[(SimTime, f64)], hosts: usize) -> Vec<(Vec<Cell>, Vec<f64>)> {
     // Normalize to aggregate host capacity (hosts × 10G).
     let cap = hosts as f64 * 10e9;
     series
         .iter()
         .map(|(t, bytes_per_sec)| {
-            vec![
-                Cell::from(label),
-                Cell::from(format!("{:.1}", t.as_ms_f64())),
-                expt::f(bytes_per_sec * 8.0 / cap),
-            ]
+            (
+                vec![
+                    Cell::from(label),
+                    Cell::from(format!("{:.1}", t.as_ms_f64())),
+                ],
+                vec![bytes_per_sec * 8.0 / cap],
+            )
         })
         .collect()
 }
 
-fn summary_row(label: &str, tracker: &FlowTracker, offered: usize) -> Vec<Cell> {
+fn summary_row(label: &str, tracker: &FlowTracker, offered: usize) -> (Vec<Cell>, Vec<f64>) {
     let fcts = tracker
         .flows()
         .iter()
         .filter_map(|f| f.fct())
         .map(|x| x.as_ms_f64());
     let s = expt::summarize(fcts);
-    vec![
-        Cell::from(label),
-        Cell::from(tracker.completed()),
-        Cell::from(offered),
-        expt::f2(s.p99),
-        expt::f2(s.mean),
-    ]
+    (
+        vec![Cell::from(label)],
+        vec![tracker.completed() as f64, offered as f64, s.p99, s.mean],
+    )
 }
 
 /// Build the figure's tables.
@@ -54,62 +53,84 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let flow_size: u64 = ctx.by_scale(30_000, 100_000, 100_000);
     let bin = SimTime::from_ms(1);
     let horizon = SimTime::from_ms(ctx.by_scale(60, 150, 300));
+    let reps = ctx.replicates();
 
-    let sweep = Sweep::grid1(&SYSTEMS, |s| s);
-    let results = ctx.run(&sweep, |&system, pt| {
-        if system == "opera" {
-            // All flows tagged bulk, all start together.
-            let mut cfg = opera_cfg(scale);
-            cfg.bulk_threshold = 0; // application tags everything bulk
-            let hosts = cfg.hosts();
-            let flows = ScenarioGen::shuffle(hosts, flow_size, SimTime::ZERO);
-            let total = flows.len();
-            let mut sim = opera_net::build_with_throughput(cfg, flows, bin);
-            sim.run_until(horizon);
-            let t = sim.world.logic.tracker();
-            (
-                series_rows(system, &t.throughput().unwrap().rate_per_sec(), hosts),
-                summary_row(system, t, total),
-            )
-        } else {
-            // Static networks: staggered starts over 10 ms.
-            let cfg = if system == "expander" {
-                expander_cfg(scale)
-            } else {
-                clos_cfg(scale)
-            };
-            let hosts = static_hosts(&cfg);
-            let mut rng = pt.rng();
-            let flows =
-                ScenarioGen::shuffle_staggered(hosts, flow_size, SimTime::from_ms(10), &mut rng);
-            let total = flows.len();
-            let mut sim = static_net::build_with_throughput(cfg, flows, bin);
-            sim.run_until(horizon);
-            let t = sim.world.logic.tracker();
-            (
-                series_rows(system, &t.throughput().unwrap().rate_per_sec(), hosts),
-                summary_row(system, t, total),
-            )
-        }
-    });
-
-    let mut series = Table::new(
+    let mut series = RepTableBuilder::new(
         "throughput_timeseries",
-        &["network", "time_ms", "normalized_throughput"],
+        &["network", "time_ms"],
+        &[("normalized_throughput", expt::f as MetricFmt)],
     );
-    let mut summary = Table::new(
+    let mut summary = RepTableBuilder::new(
         "completion_summary",
+        &["network"],
         &[
-            "network",
-            "completed",
-            "offered",
-            "p99_fct_ms",
-            "mean_fct_ms",
+            ("completed", expt::f2 as MetricFmt),
+            ("offered", expt::f2),
+            ("p99_fct_ms", expt::f2),
+            ("mean_fct_ms", expt::f2),
         ],
     );
-    for (rows, srow) in results {
-        series.extend(rows);
-        summary.push(srow);
+
+    // Opera is seed-independent here (application tags every flow bulk,
+    // all start together): one simulation, recorded once per replicate.
+    {
+        let mut cfg = opera_cfg(scale);
+        cfg.bulk_threshold = 0;
+        let hosts = cfg.hosts();
+        let flows = ScenarioGen::shuffle(hosts, flow_size, SimTime::ZERO);
+        let total = flows.len();
+        let mut sim = opera_net::build_with_throughput(cfg, flows, bin);
+        sim.run_until(horizon);
+        let t = sim.world.logic.tracker();
+        for (key, metrics) in series_rows("opera", &t.throughput().unwrap().rate_per_sec(), hosts) {
+            series.push_constant(key, &metrics, reps);
+        }
+        let (skey, smetrics) = summary_row("opera", t, total);
+        summary.push_constant(skey, &smetrics, reps);
     }
-    vec![series, summary]
+
+    // Static networks: staggered random starts, re-drawn per replicate.
+    let sweep = Sweep::grid1(&STATIC_SYSTEMS, |s| s);
+    let results = ctx.run_replicated(&sweep, |&system, rc| {
+        let cfg = if system == "expander" {
+            expander_cfg(scale)
+        } else {
+            clos_cfg(scale)
+        };
+        let hosts = static_hosts(&cfg);
+        let mut rng = rc.rng();
+        let flows =
+            ScenarioGen::shuffle_staggered(hosts, flow_size, SimTime::from_ms(10), &mut rng);
+        let total = flows.len();
+        let mut sim = static_net::build_with_throughput(cfg, flows, bin);
+        sim.run_until(horizon);
+        let t = sim.world.logic.tracker();
+        (
+            t.throughput().unwrap().rate_per_sec(),
+            hosts,
+            summary_row(system, t, total),
+        )
+    });
+
+    for (point, &system) in results.into_iter().zip(&STATIC_SYSTEMS) {
+        // Replicates stop emitting bins after their last delivery; a
+        // replicate that finished early genuinely delivered zero in the
+        // later bins, so pad its tail with zeros — otherwise tail-bin
+        // means average only the slow replicates and overstate the tail.
+        let times: Vec<SimTime> = point
+            .iter()
+            .max_by_key(|(s, _, _)| s.len())
+            .map(|(s, _, _)| s.iter().map(|&(tm, _)| tm).collect())
+            .unwrap_or_default();
+        for (raw, hosts, (skey, smetrics)) in point {
+            let padded: Vec<(SimTime, f64)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &tm)| (tm, raw.get(i).map_or(0.0, |&(_, v)| v)))
+                .collect();
+            series.extend(series_rows(system, &padded, hosts));
+            summary.push(skey, &smetrics);
+        }
+    }
+    vec![series.build(), summary.build()]
 }

@@ -2,9 +2,9 @@
 //! every flow is under the bulk threshold and rides indirect expander
 //! paths paying the bandwidth tax.
 
-use crate::figures::{completion_row, fct_rows, FCT_COLUMNS};
+use crate::figures::{completion_row, fct_rows, COMPLETION_METRICS, FCT_KEY_COLUMNS, FCT_METRICS};
 use crate::{clos_cfg, expander_cfg, opera_cfg, static_hosts};
-use expt::{Ctx, Experiment, Sweep, Table};
+use expt::{Ctx, Experiment, RepTableBuilder, Sweep, Table};
 use opera::{opera_net, static_net};
 use simkit::SimTime;
 use workloads::dists::{FlowSizeDist, Workload};
@@ -41,9 +41,12 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let loads: &[f64] = ctx.by_scale(&[0.05], &[0.01, 0.05, 0.10], &[0.01, 0.05, 0.10]);
 
     let sweep = Sweep::grid2(&SYSTEMS, loads, |s, l| (s, l));
-    let results = ctx.run(&sweep, |&(system, load), pt| {
-        let load_idx = pt.index % loads.len();
-        let seed = expt::derive_seed(ctx.runner.base_seed() ^ 17, load_idx as u64);
+    let results = ctx.run_replicated(&sweep, |&(system, load), rc| {
+        let load_idx = rc.point.index % loads.len();
+        let seed = expt::replicate_seed(
+            expt::derive_seed(ctx.runner.base_seed() ^ 17, load_idx as u64),
+            rc.rep,
+        );
         match system {
             "opera" => {
                 let mut cfg = opera_cfg(scale);
@@ -80,11 +83,14 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         }
     });
 
-    let mut fct = Table::new("fct_by_size", &FCT_COLUMNS);
-    let mut completion = Table::new("completion", &["system", "load", "completed", "offered"]);
-    for (rows, crow) in results {
-        fct.extend(rows);
-        completion.push(crow);
+    let mut fct = RepTableBuilder::new("fct_by_size", &FCT_KEY_COLUMNS, &FCT_METRICS);
+    let mut completion =
+        RepTableBuilder::new("completion", &["system", "load"], &COMPLETION_METRICS);
+    for point in results {
+        for (rows, (ckey, cmetrics)) in point {
+            fct.extend(rows);
+            completion.push(ckey, &cmetrics);
+        }
     }
-    vec![fct, completion]
+    vec![fct.build(), completion.build()]
 }

@@ -7,7 +7,7 @@
 //! network, using the flow-level models for the bulk plane (steady state)
 //! and charging the static networks their measured bandwidth tax.
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use flowsim::models::Demand;
 use flowsim::{clos_throughput, max_concurrent_flow, opera_model};
 use topo::expander::{ExpanderParams, ExpanderTopology};
@@ -58,6 +58,9 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         &[0.01, 0.025, 0.05, 0.10, 0.20, 0.40],
     );
 
+    // The flow-level solves are deterministic (fixed topology seeds, no
+    // RNG): each load is solved once and recorded once per replicate
+    // (push_constant, zero CI).
     let sweep = Sweep::grid1(ws_loads, |w| w);
     let rows = ctx.run(&sweep, |&ws, _| {
         // Opera: low-latency traffic takes `ws` of each host's capacity
@@ -98,18 +101,27 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         let ws_c = ws.min(clos_cap);
         let clos_total = ws_c + (clos_cap - ws_c);
 
-        vec![
-            Cell::F64(ws),
-            expt::f(opera_total.min(1.0)),
-            expt::f(exp_total.min(1.0)),
-            expt::f(clos_total.min(1.0)),
-        ]
+        (
+            vec![Cell::F64(ws)],
+            vec![
+                opera_total.min(1.0),
+                exp_total.min(1.0),
+                clos_total.min(1.0),
+            ],
+        )
     });
 
-    let mut t = Table::new(
+    let mut t = RepTableBuilder::new(
         "throughput_vs_websearch_load",
-        &["websearch_load", "opera", "expander", "clos"],
+        &["websearch_load"],
+        &[
+            ("opera", expt::f as MetricFmt),
+            ("expander", expt::f),
+            ("clos", expt::f),
+        ],
     );
-    t.extend(rows);
-    vec![t]
+    for (key, metrics) in rows {
+        t.push_constant(key, &metrics, ctx.replicates());
+    }
+    vec![t.build()]
 }

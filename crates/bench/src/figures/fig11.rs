@@ -2,7 +2,7 @@
 //! ToR, and circuit-switch failures (worst slice and integrated across
 //! all slices).
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use simkit::SimRng;
 use topo::failures::{analyze_opera, opera_link_domain, FailureSet};
 use topo::opera::{OperaParams, OperaTopology};
@@ -93,27 +93,26 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let fracs = fractions(ctx);
 
     let sweep = Sweep::grid2(&KINDS, fracs, |k, f| (k, f));
-    let rows = ctx.run(&sweep, |&(kind, frac), pt| {
-        let mut rng = pt.rng();
+    let rows = ctx.run_replicated(&sweep, |&(kind, frac), rc| {
+        let mut rng = rc.rng();
         let fails = sample_failures(&topo, &domain, kind, frac, &mut rng);
         let r = analyze_opera(&topo, &fails);
-        vec![
-            Cell::from(kind),
-            Cell::F64(frac),
-            expt::f(r.worst_slice_loss),
-            expt::f(r.all_slices_loss),
-        ]
+        (
+            vec![Cell::from(kind), Cell::F64(frac)],
+            vec![r.worst_slice_loss, r.all_slices_loss],
+        )
     });
 
-    let mut t = Table::new(
+    let mut t = RepTableBuilder::new(
         "connectivity_loss",
+        &["failure_kind", "fraction"],
         &[
-            "failure_kind",
-            "fraction",
-            "worst_slice_loss",
-            "all_slices_loss",
+            ("worst_slice_loss", expt::f as MetricFmt),
+            ("all_slices_loss", expt::f),
         ],
     );
-    t.extend(rows);
-    vec![t]
+    for point in rows {
+        t.extend(point);
+    }
+    vec![t.build()]
 }

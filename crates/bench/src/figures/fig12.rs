@@ -7,7 +7,7 @@
 //! `--k K` to select the radix explicitly; otherwise quick mode uses
 //! `k = 8`, the default `k = 12`, and `--full` the paper's `k = 24`.
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use flowsim::models::Demand;
 use flowsim::{clos_throughput, max_concurrent_flow, opera_model};
 use topo::cost::{expander_racks, expander_uplinks};
@@ -39,28 +39,36 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     );
     let mcf_iters: usize = ctx.by_scale(25, 60, 60);
 
-    // Demands per workload at Opera's rack granularity, plus Opera's
-    // α-independent throughput, computed once per workload.
-    let opera_side: Vec<(&str, Vec<Demand>, f64)> = WORKLOADS
+    // Opera's α-independent throughput, computed once per (workload,
+    // replicate): the demand matrices of the seeded workloads vary with
+    // the replicate seed.
+    let reps = ctx.replicates();
+    let opera_side: Vec<Vec<f64>> = WORKLOADS
         .iter()
         .enumerate()
         .map(|(i, &name)| {
-            let mut rng = ctx.runner.point_ctx(i).rng_stream(21);
-            let demands = match name {
-                "hotrack" => ScenarioGen::hotrack_demands(d_opera, rate),
-                "skew02" => ScenarioGen::skew_demands(racks_opera, 0.2, d_opera, rate, &mut rng),
-                _ => ScenarioGen::permutation_demands(racks_opera, d_opera, rate, &mut rng),
-            };
-            let o = opera_model(&opera, &demands, rate, duty, true).throughput_fraction();
-            (name, demands, o)
+            (0..reps)
+                .map(|rep| {
+                    let mut rng = ctx.runner.point_ctx(i).replicate(rep).rng_stream(21);
+                    let demands = match name {
+                        "hotrack" => ScenarioGen::hotrack_demands(d_opera, rate),
+                        "skew02" => {
+                            ScenarioGen::skew_demands(racks_opera, 0.2, d_opera, rate, &mut rng)
+                        }
+                        _ => ScenarioGen::permutation_demands(racks_opera, d_opera, rate, &mut rng),
+                    };
+                    opera_model(&opera, &demands, rate, duty, true).throughput_fraction()
+                })
+                .collect()
         })
         .collect();
 
     // The expensive part — one max-concurrent-flow solve per
-    // (workload, α) — fans out over the runner.
+    // (workload, α, replicate) — fans out over the runner.
     let sweep = Sweep::grid2(&[0usize, 1, 2], alphas, |w, a| (w, a));
-    let rows = ctx.run(&sweep, |&(wi, alpha), pt| {
-        let (name, _, o) = &opera_side[wi];
+    let rows = ctx.run_replicated(&sweep, |&(wi, alpha), rc| {
+        let name = &WORKLOADS[wi];
+        let o = &opera_side[wi][rc.rep];
         // Cost-equivalent expander.
         let u = expander_uplinks(alpha, k).clamp(3, k - 1);
         let de = k - u;
@@ -74,7 +82,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             7,
         );
         // Map the workload onto the expander's rack count.
-        let mut rng_e = pt.rng_stream(31);
+        let mut rng_e = rc.rng_stream(31);
         let demands_e: Vec<Demand> = match *name {
             "hotrack" => ScenarioGen::hotrack_demands(de, rate),
             "skew02" => ScenarioGen::skew_demands(racks_e, 0.2, de, rate, &mut rng_e),
@@ -91,20 +99,21 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         )
         .lambda;
         let c = clos_throughput(alpha);
-        vec![
-            Cell::from(*name),
-            Cell::F64(alpha),
-            expt::f(*o),
-            expt::f(e),
-            expt::f(c),
-        ]
+        (vec![Cell::from(*name), Cell::F64(alpha)], vec![*o, e, c])
     });
 
-    let mut sweep_table = Table::new(
+    let mut sweep_table = RepTableBuilder::new(
         "throughput_vs_alpha",
-        &["workload", "alpha", "opera", "expander", "clos"],
+        &["workload", "alpha"],
+        &[
+            ("opera", expt::f as MetricFmt),
+            ("expander", expt::f),
+            ("clos", expt::f),
+        ],
     );
-    sweep_table.extend(rows);
+    for point in rows {
+        sweep_table.extend(point);
+    }
     // Header metadata the old driver printed as a comment.
     let mut meta = Table::new("config", &["k", "racks", "hosts"]);
     meta.push(vec![
@@ -113,18 +122,20 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         Cell::from(hosts),
     ]);
 
-    // All-to-all shuffle reference (Opera's direct-path advantage).
+    // All-to-all shuffle reference (Opera's direct-path advantage) —
+    // closed-form demands, so one computation stands for every replicate.
     let a2a = ScenarioGen::all_to_all_demands(racks_opera, d_opera, rate, 1.0);
     let o = opera_model(&opera, &a2a, rate, duty, true).throughput_fraction();
-    let mut reference = Table::new(
+    let mut reference = RepTableBuilder::new(
         "all_to_all_reference",
-        &["workload", "network", "throughput"],
+        &["workload", "network"],
+        &[("throughput", expt::f as MetricFmt)],
     );
-    reference.push(vec![
-        Cell::from("all_to_all"),
-        Cell::from("opera"),
-        expt::f(o),
-    ]);
+    reference.push_constant(
+        vec![Cell::from("all_to_all"), Cell::from("opera")],
+        &[o],
+        reps,
+    );
 
-    vec![meta, sweep_table, reference]
+    vec![meta, sweep_table.build(), reference.build()]
 }

@@ -1,7 +1,7 @@
 //! Figure 14: relative cycle time vs ToR radix, with and without
 //! circuit-switch grouping (Appendix B).
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use opera::timing::{cycle_slices_grouped, cycle_slices_ungrouped, SliceTiming};
 
 /// Driver identity.
@@ -10,7 +10,8 @@ pub const EXPERIMENT: Experiment = Experiment {
     title: "Figure 14: relative cycle time vs ToR radix (normalized to k=12)",
 };
 
-/// Build the figure's tables.
+/// Build the figure's tables (closed-form timing arithmetic; replicate
+/// CIs are exactly zero).
 pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let ks: Vec<usize> = if ctx.quick() {
         (12..=36).step_by(8).collect()
@@ -24,37 +25,45 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let rows = ctx.run(&sweep, |&k, _| {
         let ungrouped = cycle_slices_ungrouped(k);
         let grouped = cycle_slices_grouped(k, 6.min(k / 2));
-        vec![
-            Cell::from(k),
-            Cell::from(3 * k * k / 4),
-            expt::f2(ungrouped as f64 / base),
-            expt::f2(grouped as f64 / base),
-            expt::f2(t.cycle(grouped).as_ms_f64()),
-        ]
+        (
+            vec![Cell::from(k), Cell::from(3 * k * k / 4)],
+            vec![
+                ungrouped as f64 / base,
+                grouped as f64 / base,
+                t.cycle(grouped).as_ms_f64(),
+            ],
+        )
     });
 
-    let mut cycle = Table::new(
+    let mut cycle = RepTableBuilder::new(
         "cycle_time",
-        &["k", "racks", "no_groups", "groups_of_6", "cycle_ms_grouped"],
+        &["k", "racks"],
+        &[
+            ("no_groups", expt::f2 as MetricFmt),
+            ("groups_of_6", expt::f2),
+            ("cycle_ms_grouped", expt::f2),
+        ],
     );
-    cycle.extend(rows);
+    for (key, metrics) in rows {
+        cycle.push_constant(key, &metrics, ctx.replicates());
+    }
 
     // The k=64-class takeaway: grouped cycle grows ~6x from k=12
     // (paper: "factor of 6"), and the bulk threshold scales accordingly.
-    let mut thresholds = Table::new("bulk_threshold_mb", &["config", "threshold_mb"]);
-    thresholds.push(vec![
-        Cell::from("k60_grouped"),
-        Cell::from(format!(
-            "{:.0}",
-            t.bulk_threshold_bytes(cycle_slices_grouped(60, 6), 10.0) as f64 / 1e6
-        )),
-    ]);
-    thresholds.push(vec![
-        Cell::from("k12_ungrouped"),
-        Cell::from(format!(
-            "{:.0}",
-            t.bulk_threshold_bytes(cycle_slices_ungrouped(12), 10.0) as f64 / 1e6
-        )),
-    ]);
-    vec![cycle, thresholds]
+    let mut thresholds = RepTableBuilder::new(
+        "bulk_threshold_mb",
+        &["config"],
+        &[("threshold_mb", expt::f0 as MetricFmt)],
+    );
+    thresholds.push_constant(
+        vec![Cell::from("k60_grouped")],
+        &[t.bulk_threshold_bytes(cycle_slices_grouped(60, 6), 10.0) as f64 / 1e6],
+        ctx.replicates(),
+    );
+    thresholds.push_constant(
+        vec![Cell::from("k12_ungrouped")],
+        &[t.bulk_threshold_bytes(cycle_slices_ungrouped(12), 10.0) as f64 / 1e6],
+        ctx.replicates(),
+    );
+    vec![cycle.build(), thresholds.build()]
 }

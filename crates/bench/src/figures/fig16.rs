@@ -1,7 +1,7 @@
 //! Figure 16: average path length vs ToR radix for Opera and for static
 //! expanders at several cost points α (Appendix C).
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use topo::cost::{expander_racks, expander_uplinks};
 use topo::expander::{ExpanderParams, ExpanderTopology};
 use topo::opera::{OperaParams, OperaTopology};
@@ -31,6 +31,8 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             points.push(Point::Expander { k, alpha });
         }
     }
+    // Topology seeds are fixed, so each point is computed once and
+    // recorded once per replicate (push_constant, zero CI).
     let sweep = Sweep::from_points(points);
     let rows = ctx.run(&sweep, |&p, _| match p {
         Point::Opera { k } => {
@@ -48,13 +50,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
                 avg += st.avg / samples as f64;
                 max = max.max(st.max);
             }
-            vec![
-                Cell::from(k),
-                Cell::from(hosts),
-                Cell::from("opera"),
-                expt::f3(avg),
-                Cell::from(max),
-            ]
+            (
+                vec![Cell::from(k), Cell::from(hosts), Cell::from("opera")],
+                vec![avg, max as f64],
+            )
         }
         Point::Expander { k, alpha } => {
             let racks = 3 * k * k / 4;
@@ -70,20 +69,24 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
                 3,
             );
             let st = e.graph().path_length_stats();
-            vec![
-                Cell::from(k),
-                Cell::from(hosts),
-                Cell::from(format!("expander_a{alpha}")),
-                expt::f3(st.avg),
-                Cell::from(st.max),
-            ]
+            (
+                vec![
+                    Cell::from(k),
+                    Cell::from(hosts),
+                    Cell::from(format!("expander_a{alpha}")),
+                ],
+                vec![st.avg, st.max as f64],
+            )
         }
     });
 
-    let mut t = Table::new(
+    let mut t = RepTableBuilder::new(
         "path_length_vs_radix",
-        &["k", "hosts", "series", "avg_path", "max_path"],
+        &["k", "hosts", "series"],
+        &[("avg_path", expt::f3 as MetricFmt), ("max_path", expt::f0)],
     );
-    t.extend(rows);
-    vec![t]
+    for (key, metrics) in rows {
+        t.push_constant(key, &metrics, ctx.replicates());
+    }
+    vec![t.build()]
 }

@@ -2,7 +2,7 @@
 //! under link, ToR, and circuit-switch failures.
 
 use crate::figures::fig11::{failure_params, fractions, sample_failures, KINDS};
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use topo::failures::{analyze_opera, opera_link_domain};
 use topo::opera::OperaTopology;
 
@@ -20,22 +20,26 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let fracs = fractions(ctx);
 
     let sweep = Sweep::grid2(&KINDS, fracs, |k, f| (k, f));
-    let rows = ctx.run(&sweep, |&(kind, frac), pt| {
-        let mut rng = pt.rng();
+    let rows = ctx.run_replicated(&sweep, |&(kind, frac), rc| {
+        let mut rng = rc.rng();
         let fails = sample_failures(&topo, &domain, kind, frac, &mut rng);
         let r = analyze_opera(&topo, &fails);
-        vec![
-            Cell::from(kind),
-            Cell::F64(frac),
-            expt::f3(r.avg_path_len),
-            Cell::from(r.max_path_len),
-        ]
+        (
+            vec![Cell::from(kind), Cell::F64(frac)],
+            vec![r.avg_path_len, r.max_path_len as f64],
+        )
     });
 
-    let mut t = Table::new(
+    let mut t = RepTableBuilder::new(
         "path_stretch",
-        &["failure_kind", "fraction", "avg_path", "worst_path"],
+        &["failure_kind", "fraction"],
+        &[
+            ("avg_path", expt::f3 as MetricFmt),
+            ("worst_path", expt::f2),
+        ],
     );
-    t.extend(rows);
-    vec![t]
+    for point in rows {
+        t.extend(point);
+    }
+    vec![t.build()]
 }

@@ -1,7 +1,7 @@
 //! Figure 19 / Appendix E: connectivity loss and path stretch of the
 //! 3:1 folded Clos under link and switch failures.
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use topo::clos::{ClosParams, ClosTopology};
 use topo::failures::{analyze_static, clos_link_domain, FailureSet};
 
@@ -33,8 +33,8 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
 
     let kinds = ["links", "switches"];
     let sweep = Sweep::grid2(&kinds, fracs, |k, f| (k, f));
-    let rows = ctx.run(&sweep, |&(kind, frac), pt| {
-        let mut rng = pt.rng();
+    let rows = ctx.run_replicated(&sweep, |&(kind, frac), rc| {
+        let mut rng = rc.rng();
         let fails = match kind {
             "links" => {
                 let n = (frac * domain.len() as f64).round() as usize;
@@ -59,25 +59,23 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             }
         };
         let r = analyze_static(clos.graph(), &tors, &fails);
-        vec![
-            Cell::from(kind),
-            Cell::F64(frac),
-            expt::f(r.worst_slice_loss),
-            expt::f3(r.avg_path_len),
-            Cell::from(r.max_path_len),
-        ]
+        (
+            vec![Cell::from(kind), Cell::F64(frac)],
+            vec![r.worst_slice_loss, r.avg_path_len, r.max_path_len as f64],
+        )
     });
 
-    let mut t = Table::new(
+    let mut t = RepTableBuilder::new(
         "clos_failures",
+        &["failure_kind", "fraction"],
         &[
-            "failure_kind",
-            "fraction",
-            "connectivity_loss",
-            "avg_path",
-            "worst_path",
+            ("connectivity_loss", expt::f as MetricFmt),
+            ("avg_path", expt::f3),
+            ("worst_path", expt::f2),
         ],
     );
-    t.extend(rows);
-    vec![t]
+    for point in rows {
+        t.extend(point);
+    }
+    vec![t.build()]
 }

@@ -26,9 +26,12 @@ pub mod fig20;
 pub mod table1;
 pub mod table2;
 
-use expt::{Cell, Ctx, Experiment, Table};
+use expt::golden::{bless_driver, compare_driver, Drift, GoldenSpec};
+use expt::{Cell, Ctx, Experiment, ExptArgs, MetricFmt, Scale, Table};
 use netsim::FlowTracker;
 use opera::harness::FctStats;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// A figure's table builder.
 pub type BuildFn = fn(&Ctx) -> Vec<Table>;
@@ -58,55 +61,110 @@ pub fn all() -> Vec<(Experiment, BuildFn)> {
     ]
 }
 
-/// Column set of the per-size-bin FCT tables (Figures 7 and 9).
-pub(crate) const FCT_COLUMNS: [&str; 9] = [
-    "system",
-    "load",
-    "size_lo",
-    "size_hi",
-    "flows",
-    "unfinished",
-    "avg_us",
-    "p50_us",
-    "p99_us",
+/// The per-driver golden comparison spec ([`expt::golden`]). Every
+/// driver is near-exact today; loosen a column here (not by re-blessing)
+/// when a legitimate cross-platform difference shows up.
+pub fn golden_spec(_driver: &str) -> GoldenSpec {
+    GoldenSpec::strict()
+}
+
+/// The committed golden store: `goldens/` at the workspace root.
+pub fn golden_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../goldens")
+}
+
+/// The canonical context goldens are recorded and checked under: quick
+/// scale, base seed 0, 3 replicates, no result files. Thread count is
+/// free — the harness guarantees it cannot affect output.
+pub fn golden_ctx(threads: usize) -> Ctx {
+    Ctx::new(ExptArgs {
+        scale: Scale::Quick,
+        threads,
+        no_write: true,
+        ..ExptArgs::default()
+    })
+}
+
+/// Build one driver's tables under `ctx` and diff them against its
+/// committed goldens (or re-record them when `bless` is set; a bless
+/// returns no drifts). This is the shared engine behind the tier-1
+/// `golden_figures` test and the `golden_check` binary.
+pub fn golden_run(
+    exp: &Experiment,
+    build: BuildFn,
+    ctx: &Ctx,
+    root: &Path,
+    bless: bool,
+) -> io::Result<Vec<Drift>> {
+    let tables = build(ctx);
+    if bless {
+        bless_driver(exp.name, &tables, root)?;
+        return Ok(Vec::new());
+    }
+    compare_driver(exp.name, &tables, root, &golden_spec(exp.name))
+}
+
+/// Key columns of the per-size-bin FCT tables (Figures 7 and 9).
+pub(crate) const FCT_KEY_COLUMNS: [&str; 4] = ["system", "load", "size_lo", "size_hi"];
+
+/// Metric columns of the per-size-bin FCT tables, aggregated over
+/// replicate seeds.
+pub(crate) const FCT_METRICS: [(&str, MetricFmt); 5] = [
+    ("flows", expt::f2),
+    ("unfinished", expt::f2),
+    ("avg_us", expt::f2),
+    ("p50_us", expt::f2),
+    ("p99_us", expt::f2),
 ];
 
-/// Per-size-bin FCT rows for one `(system, load)` run.
-pub(crate) fn fct_rows(system: &str, load: f64, tracker: &FlowTracker) -> Vec<Vec<Cell>> {
+/// Metric columns of the completion-summary tables.
+pub(crate) const COMPLETION_METRICS: [(&str, MetricFmt); 2] =
+    [("completed", expt::f2), ("offered", expt::f2)];
+
+/// Per-size-bin FCT observations for one `(system, load)` replicate:
+/// `(key cells, metric values)` aligned with [`FCT_KEY_COLUMNS`] and
+/// [`FCT_METRICS`].
+pub(crate) fn fct_rows(
+    system: &str,
+    load: f64,
+    tracker: &FlowTracker,
+) -> Vec<(Vec<Cell>, Vec<f64>)> {
     let stats = FctStats::from_tracker(tracker, &FctStats::default_edges());
     stats
         .bins
         .iter()
         .filter(|b| b.count > 0 || b.unfinished > 0)
         .map(|b| {
-            vec![
-                Cell::from(system),
-                Cell::F64(load),
-                Cell::from(b.lo),
-                Cell::from(b.hi),
-                Cell::from(b.count),
-                Cell::from(b.unfinished),
-                expt::f2(b.avg_us),
-                expt::f2(b.p50_us),
-                expt::f2(b.p99_us),
-            ]
+            (
+                vec![
+                    Cell::from(system),
+                    Cell::F64(load),
+                    Cell::from(b.lo),
+                    Cell::from(b.hi),
+                ],
+                vec![
+                    b.count as f64,
+                    b.unfinished as f64,
+                    b.avg_us,
+                    b.p50_us,
+                    b.p99_us,
+                ],
+            )
         })
         .collect()
 }
 
-/// Completion-summary row for one `(system, load)` run.
+/// Completion-summary observation for one `(system, load)` replicate.
 pub(crate) fn completion_row(
     system: &str,
     load: f64,
     tracker: &FlowTracker,
     offered: usize,
-) -> Vec<Cell> {
-    vec![
-        Cell::from(system),
-        Cell::F64(load),
-        Cell::from(tracker.completed()),
-        Cell::from(offered),
-    ]
+) -> (Vec<Cell>, Vec<f64>) {
+    (
+        vec![Cell::from(system), Cell::F64(load)],
+        vec![tracker.completed() as f64, offered as f64],
+    )
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Table 1: routing-state entries and switch-memory utilization for
 //! Opera rulesets at various datacenter sizes (§6.2).
 
-use expt::{Cell, Ctx, Experiment, Sweep, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
 use opera::ruleset::{ruleset_for, table1_rows};
 
 /// Driver identity.
@@ -21,34 +21,39 @@ const PAPER: [(u64, f64); 6] = [
     (1_461_600, 85.9),
 ];
 
-/// Build the table.
+/// Build the table. Ruleset sizes are closed-form (no seed dependence),
+/// so each size is computed once and recorded once per replicate
+/// (push_constant): CIs are exactly zero, columns kept for schema
+/// uniformity across figures.
 pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let sizes = table1_rows();
     let sweep = Sweep::grid1(&sizes, |rc| rc);
-    let rows = ctx.run(&sweep, |&(racks, uplinks), pt| {
+    let per_point = ctx.run(&sweep, |&(racks, uplinks), pt| {
         let r = ruleset_for(racks, uplinks);
         let (paper_entries, paper_util) = PAPER.get(pt.index).copied().unwrap_or((0, 0.0));
-        vec![
-            Cell::from(r.racks),
-            Cell::from(r.uplinks),
-            Cell::from(r.entries),
-            expt::f2(r.utilization_pct),
-            Cell::from(paper_entries),
-            expt::f2(paper_util),
-        ]
+        (
+            vec![Cell::from(r.racks), Cell::from(r.uplinks)],
+            vec![
+                r.entries as f64,
+                r.utilization_pct,
+                paper_entries as f64,
+                paper_util,
+            ],
+        )
     });
 
-    let mut t = Table::new(
+    let mut t = RepTableBuilder::new(
         "ruleset_sizes",
+        &["racks", "uplinks"],
         &[
-            "racks",
-            "uplinks",
-            "entries",
-            "util_pct",
-            "paper_entries",
-            "paper_util_pct",
+            ("entries", expt::f0 as MetricFmt),
+            ("util_pct", expt::f2),
+            ("paper_entries", expt::f0),
+            ("paper_util_pct", expt::f2),
         ],
     );
-    t.extend(rows);
-    vec![t]
+    for (key, metrics) in per_point {
+        t.push_constant(key, &metrics, ctx.replicates());
+    }
+    vec![t.build()]
 }

@@ -1,7 +1,7 @@
 //! Table 2 / Appendix A: cost per "port" for a static network vs Opera,
 //! and the derived cost-normalization quantities.
 
-use expt::{Cell, Ctx, Experiment, Table};
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Table};
 use topo::cost::{clos_hosts, clos_oversubscription, expander_uplinks, table2_alpha, PortCost};
 
 /// Driver identity.
@@ -10,11 +10,21 @@ pub const EXPERIMENT: Experiment = Experiment {
     title: "Table 2: per-port cost breakdown (USD)",
 };
 
-/// Build the tables (closed-form; no sweep needed).
-pub fn tables(_ctx: &Ctx) -> Vec<Table> {
+/// Build the tables. The cost model is closed-form (no sweep, no seed
+/// dependence), so every replicate observes the same values and the CI
+/// columns are exactly zero — kept for schema uniformity across figures.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let reps = ctx.replicates();
     let s = PortCost::static_port();
     let o = PortCost::opera_port();
-    let mut cost = Table::new("port_cost", &["component", "static_usd", "opera_usd"]);
+    let mut cost = RepTableBuilder::new(
+        "port_cost",
+        &["component"],
+        &[
+            ("static_usd", expt::f0 as MetricFmt),
+            ("opera_usd", expt::f0),
+        ],
+    );
     for (label, sv, ov) in [
         ("sr_transceiver", s.transceiver, o.transceiver),
         ("optical_fiber", s.fiber, o.fiber),
@@ -22,28 +32,31 @@ pub fn tables(_ctx: &Ctx) -> Vec<Table> {
         ("rotor_components", s.rotor_components, o.rotor_components),
         ("total", s.total(), o.total()),
     ] {
-        cost.push(vec![
-            Cell::from(label),
-            Cell::from(format!("{sv:.0}")),
-            Cell::from(format!("{ov:.0}")),
-        ]);
+        cost.push_constant(vec![Cell::from(label)], &[sv, ov], reps);
     }
 
     // Appendix A derived quantities at alpha (paper: alpha = 1.3).
     let a = table2_alpha();
-    let mut derived = Table::new("derived_quantities", &["quantity", "value"]);
-    derived.push(vec![Cell::from("alpha"), expt::f3(a)]);
-    derived.push(vec![
-        Cell::from("cost_equivalent_clos_oversubscription_F"),
-        expt::f2(clos_oversubscription(a, 3)),
-    ]);
-    derived.push(vec![
-        Cell::from("cost_equivalent_clos_hosts_k12"),
-        Cell::from(format!("{:.0}", clos_hosts(4.0 / 3.0, 12))),
-    ]);
-    derived.push(vec![
-        Cell::from("cost_equivalent_expander_uplinks_k12"),
-        Cell::from(expander_uplinks(1.4, 12)),
-    ]);
-    vec![cost, derived]
+    let mut derived = RepTableBuilder::new(
+        "derived_quantities",
+        &["quantity"],
+        &[("value", expt::f3 as MetricFmt)],
+    );
+    derived.push_constant(vec![Cell::from("alpha")], &[a], reps);
+    derived.push_constant(
+        vec![Cell::from("cost_equivalent_clos_oversubscription_F")],
+        &[clos_oversubscription(a, 3)],
+        reps,
+    );
+    derived.push_constant(
+        vec![Cell::from("cost_equivalent_clos_hosts_k12")],
+        &[clos_hosts(4.0 / 3.0, 12)],
+        reps,
+    );
+    derived.push_constant(
+        vec![Cell::from("cost_equivalent_expander_uplinks_k12")],
+        &[expander_uplinks(1.4, 12) as f64],
+        reps,
+    );
+    vec![cost.build(), derived.build()]
 }

@@ -7,6 +7,11 @@
 //! * `--full` — paper-scale configurations (also `OPERA_SCALE=full`),
 //! * `--threads N` — worker threads (`0` = all cores, the default),
 //! * `--seed S` — base seed for per-point seed derivation,
+//! * `--replicates R` — replicate seeds per sweep point (default 3);
+//!   figure tables report mean and 95% CI over the replicates,
+//! * `--shard I/N` — run only sweep points with `index % N == I`, for
+//!   fanning a sweep out across machines (merge CSVs afterwards with
+//!   [`crate::output::merge_sharded_csv`]),
 //! * `--out DIR` — results root (default `results/`),
 //! * `--no-write` — print CSV to stdout only,
 //! * `--k K` — ToR radix override where the driver supports it.
@@ -44,6 +49,10 @@ pub struct ExptArgs {
     pub threads: usize,
     /// Base seed all per-point seeds derive from.
     pub seed: u64,
+    /// Replicate seeds per sweep point (at least 1).
+    pub replicates: usize,
+    /// Optional `(i, n)` shard: run only points with `index % n == i`.
+    pub shard: Option<(usize, usize)>,
     /// Results root directory.
     pub out: PathBuf,
     /// Skip writing result files.
@@ -58,6 +67,8 @@ impl Default for ExptArgs {
             scale: Scale::Default,
             threads: 0,
             seed: 0,
+            replicates: 3,
+            shard: None,
             out: PathBuf::from("results"),
             no_write: false,
             k: None,
@@ -96,6 +107,17 @@ impl ExptArgs {
                         .parse()
                         .map_err(|e| format!("--seed: {e}"))?;
                 }
+                "--replicates" => {
+                    out.replicates = value_for("--replicates")?
+                        .parse()
+                        .map_err(|e| format!("--replicates: {e}"))?;
+                    if out.replicates == 0 {
+                        return Err("--replicates must be at least 1".into());
+                    }
+                }
+                "--shard" => {
+                    out.shard = Some(parse_shard(&value_for("--shard")?)?);
+                }
                 "--out" => out.out = PathBuf::from(value_for("--out")?),
                 "--no-write" => out.no_write = true,
                 "--k" => {
@@ -125,12 +147,24 @@ impl ExptArgs {
                 eprintln!("{title}");
                 eprintln!(
                     "usage: {name} [--quick] [--full] [--threads N] [--seed S] \
-                     [--out DIR] [--no-write] [--k K]"
+                     [--replicates R] [--shard I/N] [--out DIR] [--no-write] [--k K]"
                 );
                 std::process::exit(if msg.is_empty() { 0 } else { 2 });
             }
         }
     }
+}
+
+/// Parse a `--shard` value of the form `I/N` with `I < N`.
+fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("--shard: expected I/N with I < N, got {s:?}");
+    let (i, n) = s.split_once('/').ok_or_else(bad)?;
+    let i: usize = i.trim().parse().map_err(|_| bad())?;
+    let n: usize = n.trim().parse().map_err(|_| bad())?;
+    if n == 0 || i >= n {
+        return Err(bad());
+    }
+    Ok((i, n))
 }
 
 #[cfg(test)]
@@ -143,6 +177,8 @@ mod tests {
         assert_eq!(a.scale, Scale::Default);
         assert_eq!(a.threads, 0);
         assert_eq!(a.seed, 0);
+        assert_eq!(a.replicates, 3);
+        assert_eq!(a.shard, None);
         assert_eq!(a.out, PathBuf::from("results"));
         assert!(!a.no_write);
         assert_eq!(a.k, None);
@@ -157,6 +193,10 @@ mod tests {
                 "8",
                 "--seed",
                 "42",
+                "--replicates",
+                "5",
+                "--shard",
+                "1/4",
                 "--out",
                 "tmp/r",
                 "--no-write",
@@ -169,6 +209,8 @@ mod tests {
         assert_eq!(a.scale, Scale::Quick);
         assert_eq!(a.threads, 8);
         assert_eq!(a.seed, 42);
+        assert_eq!(a.replicates, 5);
+        assert_eq!(a.shard, Some((1, 4)));
         assert_eq!(a.out, PathBuf::from("tmp/r"));
         assert!(a.no_write);
         assert_eq!(a.k, Some(12));
@@ -187,5 +229,16 @@ mod tests {
         assert!(ExptArgs::parse_from(["--threads"], None).is_err());
         assert!(ExptArgs::parse_from(["--threads", "x"], None).is_err());
         assert!(ExptArgs::parse_from(["--bogus"], None).is_err());
+        assert!(ExptArgs::parse_from(["--replicates", "0"], None).is_err());
+    }
+
+    #[test]
+    fn shard_parsing() {
+        assert_eq!(parse_shard("0/2"), Ok((0, 2)));
+        assert_eq!(parse_shard("3/8"), Ok((3, 8)));
+        assert!(parse_shard("2/2").is_err()); // i must be < n
+        assert!(parse_shard("0/0").is_err());
+        assert!(parse_shard("1").is_err());
+        assert!(parse_shard("a/b").is_err());
     }
 }

@@ -11,12 +11,20 @@
 //! * [`runner::Runner`] — fans points out over `std::thread::scope`
 //!   workers with deterministic per-point seeding and collects results
 //!   *in sweep order*, so `--threads 8` output is byte-identical to
-//!   `--threads 1`,
+//!   `--threads 1`; supports `--shard i/n` point filtering and a
+//!   replicate axis ([`runner::Runner::run_replicated`]),
+//! * [`replicate`] — per-point replicate seeds and the
+//!   [`replicate::RepTableBuilder`] that folds R observations per row
+//!   into `mean`/`ci95` columns,
+//! * [`golden`] — committed quick-mode baseline CSVs and the
+//!   tolerance-aware diff engine behind the tier-1 golden test,
 //! * [`table::Table`] — the uniform result model (named columns × typed
 //!   cells),
-//! * [`output`] — CSV and JSON writers into `results/<figure>/`,
+//! * [`output`] — CSV and JSON writers into `results/<figure>/`, plus
+//!   the shard-CSV merge helper,
 //! * [`cli::ExptArgs`] — the `--quick` / `--threads` / `--out` /
-//!   `--full` / `--seed` flags shared by all drivers,
+//!   `--full` / `--seed` / `--replicates` / `--shard` flags shared by
+//!   all drivers,
 //! * [`summary`] — percentile/CI summaries computed once here instead of
 //!   per-binary.
 //!
@@ -25,17 +33,20 @@
 //! one call to [`run_main`].
 
 pub mod cli;
+pub mod golden;
 pub mod output;
+pub mod replicate;
 pub mod runner;
 pub mod summary;
 pub mod sweep;
 pub mod table;
 
 pub use cli::{ExptArgs, Scale};
+pub use replicate::{replicate_seed, MetricFmt, RepCtx, RepTableBuilder};
 pub use runner::{derive_seed, PointCtx, Runner};
 pub use summary::{summarize, Summary};
 pub use sweep::Sweep;
-pub use table::{f, f2, f3, Cell, Table};
+pub use table::{f, f0, f2, f3, Cell, Table};
 
 /// Static description of one figure/table driver.
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +70,7 @@ pub struct Ctx {
 impl Ctx {
     /// Build a context from parsed arguments.
     pub fn new(args: ExptArgs) -> Self {
-        let runner = Runner::new(args.threads, args.seed);
+        let runner = Runner::new(args.threads, args.seed).with_shard(args.shard);
         Ctx { args, runner }
     }
 
@@ -81,6 +92,22 @@ impl Ctx {
         F: Fn(&P, &PointCtx) -> R + Sync,
     {
         self.runner.run(sweep, f)
+    }
+
+    /// Replicate seeds per sweep point (`--replicates`, at least 1).
+    pub fn replicates(&self) -> usize {
+        self.args.replicates
+    }
+
+    /// Run a sweep with [`Ctx::replicates`] replicate seeds per point;
+    /// `out[p][r]` is replicate `r` of owned point `p` in sweep order.
+    pub fn run_replicated<P, R, F>(&self, sweep: &Sweep<P>, f: F) -> Vec<Vec<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P, &RepCtx) -> R + Sync,
+    {
+        self.runner.run_replicated(sweep, self.args.replicates, f)
     }
 
     /// Pick among three values by scale: quick / default / full.
@@ -111,11 +138,16 @@ where
 /// Split from [`run_main`] so tests can drive it with synthetic args.
 pub fn emit(exp: &Experiment, ctx: &Ctx, tables: &[Table]) {
     println!("# {}", exp.title);
+    let shard = match ctx.runner.shard() {
+        Some((i, n)) => format!(" shard={i}/{n}"),
+        None => String::new(),
+    };
     println!(
-        "# mode={} threads={} seed={}",
+        "# mode={} threads={} seed={} replicates={}{shard}",
         ctx.args.scale,
         ctx.runner.threads(),
-        ctx.args.seed
+        ctx.args.seed,
+        ctx.args.replicates
     );
     for t in tables {
         println!("table,{}", t.name);

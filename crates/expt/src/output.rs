@@ -23,6 +23,70 @@ pub fn write_tables(dir: &Path, tables: &[Table]) -> io::Result<Vec<PathBuf>> {
     Ok(paths)
 }
 
+/// Merge per-shard CSV renderings of one table back into the unsharded
+/// row order.
+///
+/// Shard `k` of `n` owns sweep points `k, k + n, k + 2n, ...`
+/// ([`crate::Runner::with_shard`]), so for tables with exactly one row
+/// per sweep point — the common figure-table shape — the unsharded
+/// order is the round-robin interleave of the shard files' data rows.
+/// Pass the parts in shard order (`parts[k]` is shard `k`'s CSV).
+/// Tables built outside the sweep are identical in every shard and are
+/// returned as-is.
+///
+/// **Caller contract: one row per sweep point.** A rendered CSV does
+/// not say which point produced a row, so this cannot be validated
+/// here: the row-count check below rejects *impossible* shardings, but
+/// a multi-row-per-point table whose per-shard row counts happen to be
+/// round-robin-consistent (e.g. every point emitting the same number of
+/// rows) merges without error into a scrambled row order. Tables that
+/// emit several rows per point (the FCT size-bin tables) must be
+/// re-run unsharded instead.
+///
+/// Errors when headers disagree, or when the row counts are impossible
+/// for a `k/n` sharding of one sweep. Rows are split on newlines, so
+/// cells containing embedded newlines are not supported here.
+pub fn merge_sharded_csv(parts: &[String]) -> Result<String, String> {
+    if parts.is_empty() {
+        return Err("no shard files to merge".into());
+    }
+    if parts.iter().all(|p| p == &parts[0]) {
+        // Constant (non-sweep) table: every shard computed the same rows.
+        return Ok(parts[0].clone());
+    }
+    let split: Vec<(&str, Vec<&str>)> = parts
+        .iter()
+        .map(|p| {
+            let mut lines = p.lines();
+            let header = lines.next().unwrap_or("");
+            (header, lines.collect())
+        })
+        .collect();
+    let header = split[0].0;
+    if split.iter().any(|(h, _)| *h != header) {
+        return Err("shard headers disagree".into());
+    }
+    let n = split.len();
+    let total: usize = split.iter().map(|(_, rows)| rows.len()).sum();
+    let mut out = String::with_capacity(parts.iter().map(String::len).sum());
+    out.push_str(header);
+    out.push('\n');
+    for j in 0..total {
+        let (_, rows) = &split[j % n];
+        let row = rows.get(j / n).ok_or_else(|| {
+            format!(
+                "shard {} has too few rows for a {}-way round-robin merge \
+                 (is this a one-row-per-point table?)",
+                j % n,
+                n
+            )
+        })?;
+        out.push_str(row);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -32,6 +96,38 @@ mod tests {
         let d = std::env::temp_dir().join(format!("expt-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
+    }
+
+    #[test]
+    fn sharded_merge_restores_sweep_order() {
+        // 7 points over 3 shards: 0,3,6 / 1,4 / 2,5.
+        let unsharded = "x,y\n0,a\n1,b\n2,c\n3,d\n4,e\n5,f\n6,g\n";
+        let parts = vec![
+            "x,y\n0,a\n3,d\n6,g\n".to_string(),
+            "x,y\n1,b\n4,e\n".to_string(),
+            "x,y\n2,c\n5,f\n".to_string(),
+        ];
+        assert_eq!(merge_sharded_csv(&parts).unwrap(), unsharded);
+    }
+
+    #[test]
+    fn constant_tables_pass_through() {
+        let same = "k,v\n1,2\n".to_string();
+        assert_eq!(
+            merge_sharded_csv(&[same.clone(), same.clone()]).unwrap(),
+            same
+        );
+    }
+
+    #[test]
+    fn merge_errors() {
+        assert!(merge_sharded_csv(&[]).is_err());
+        // Mismatched headers.
+        let parts = vec!["a,b\n1,2\n".to_string(), "a,c\n3,4\n".to_string()];
+        assert!(merge_sharded_csv(&parts).is_err());
+        // Impossible row counts for round-robin (shard 1 longer than 0).
+        let parts = vec!["h\n1\n".to_string(), "h\n2\n3\n4\n".to_string()];
+        assert!(merge_sharded_csv(&parts).is_err());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Replicate axis: R independent seeds per sweep point, folded into
+//! mean / 95%-CI table columns.
+//!
+//! A single seeded run per sweep point makes a figure a point estimate;
+//! the paper-style presentation is a mean with a confidence interval
+//! over replicate seeds. This module provides the two halves:
+//!
+//! * [`RepCtx`] — the per-`(point, replicate)` execution context handed
+//!   out by [`crate::Runner::run_replicated`]. Its seed derives from
+//!   `(base seed, global point index, replicate index)` via the same
+//!   SplitMix64 chain as point seeds, so replicated output keeps the
+//!   harness determinism guarantee: byte-identical for any `--threads`.
+//! * [`RepTableBuilder`] — accumulates one observation row per
+//!   `(row key, replicate)` and renders a [`Table`] whose metric columns
+//!   become `<metric>_mean` / `<metric>_ci95` pairs (normal-approximation
+//!   95% interval via [`summarize`]) plus a trailing `reps` count.
+//!
+//! Row keys are matched across replicates by their rendered label cells,
+//! in first-seen order, so replicates may legitimately disagree on which
+//! rows exist (e.g. an FCT size bin empty under one seed): such rows get
+//! the CI of however many replicates produced them, and `reps` says how
+//! many that was. A key pushed fewer than twice renders its `ci95` as
+//! `NaN` — there is no spread to estimate from one observation.
+
+use crate::runner::{derive_seed, PointCtx};
+use crate::summary::summarize;
+use crate::table::{Cell, Table};
+use simkit::SimRng;
+use std::collections::HashMap;
+
+/// Salt mixed into the point seed before deriving replicate seeds, so
+/// replicate streams can never collide with [`PointCtx::rng_stream`]
+/// sub-streams (which derive from the unsalted point seed).
+const REPLICATE_SALT: u64 = 0x7E11_CA7E_0B5E_55ED;
+
+/// Mix a point seed and a replicate index into an independent seed.
+pub fn replicate_seed(point_seed: u64, rep: usize) -> u64 {
+    derive_seed(point_seed ^ REPLICATE_SALT, rep as u64)
+}
+
+/// Per-`(point, replicate)` execution context.
+#[derive(Debug, Clone, Copy)]
+pub struct RepCtx {
+    /// The sweep point this replicate belongs to.
+    pub point: PointCtx,
+    /// Replicate index within the point (`0..replicates`).
+    pub rep: usize,
+    /// Seed derived from the point seed and `rep`.
+    pub seed: u64,
+}
+
+impl RepCtx {
+    /// A fresh RNG for this replicate.
+    pub fn rng(&self) -> SimRng {
+        SimRng::new(self.seed)
+    }
+
+    /// An independent RNG sub-stream for this replicate (same stream
+    /// separation scheme as [`PointCtx::rng_stream`]).
+    pub fn rng_stream(&self, stream: u64) -> SimRng {
+        SimRng::new(derive_seed(self.seed, stream.wrapping_add(1)))
+    }
+}
+
+impl PointCtx {
+    /// The [`RepCtx`] of replicate `rep` of this point.
+    pub fn replicate(&self, rep: usize) -> RepCtx {
+        RepCtx {
+            point: *self,
+            rep,
+            seed: replicate_seed(self.seed, rep),
+        }
+    }
+}
+
+/// Renders a metric value into its table cell (e.g. [`crate::f2`]).
+pub type MetricFmt = fn(f64) -> Cell;
+
+/// Accumulates per-replicate observations keyed by label cells and
+/// builds the aggregated mean/CI table.
+#[derive(Debug, Clone)]
+pub struct RepTableBuilder {
+    name: String,
+    key_cols: Vec<String>,
+    metrics: Vec<(String, MetricFmt)>,
+    index: HashMap<String, usize>,
+    rows: Vec<(Vec<Cell>, Vec<Vec<f64>>)>,
+}
+
+impl RepTableBuilder {
+    /// New builder for table `name` with the given key columns and
+    /// `(metric name, formatter)` pairs.
+    pub fn new(name: &str, key_cols: &[&str], metrics: &[(&str, MetricFmt)]) -> Self {
+        RepTableBuilder {
+            name: name.to_string(),
+            key_cols: key_cols.iter().map(|c| c.to_string()).collect(),
+            metrics: metrics
+                .iter()
+                .map(|&(m, fmt)| (m.to_string(), fmt))
+                .collect(),
+            index: HashMap::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Record one replicate's observation of the row identified by
+    /// `key`. Rows appear in the built table in first-push order.
+    ///
+    /// # Panics
+    /// Panics when `key` or `metrics` have the wrong arity.
+    pub fn push(&mut self, key: Vec<Cell>, metrics: &[f64]) {
+        assert_eq!(
+            key.len(),
+            self.key_cols.len(),
+            "table {}: key has {} cells, expected {}",
+            self.name,
+            key.len(),
+            self.key_cols.len()
+        );
+        assert_eq!(
+            metrics.len(),
+            self.metrics.len(),
+            "table {}: row has {} metrics, expected {}",
+            self.name,
+            metrics.len(),
+            self.metrics.len()
+        );
+        let id = key
+            .iter()
+            .map(Cell::to_string)
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
+        let idx = match self.index.get(&id) {
+            Some(&i) => i,
+            None => {
+                let i = self.rows.len();
+                self.index.insert(id, i);
+                self.rows.push((key, vec![Vec::new(); self.metrics.len()]));
+                i
+            }
+        };
+        for (series, &v) in self.rows[idx].1.iter_mut().zip(metrics) {
+            series.push(v);
+        }
+    }
+
+    /// Record many observations (see [`RepTableBuilder::push`]).
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = (Vec<Cell>, Vec<f64>)>) {
+        for (key, metrics) in rows {
+            self.push(key, &metrics);
+        }
+    }
+
+    /// Record the same observation once per replicate — for closed-form,
+    /// seed-independent rows that would be identical under every
+    /// replicate seed (their CI is exactly 0 without re-computation).
+    pub fn push_constant(&mut self, key: Vec<Cell>, metrics: &[f64], reps: usize) {
+        for _ in 0..reps {
+            self.push(key.clone(), metrics);
+        }
+    }
+
+    /// Build the aggregated table: key columns, then
+    /// `<metric>_mean`/`<metric>_ci95` per metric, then `reps`.
+    pub fn build(self) -> Table {
+        let mut columns: Vec<String> = self.key_cols;
+        for (m, _) in &self.metrics {
+            columns.push(format!("{m}_mean"));
+            columns.push(format!("{m}_ci95"));
+        }
+        columns.push("reps".to_string());
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut t = Table::new(&self.name, &column_refs);
+        for (key, series) in self.rows {
+            let mut row = key;
+            let mut reps = 0usize;
+            for ((_, fmt), vals) in self.metrics.iter().zip(&series) {
+                let s = summarize(vals.iter().copied());
+                reps = reps.max(s.count);
+                row.push(fmt(s.mean));
+                row.push(fmt(if s.count < 2 { f64::NAN } else { s.ci95 }));
+            }
+            row.push(Cell::from(reps));
+            t.push(row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{f, f2};
+
+    #[test]
+    fn replicate_seed_snapshots() {
+        // Snapshot values: these must never change, or every committed
+        // golden CSV silently shifts.
+        assert_eq!(replicate_seed(0, 0), 7783651692260004749);
+        assert_eq!(replicate_seed(0, 1), 7412183137375824277);
+        assert_eq!(replicate_seed(1, 0), 3490541878623535042);
+        assert_ne!(replicate_seed(5, 2), replicate_seed(5, 3));
+        assert_ne!(replicate_seed(5, 2), replicate_seed(6, 2));
+    }
+
+    #[test]
+    fn replicate_seeds_avoid_stream_seeds() {
+        // A point's replicate seeds and its rng_stream sub-seeds live in
+        // salted vs unsalted derivation chains; spot-check disjointness.
+        let pt = crate::Runner::new(1, 0).point_ctx(0);
+        let rep_seeds: Vec<u64> = (0..8).map(|r| pt.replicate(r).seed).collect();
+        for stream in 0..8u64 {
+            let s = derive_seed(pt.seed, stream + 1);
+            assert!(!rep_seeds.contains(&s));
+        }
+    }
+
+    #[test]
+    fn builder_aggregates_across_replicates() {
+        let mut b = RepTableBuilder::new(
+            "demo",
+            &["system", "load"],
+            &[("fct", f2 as MetricFmt), ("done", f)],
+        );
+        for rep in 0..3 {
+            b.push(
+                vec![Cell::from("opera"), Cell::F64(0.1)],
+                &[10.0 + rep as f64, 1.0],
+            );
+        }
+        // A row only one replicate produced.
+        b.push(vec![Cell::from("clos"), Cell::F64(0.1)], &[5.0, 0.5]);
+        let t = b.build();
+        assert_eq!(
+            t.columns,
+            [
+                "system",
+                "load",
+                "fct_mean",
+                "fct_ci95",
+                "done_mean",
+                "done_ci95",
+                "reps"
+            ]
+        );
+        assert_eq!(t.rows.len(), 2);
+        // Mean of 10, 11, 12 with sample std dev 1.0.
+        assert_eq!(t.rows[0][2].to_string(), "11.00");
+        let ci: f64 = t.rows[0][3].to_string().parse().unwrap();
+        assert!((ci - 1.96 / 3f64.sqrt()).abs() < 0.005);
+        assert_eq!(t.rows[0][4].to_string(), "1.0000");
+        assert_eq!(t.rows[0][5].to_string(), "0.0000"); // zero spread
+        assert_eq!(t.rows[0][6].to_string(), "3");
+        // Single-observation row: mean rendered, CI is NaN, reps = 1.
+        assert_eq!(t.rows[1][2].to_string(), "5.00");
+        assert_eq!(t.rows[1][3].to_string(), "NaN");
+        assert_eq!(t.rows[1][6].to_string(), "1");
+    }
+
+    #[test]
+    fn push_constant_yields_zero_ci() {
+        let mut b = RepTableBuilder::new("c", &["q"], &[("v", f as MetricFmt)]);
+        b.push_constant(vec![Cell::from("alpha")], &[1.3], 3);
+        let t = b.build();
+        assert_eq!(t.rows[0][1].to_string(), "1.3000");
+        assert_eq!(t.rows[0][2].to_string(), "0.0000");
+        assert_eq!(t.rows[0][3].to_string(), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 metrics")]
+    fn metric_arity_checked() {
+        let mut b = RepTableBuilder::new("x", &["k"], &[("a", f as MetricFmt), ("b", f)]);
+        b.push(vec![Cell::from("k")], &[1.0]);
+    }
+}

@@ -8,6 +8,7 @@
 //! in sweep order, and no RNG state is shared across points. Hence a run
 //! with `--threads 8` produces byte-identical output to `--threads 1`.
 
+use crate::replicate::RepCtx;
 use crate::sweep::Sweep;
 use simkit::SimRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -50,6 +51,7 @@ impl PointCtx {
 pub struct Runner {
     threads: usize,
     base_seed: u64,
+    shard: Option<(usize, usize)>,
 }
 
 impl Runner {
@@ -62,7 +64,30 @@ impl Runner {
         } else {
             threads
         };
-        Runner { threads, base_seed }
+        Runner {
+            threads,
+            base_seed,
+            shard: None,
+        }
+    }
+
+    /// Restrict this runner to shard `(i, n)`: only sweep points with
+    /// `index % n == i` run (seeds still derive from the *global* point
+    /// index, so shards compute exactly what an unsharded run would).
+    ///
+    /// # Panics
+    /// Panics when `i >= n` or `n == 0`.
+    pub fn with_shard(mut self, shard: Option<(usize, usize)>) -> Self {
+        if let Some((i, n)) = shard {
+            assert!(n > 0 && i < n, "invalid shard {i}/{n}");
+        }
+        self.shard = shard;
+        self
+    }
+
+    /// The configured `(i, n)` shard, if any.
+    pub fn shard(&self) -> Option<(usize, usize)> {
+        self.shard
     }
 
     /// Worker-thread count.
@@ -75,6 +100,14 @@ impl Runner {
         self.base_seed
     }
 
+    /// Global indices of the sweep points this runner owns, in order.
+    fn owned_indices(&self, n_points: usize) -> Vec<usize> {
+        match self.shard {
+            None => (0..n_points).collect(),
+            Some((i, n)) => (0..n_points).filter(|p| p % n == i).collect(),
+        }
+    }
+
     /// The [`PointCtx`] the runner hands to point `index` — exposed so
     /// sequential code outside a sweep can reuse the same derivation.
     pub fn point_ctx(&self, index: usize) -> PointCtx {
@@ -84,8 +117,9 @@ impl Runner {
         }
     }
 
-    /// Run `f` on every point of `sweep`, fanning out over scoped
-    /// threads, and return results in sweep order.
+    /// Run `f` on every owned point of `sweep`, fanning out over scoped
+    /// threads, and return results in sweep order (restricted to this
+    /// runner's shard when one is set).
     ///
     /// A panic in any point aborts the whole run (propagated after all
     /// workers stop claiming new points).
@@ -96,19 +130,61 @@ impl Runner {
         F: Fn(&P, &PointCtx) -> R + Sync,
     {
         let points = sweep.points();
-        let workers = self.threads.min(points.len()).max(1);
+        let owned = self.owned_indices(points.len());
+        self.execute(owned.len(), |slot| {
+            let i = owned[slot];
+            f(&points[i], &self.point_ctx(i))
+        })
+    }
+
+    /// Run `f` on every `(owned point, replicate)` pair of `sweep`,
+    /// fanning the flattened work list out over scoped threads, and
+    /// return results grouped per point (`out[p][r]` is replicate `r` of
+    /// owned point `p`), in sweep order.
+    ///
+    /// Replicate seeds derive from `(base seed, global point index,
+    /// replicate index)` only, so — like [`Runner::run`] — the output is
+    /// byte-identical for any worker count.
+    ///
+    /// # Panics
+    /// Panics when `reps == 0`.
+    pub fn run_replicated<P, R, F>(&self, sweep: &Sweep<P>, reps: usize, f: F) -> Vec<Vec<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P, &RepCtx) -> R + Sync,
+    {
+        assert!(reps >= 1, "run_replicated requires at least one replicate");
+        let points = sweep.points();
+        let owned = self.owned_indices(points.len());
+        let flat = self.execute(owned.len() * reps, |slot| {
+            let i = owned[slot / reps];
+            let rep = slot % reps;
+            f(&points[i], &self.point_ctx(i).replicate(rep))
+        });
+        let mut flat = flat.into_iter();
+        (0..owned.len())
+            .map(|_| (0..reps).map(|_| flat.next().unwrap()).collect())
+            .collect()
+    }
+
+    /// Claim-loop core shared by [`Runner::run`] and
+    /// [`Runner::run_replicated`]: evaluate `work(0..n)` across scoped
+    /// worker threads and collect results ordered by slot.
+    fn execute<R, W>(&self, n: usize, work: W) -> Vec<R>
+    where
+        R: Send,
+        W: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n).max(1);
         if workers == 1 {
-            return points
-                .iter()
-                .enumerate()
-                .map(|(i, p)| f(p, &self.point_ctx(i)))
-                .collect();
+            return (0..n).map(work).collect();
         }
 
         let next = AtomicUsize::new(0);
-        let f = &f;
+        let work = &work;
         let next = &next;
-        let mut collected: Vec<(usize, R)> = Vec::with_capacity(points.len());
+        let mut collected: Vec<(usize, R)> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -116,10 +192,10 @@ impl Runner {
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= points.len() {
+                            if i >= n {
                                 break;
                             }
-                            local.push((i, f(&points[i], &self.point_ctx(i))));
+                            local.push((i, work(i)));
                         }
                         local
                     })
@@ -196,5 +272,60 @@ mod tests {
         let sweep: Sweep<u32> = Sweep::from_points(vec![]);
         let out = Runner::new(4, 0).run(&sweep, |&x, _| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shards_partition_the_sweep() {
+        let sweep = Sweep::grid1(&(0usize..10).collect::<Vec<_>>(), |i| i);
+        let full = Runner::new(2, 7).run(&sweep, |&i, ctx| (i, ctx.seed));
+        let merged: Vec<Vec<(usize, u64)>> = (0..3)
+            .map(|i| {
+                Runner::new(2, 7)
+                    .with_shard(Some((i, 3)))
+                    .run(&sweep, |&p, ctx| (p, ctx.seed))
+            })
+            .collect();
+        // Shard i owns points i, i+3, ... with the seeds of the full run.
+        for (i, part) in merged.iter().enumerate() {
+            let expect: Vec<_> = full.iter().copied().skip(i).step_by(3).collect();
+            assert_eq!(part, &expect);
+        }
+        let total: usize = merged.iter().map(Vec::len).sum();
+        assert_eq!(total, full.len());
+    }
+
+    #[test]
+    fn replicated_run_groups_by_point() {
+        let sweep = Sweep::grid1(&[10usize, 20], |i| i);
+        let out = Runner::new(4, 3).run_replicated(&sweep, 3, |&p, rc| {
+            assert_eq!(
+                rc.seed,
+                crate::replicate::replicate_seed(rc.point.seed, rc.rep)
+            );
+            (p, rc.rep, rc.seed)
+        });
+        assert_eq!(out.len(), 2);
+        for (pi, reps) in out.iter().enumerate() {
+            assert_eq!(reps.len(), 3);
+            for (r, &(p, rep, _)) in reps.iter().enumerate() {
+                assert_eq!((p, rep), ([10, 20][pi], r));
+            }
+        }
+        // All six replicate seeds are pairwise distinct.
+        let seeds: std::collections::HashSet<u64> =
+            out.iter().flatten().map(|&(_, _, s)| s).collect();
+        assert_eq!(seeds.len(), 6);
+    }
+
+    #[test]
+    fn replicated_run_is_thread_invariant() {
+        let sweep = Sweep::grid2(&[1u64, 2, 3], &[4u64, 5], |a, b| (a, b));
+        let run = |threads| {
+            Runner::new(threads, 11).run_replicated(&sweep, 4, |&(a, b), rc| {
+                let mut rng = rc.rng();
+                (a, b, rc.rep, rc.seed, rng.next_u64())
+            })
+        };
+        assert_eq!(run(1), run(8));
     }
 }

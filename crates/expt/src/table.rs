@@ -37,6 +37,12 @@ pub fn f3(x: f64) -> Cell {
     Cell::Str(format!("{x:.3}"))
 }
 
+/// Float formatted to 0 decimals (integral quantities whose replicate
+/// mean may still be fractional render via [`f2`] instead).
+pub fn f0(x: f64) -> Cell {
+    Cell::Str(format!("{x:.0}"))
+}
+
 impl fmt::Display for Cell {
     fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -264,5 +270,6 @@ mod tests {
         assert_eq!(f(1.0 / 3.0).to_string(), "0.3333");
         assert_eq!(f2(1.0 / 3.0).to_string(), "0.33");
         assert_eq!(f3(1.0 / 3.0).to_string(), "0.333");
+        assert_eq!(f0(647.6).to_string(), "648");
     }
 }

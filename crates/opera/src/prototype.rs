@@ -60,8 +60,21 @@ pub struct PrototypeRtt {
 }
 
 /// Run the Monte-Carlo model: `n` ping-pong exchanges over the 8-ToR,
-/// 4-switch prototype topology (Figure 5).
+/// 4-switch prototype topology (Figure 5). One seed drives both the
+/// topology and the traffic; see [`simulate_prototype_seeded`] to vary
+/// them independently (replicate sweeps keep the validated topology
+/// seed and re-seed only the traffic).
 pub fn simulate_prototype(params: PrototypeParams, n: usize, seed: u64) -> PrototypeRtt {
+    simulate_prototype_seeded(params, n, seed, seed ^ 0xD1CE)
+}
+
+/// [`simulate_prototype`] with separate topology and traffic seeds.
+pub fn simulate_prototype_seeded(
+    params: PrototypeParams,
+    n: usize,
+    topo_seed: u64,
+    traffic_seed: u64,
+) -> PrototypeRtt {
     let (topo, _) = OperaTopology::generate_validated(
         OperaParams {
             racks: 8,
@@ -69,10 +82,10 @@ pub fn simulate_prototype(params: PrototypeParams, n: usize, seed: u64) -> Proto
             hosts_per_rack: 1,
             groups: 1,
         },
-        seed,
+        topo_seed,
         64,
     );
-    let mut rng = SimRng::new(seed ^ 0xD1CE);
+    let mut rng = SimRng::new(traffic_seed);
     let mut quiet = Samples::new();
     let mut with_bulk = Samples::new();
     let slices = topo.slices_per_cycle();

@@ -1,0 +1,42 @@
+//! Tier-1 golden-baseline regression test: every figure driver's
+//! quick-mode tables must match the committed CSVs under `goldens/`.
+//!
+//! The experiment harness is deterministic — fixed quick grids, fixed
+//! base seed, replicate seeds derived from `(seed, point, rep)` only,
+//! thread-invariant collection — so any diff here is a behavioral change
+//! in some simulation layer (topo / flowsim / netsim / transport /
+//! workloads), named down to the driver, table, row, and column that
+//! moved.
+//!
+//! After an *intended* behavioral change, re-record the baselines with
+//! `OPERA_BLESS=1 cargo test -q golden` (or `cargo run -p bench --bin
+//! golden_check -- --bless`) and commit the `goldens/` diff alongside
+//! the change. Blessing an unmodified tree is byte-idempotent.
+
+use bench::figures;
+
+#[test]
+fn golden_figures() {
+    let bless = matches!(
+        std::env::var("OPERA_BLESS").ok().as_deref(),
+        Some("1") | Some("true")
+    );
+    let root = figures::golden_root();
+    let ctx = figures::golden_ctx(0);
+    let mut failures: Vec<String> = Vec::new();
+    for (exp, build) in figures::all() {
+        let drifts = figures::golden_run(&exp, build, &ctx, &root, bless)
+            .unwrap_or_else(|e| panic!("{}: golden IO error: {e}", exp.name));
+        for d in drifts {
+            failures.push(d.to_string());
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} drift(s) from committed goldens:\n  {}\n\
+         If this change is intended, re-record with `OPERA_BLESS=1 cargo test -q golden` \
+         and commit the goldens/ diff.",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}

@@ -9,8 +9,11 @@
 //! Semantics versus real proptest:
 //! * cases are generated from a deterministic per-test seed (FNV-1a of the
 //!   test name mixed with the case index), so failures reproduce exactly;
-//! * there is **no shrinking** — a failing case reports its inputs via the
-//!   ordinary `assert!` panic message;
+//! * failing cases are **shrunk**: each argument is greedily bisected
+//!   toward its strategy's simplest value (range start; shorter vectors)
+//!   while the failure persists, and the final panic reports the
+//!   minimized inputs — simpler than real proptest's shrink trees, but
+//!   the same contract: the reported case is a local minimum;
 //! * `PROPTEST_CASES` in the environment overrides the configured case
 //!   count, like the real crate.
 
@@ -82,41 +85,109 @@ pub mod strategy {
         type Value;
         /// Draw one value.
         fn generate(&self, rng: &mut CaseRng) -> Self::Value;
-    }
-
-    impl Strategy for Range<usize> {
-        type Value = usize;
-        fn generate(&self, rng: &mut CaseRng) -> usize {
-            self.start + rng.below((self.end - self.start) as u64) as usize
+        /// Simpler candidates to try when `value` made the property fail,
+        /// most aggressive first (for ranges: bisection toward the range
+        /// start). An empty list means `value` is already minimal.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
         }
     }
 
-    impl Strategy for Range<u32> {
-        type Value = u32;
-        fn generate(&self, rng: &mut CaseRng) -> u32 {
-            self.start + rng.below((self.end - self.start) as u64) as u32
+    /// Bisection shrink candidates for an integer distance `d = value -
+    /// start` (as u128): `value - d`, `value - d/2`, `value - d/4`, ...
+    fn shrink_int_distance(d: u128) -> Vec<u128> {
+        let mut steps = Vec::new();
+        let mut step = d;
+        while step > 0 {
+            steps.push(step);
+            step /= 2;
         }
+        steps
     }
 
-    impl Strategy for Range<u64> {
-        type Value = u64;
-        fn generate(&self, rng: &mut CaseRng) -> u64 {
-            self.start + rng.below(self.end - self.start)
-        }
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut CaseRng) -> $t {
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let d = (*value as i128 - self.start as i128) as u128;
+                    shrink_int_distance(d)
+                        .into_iter()
+                        .map(|s| (*value as i128 - s as i128) as $t)
+                        .collect()
+                }
+            }
+        )+};
     }
 
-    impl Strategy for Range<i64> {
-        type Value = i64;
-        fn generate(&self, rng: &mut CaseRng) -> i64 {
-            self.start + rng.below((self.end - self.start) as u64) as i64
-        }
-    }
+    impl_int_range_strategy!(usize, u32, u64, i64);
 
     impl Strategy for Range<f64> {
         type Value = f64;
         fn generate(&self, rng: &mut CaseRng) -> f64 {
             self.start + rng.f64() * (self.end - self.start)
         }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let mut out = Vec::new();
+            let mut step = value - self.start;
+            // 53 halvings take any finite distance below one ulp.
+            for _ in 0..53 {
+                if step <= 0.0 || value - step >= *value {
+                    break;
+                }
+                out.push(value - step);
+                step /= 2.0;
+            }
+            out
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($( ( $($S:ident . $idx:tt),+ ) )+) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+)
+            where
+                $($S::Value: Clone),+
+            {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut CaseRng) -> Self::Value {
+                    // Component order matches the old per-argument draw
+                    // order, so existing tests see the same cases.
+                    ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut t = value.clone();
+                            t.$idx = cand;
+                            out.push(t);
+                        }
+                    )+
+                    out
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// Pin a property-body closure's argument type to a strategy's
+    /// `Value` (the `proptest!` macro cannot name that type, and closure
+    /// parameters must be resolved before the body type-checks).
+    pub fn bind_check<S: Strategy, F: Fn(S::Value)>(_strat: &S, f: F) -> F {
+        f
     }
 
     /// FNV-1a over a test name, for stable per-test seeds.
@@ -148,11 +219,85 @@ pub mod collection {
         VecStrategy { elem, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut CaseRng) -> Vec<S::Value> {
             let n = self.len.generate(rng);
             (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Shorter prefixes first (bisecting toward the minimum
+            // length), then element-wise shrinks at full length.
+            for n in Strategy::shrink(&self.len, &value.len()) {
+                out.push(value[..n].to_vec());
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.elem.shrink(v) {
+                    let mut trial = value.clone();
+                    trial[i] = cand;
+                    out.push(trial);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod panic_guard {
+    //! Per-thread panic-report suppression for the shrink phase.
+    //!
+    //! Shrinking re-runs a failing property body many times, and every
+    //! re-run panics by design. Swapping the process-global panic hook
+    //! in and out would race with other tests failing (or shrinking)
+    //! concurrently on cargo's parallel test threads, so instead one
+    //! filtering hook is installed permanently on first use and
+    //! suppression is a thread-local flag: only the shrinking thread's
+    //! reports are silenced, and only while its [`Quiet`] guard lives.
+
+    use std::cell::Cell;
+    use std::sync::Once;
+
+    thread_local! {
+        static SILENCED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    static INSTALL: Once = Once::new();
+
+    /// RAII guard: silences panic reports from the current thread until
+    /// dropped (including on unwind).
+    #[derive(Debug)]
+    pub struct Quiet;
+
+    impl Quiet {
+        /// Install the filtering hook (once per process) and raise this
+        /// thread's suppression flag.
+        pub fn new() -> Quiet {
+            INSTALL.call_once(|| {
+                let prev = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |info| {
+                    if !SILENCED.with(Cell::get) {
+                        prev(info);
+                    }
+                }));
+            });
+            SILENCED.with(|s| s.set(true));
+            Quiet
+        }
+    }
+
+    impl Default for Quiet {
+        fn default() -> Self {
+            Quiet::new()
+        }
+    }
+
+    impl Drop for Quiet {
+        fn drop(&mut self) {
+            SILENCED.with(|s| s.set(false));
         }
     }
 }
@@ -223,7 +368,10 @@ macro_rules! prop_assert_ne {
 }
 
 /// Define property tests: each listed function runs `cases` times with
-/// arguments drawn from its strategies.
+/// arguments drawn from its strategies. A failing case is greedily
+/// shrunk — each argument bisected toward its strategy's simplest value
+/// while the failure persists — and the minimized inputs are printed
+/// before the body re-runs uncaught so the original assertion fires.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -235,20 +383,75 @@ macro_rules! proptest {
     ) => {
         $(
             $(#[$meta])*
+            #[allow(clippy::redundant_clone)]
             fn $name() {
                 let cfg: $crate::test_runner::ProptestConfig = $cfg;
                 let cases = $crate::test_runner::effective_cases(&cfg);
+                let __proptest_strat = ($($strat,)+);
+                let __proptest_check =
+                    $crate::strategy::bind_check(&__proptest_strat, |__proptest_tuple| {
+                        let ($($arg,)+) = __proptest_tuple;
+                        $body
+                    });
+                let __proptest_fails = |__proptest_vals: &_| {
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        __proptest_check(::std::clone::Clone::clone(__proptest_vals))
+                    }))
+                    .is_err()
+                };
                 for case in 0..cases as u64 {
                     let mut __proptest_rng = $crate::strategy::CaseRng::new(
                         $crate::strategy::seed_for(stringify!($name), case),
                     );
-                    $(
-                        let $arg = $crate::strategy::Strategy::generate(
-                            &($strat),
-                            &mut __proptest_rng,
-                        );
-                    )+
+                    let mut __proptest_vals = $crate::strategy::Strategy::generate(
+                        &__proptest_strat,
+                        &mut __proptest_rng,
+                    );
+                    if !__proptest_fails(&__proptest_vals) {
+                        continue;
+                    }
+                    // Shrink quietly — every candidate re-run panics by
+                    // design. The Quiet guard silences only THIS
+                    // thread's reports (concurrently failing tests are
+                    // unaffected) and lifts on drop, unwind included.
+                    {
+                        let __proptest_quiet = $crate::panic_guard::Quiet::new();
+                        let mut __proptest_budget = 512usize;
+                        loop {
+                            let mut __proptest_improved = false;
+                            for __proptest_cand in $crate::strategy::Strategy::shrink(
+                                &__proptest_strat,
+                                &__proptest_vals,
+                            ) {
+                                if __proptest_budget == 0 {
+                                    break;
+                                }
+                                __proptest_budget -= 1;
+                                if __proptest_fails(&__proptest_cand) {
+                                    __proptest_vals = __proptest_cand;
+                                    __proptest_improved = true;
+                                    break;
+                                }
+                            }
+                            if !__proptest_improved || __proptest_budget == 0 {
+                                break;
+                            }
+                        }
+                        drop(__proptest_quiet);
+                    }
+                    let ($($arg,)+) = __proptest_vals;
+                    eprintln!(
+                        "[proptest] {} case {case} failed; minimized failing inputs: {}",
+                        stringify!($name),
+                        [$(format!("{} = {:?}", stringify!($arg), &$arg)),+].join(", "),
+                    );
+                    // Re-run the minimized case uncaught so the original
+                    // assertion panics with its own message and location.
                     $body
+                    panic!(
+                        "[proptest] {}: shrunk case no longer fails (flaky property?)",
+                        stringify!($name),
+                    );
                 }
             }
         )*
@@ -288,5 +491,81 @@ mod tests {
         assert_eq!(seed_for("a", 0), seed_for("a", 0));
         assert_ne!(seed_for("a", 0), seed_for("a", 1));
         assert_ne!(seed_for("a", 0), seed_for("b", 0));
+    }
+
+    #[test]
+    fn integer_shrink_bisects_toward_start() {
+        use crate::strategy::Strategy;
+        let s = 10usize..100;
+        let cands = s.shrink(&83);
+        // Most aggressive first (the range start), then bisection.
+        assert_eq!(cands[0], 10);
+        assert!(cands.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*cands.last().unwrap(), 82);
+        assert!(s.shrink(&10).is_empty());
+    }
+
+    #[test]
+    fn float_shrink_bisects_toward_start() {
+        use crate::strategy::Strategy;
+        let s = 1.0f64..8.0;
+        let cands = s.shrink(&5.0);
+        assert_eq!(cands[0], 1.0);
+        assert!(cands.windows(2).all(|w| w[0] < w[1]));
+        assert!(cands.iter().all(|&c| (1.0..5.0).contains(&c)));
+        assert!(s.shrink(&1.0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_tries_prefixes_and_elements() {
+        use crate::strategy::Strategy;
+        let s = prop::collection::vec(0u64..10, 0..6);
+        let cands = s.shrink(&vec![7, 3]);
+        // Shorter prefixes first...
+        assert_eq!(cands[0], Vec::<u64>::new());
+        assert!(cands.contains(&vec![7]));
+        // ...then element-wise shrinks at full length.
+        assert!(cands.contains(&vec![0, 3]));
+        assert!(cands.contains(&vec![7, 0]));
+    }
+
+    // A deliberately failing property, minimized by the harness: the
+    // greedy bisection must land exactly on the boundary case.
+    mod shrink_fixture {
+        use crate::prelude::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// The `(n, slack)` of the most recent body run.
+        pub static LAST: (AtomicUsize, AtomicUsize) = (AtomicUsize::new(0), AtomicUsize::new(0));
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            fn fails_at_50_or_more(n in 0usize..100, slack in 0u64..4) {
+                LAST.0.store(n, Ordering::SeqCst);
+                LAST.1.store(slack as usize, Ordering::SeqCst);
+                prop_assert!(n < 50);
+            }
+        }
+        pub fn run() {
+            fails_at_50_or_more();
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_minimized_case() {
+        use std::sync::atomic::Ordering;
+        let err = std::panic::catch_unwind(shrink_fixture::run).expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        // The minimized case re-runs last and panics with the original
+        // assertion message...
+        assert!(msg.contains("n < 50"), "unexpected panic message: {msg}");
+        // ...and the greedy bisection reached the exact boundary (the
+        // smallest failing n, the smallest slack), not the raw case.
+        assert_eq!(shrink_fixture::LAST.0.load(Ordering::SeqCst), 50);
+        assert_eq!(shrink_fixture::LAST.1.load(Ordering::SeqCst), 0);
     }
 }
