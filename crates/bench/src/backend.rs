@@ -1,0 +1,121 @@
+//! The in-process orchestrator backend: runs one driver shard on a
+//! local thread and returns its table documents.
+//!
+//! This is the `local threads` half of the [`expt::orchestrate`] design
+//! — the [`Backend`] trait is the seam where a multi-machine runner
+//! (ssh, jobs queue, ...) slots in later; anything that can run
+//! `"<driver> --shard i/n"` somewhere and ship back the JSON table
+//! documents is a valid implementation.
+
+use crate::figures;
+use expt::orchestrate::{Backend, ShardJob};
+use expt::output::{table_json, RunMeta};
+use expt::{Ctx, ExptArgs};
+
+/// Runs shard jobs in-process through the [`crate::figures`] registry.
+///
+/// Each job gets a fresh [`Ctx`] restricted to its shard and pinned to
+/// **one worker thread** — parallelism comes from the orchestrator's
+/// job pool, not from nesting thread pools (and the harness guarantees
+/// thread count cannot change output anyway). Panics inside a driver
+/// are caught and reported as job errors so the orchestrator's retry
+/// and error paths see them like any remote failure.
+#[derive(Debug, Clone)]
+pub struct LocalBackend {
+    /// Run configuration shared by every job (scale / seed /
+    /// replicates; shard and threads are set per job).
+    pub args: ExptArgs,
+}
+
+impl LocalBackend {
+    /// Backend running every job under `args`.
+    pub fn new(args: ExptArgs) -> Self {
+        LocalBackend { args }
+    }
+}
+
+impl Backend for LocalBackend {
+    fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+        let (exp, build) = figures::all()
+            .into_iter()
+            .find(|(e, _)| e.name == job.driver)
+            .ok_or_else(|| format!("unknown driver {:?}", job.driver))?;
+        let mut args = self.args.clone();
+        args.shard = Some(job.shard);
+        args.threads = 1;
+        args.no_write = true;
+        let ctx = Ctx::new(args);
+        let tables = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| build(&ctx)))
+            .map_err(|payload| {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("driver panicked");
+                format!("{} panicked: {msg}", exp.name)
+            })?;
+        let meta = RunMeta::new(exp.name, &ctx.args);
+        Ok(tables.iter().map(|t| table_json(t, &meta)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expt::orchestrate::{merge_driver_docs, Orchestrator, Plan};
+    use expt::{Scale, TableDoc};
+
+    fn quick_args() -> ExptArgs {
+        ExptArgs {
+            scale: Scale::Quick,
+            no_write: true,
+            ..ExptArgs::default()
+        }
+    }
+
+    #[test]
+    fn unknown_driver_is_an_error() {
+        let b = LocalBackend::new(quick_args());
+        let err = b
+            .run_shard(&ShardJob {
+                driver: "fig99_missing".into(),
+                shard: (0, 1),
+            })
+            .unwrap_err();
+        assert!(err.contains("unknown driver"));
+    }
+
+    #[test]
+    fn sharded_fig14_merges_to_the_unsharded_tables() {
+        // fig14 is cheap and has both a sweep table and a constant
+        // table — a one-driver end-to-end of backend + merge.
+        let b = LocalBackend::new(quick_args());
+        let unsharded: Vec<TableDoc> = b
+            .run_shard(&ShardJob {
+                driver: "fig14_cycle_time_scaling".into(),
+                shard: (0, 1),
+            })
+            .unwrap()
+            .iter()
+            .map(|d| TableDoc::parse(d).unwrap())
+            .collect();
+
+        let orch = Orchestrator::new(b, 2);
+        let report = orch
+            .run(&Plan {
+                drivers: vec!["fig14_cycle_time_scaling".into()],
+                shards: 3,
+                retries: 0,
+            })
+            .unwrap();
+        let merged = &report.drivers[0].merged;
+        assert_eq!(merged.len(), unsharded.len());
+        for (m, u) in merged.iter().zip(&unsharded) {
+            assert_eq!(m.to_csv(), u.to_csv());
+        }
+        // The grouped merge helper agrees with the orchestrator.
+        let regrouped =
+            merge_driver_docs("fig14_cycle_time_scaling", &report.drivers[0].shard_docs).unwrap();
+        assert_eq!(regrouped.len(), merged.len());
+    }
+}

@@ -1,0 +1,210 @@
+//! Driver-level sweep orchestrator: schedule `driver × shard` jobs over
+//! a worker pool, retry failures, and merge the per-shard JSON table
+//! documents with full point-index validation.
+//!
+//! ```text
+//! opera_orchestrate [--drivers all|A,B,...] [--shards N] [--workers W]
+//!                   [--retries K] [--quick|--full] [--seed S]
+//!                   [--replicates R] [--out DIR] [--plan FILE] [--no-write]
+//! opera_orchestrate validate [--out DIR]
+//! ```
+//!
+//! The run mode writes, per driver, the shard documents under
+//! `<out>/<driver>/shards/` and the validated merged tables as
+//! `<out>/<driver>/<table>.{csv,json}` — the merged CSV is
+//! byte-identical to an unsharded `--threads 1` run of the same driver
+//! (asserted by `tests/orchestrate.rs`). `validate` re-merges the shard
+//! documents on disk and fails, naming the exact invariant, on any
+//! missing or duplicated point index, mismatched schema/flags, or a
+//! merged CSV that no longer matches its shards (the CI
+//! merge-validation step).
+//!
+//! A `--plan` file is JSON overriding the defaults; explicit CLI flags
+//! win over the plan:
+//!
+//! ```json
+//! {"drivers": ["fig08_shuffle_throughput"], "shards": 4, "retries": 1,
+//!  "workers": 2, "scale": "quick", "seed": 0, "replicates": 3}
+//! ```
+
+use bench::backend::LocalBackend;
+use bench::figures;
+use expt::orchestrate::{validate_dir, Orchestrator, Plan, PlanFile};
+use expt::{ExptArgs, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("validate") {
+        return validate(&argv[1..]);
+    }
+
+    let mut drivers_arg: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut retries: Option<usize> = None;
+    let mut scale: Option<Scale> = None;
+    let mut seed: Option<u64> = None;
+    let mut replicates: Option<usize> = None;
+    let mut out = PathBuf::from("results");
+    let mut no_write = false;
+    let mut plan_file = PlanFile::default();
+
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--drivers" => drivers_arg = Some(value_for("--drivers")),
+            "--shards" => shards = Some(parse(&value_for("--shards"), "--shards")),
+            "--workers" => workers = Some(parse(&value_for("--workers"), "--workers")),
+            "--retries" => retries = Some(parse(&value_for("--retries"), "--retries")),
+            "--quick" => scale = Some(Scale::Quick),
+            "--full" => scale = Some(Scale::Full),
+            "--seed" => seed = Some(parse(&value_for("--seed"), "--seed")),
+            "--replicates" => replicates = Some(parse(&value_for("--replicates"), "--replicates")),
+            "--out" => out = PathBuf::from(value_for("--out")),
+            "--no-write" => no_write = true,
+            "--plan" => {
+                let path = value_for("--plan");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| usage(&format!("--plan {path}: {e}")));
+                plan_file = PlanFile::parse(&text).unwrap_or_else(|e| usage(&e));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    // Resolution order: defaults < plan file < explicit CLI flags.
+    let known: Vec<&str> = figures::all().iter().map(|(e, _)| e.name).collect();
+    let drivers: Vec<String> = match (&drivers_arg, &plan_file.drivers) {
+        (Some(s), _) if s == "all" => known.iter().map(|s| s.to_string()).collect(),
+        (Some(s), _) => s.split(',').map(|d| d.trim().to_string()).collect(),
+        (None, Some(list)) => list.clone(),
+        (None, None) => known.iter().map(|s| s.to_string()).collect(),
+    };
+    for d in &drivers {
+        if !known.contains(&d.as_str()) {
+            eprintln!("error: no experiment named {d:?}; known drivers: {known:?}");
+            std::process::exit(2);
+        }
+    }
+    let shards = shards.or(plan_file.shards).unwrap_or(2).max(1);
+    let workers = workers.or(plan_file.workers).unwrap_or(0);
+    let retries = retries.or(plan_file.retries).unwrap_or(1);
+    let args = ExptArgs {
+        scale: scale.or(plan_file.scale).unwrap_or(Scale::Default),
+        seed: seed.or(plan_file.seed).unwrap_or(0),
+        replicates: replicates.or(plan_file.replicates).unwrap_or(3),
+        ..ExptArgs::default()
+    };
+
+    println!(
+        "# orchestrating {} driver(s) x {shards} shard(s), scale={}, seed={}, replicates={}, \
+         retries={retries}",
+        drivers.len(),
+        args.scale,
+        args.seed,
+        args.replicates
+    );
+    let orch = Orchestrator::new(LocalBackend::new(args), workers);
+    let plan = Plan {
+        drivers,
+        shards,
+        retries,
+    };
+    let report = match orch.run(&plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    for run in &report.drivers {
+        let retried = if run.retried > 0 {
+            format!(" ({} retried attempt(s))", run.retried)
+        } else {
+            String::new()
+        };
+        println!(
+            "ok  {} [{} shard(s), {} table(s)]{retried}",
+            run.driver,
+            report.shards,
+            run.merged.len()
+        );
+    }
+    println!(
+        "# {} job attempt(s) across {} driver(s); every merge validated",
+        report.attempts,
+        report.drivers.len()
+    );
+    if !no_write {
+        match expt::orchestrate::write_run(&out, &report) {
+            Ok(csvs) => {
+                for p in csvs {
+                    println!("# wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn validate(rest: &[String]) {
+    let mut out = PathBuf::from("results");
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = PathBuf::from(it.next().unwrap_or_else(|| usage("--out requires a value")))
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    match validate_dir(&out) {
+        Ok(tables) if tables.is_empty() => {
+            eprintln!(
+                "error: no shard documents under {} (nothing to validate)",
+                out.display()
+            );
+            std::process::exit(1);
+        }
+        Ok(tables) => {
+            for t in &tables {
+                println!(
+                    "ok  {}/{} [{} shard(s), {} row(s)]",
+                    t.driver, t.table, t.shards, t.rows
+                );
+            }
+            println!("# {} merged table(s) validated", tables.len());
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| usage(&format!("{flag}: invalid value {s:?}")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: opera_orchestrate [--drivers all|A,B,...] [--shards N] [--workers W]\n\
+         \x20                        [--retries K] [--quick|--full] [--seed S]\n\
+         \x20                        [--replicates R] [--out DIR] [--plan FILE] [--no-write]\n\
+         \x20      opera_orchestrate validate [--out DIR]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,112 @@
+//! Full-scale spot-baseline regression check (the nightly CI job).
+//!
+//! Runs the [`bench::spot`] suite — paper-scale networks, bounded spot
+//! workloads — and diffs the headline tables against the committed CSVs
+//! under `goldens/full/` with the same tolerance-aware engine as the
+//! quick goldens. `--bless` re-records them.
+//!
+//! ```text
+//! spot_check [--bless] [--point NAME]...
+//! ```
+
+use bench::spot;
+use expt::golden::{bless_driver, compare_driver, GoldenSpec};
+use expt::RunMeta;
+
+fn main() {
+    let mut bless = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bless" => bless = true,
+            "--point" => only.push(
+                args.next()
+                    .unwrap_or_else(|| usage("--point requires a name")),
+            ),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let known: Vec<&str> = spot::all().iter().map(|&(n, _)| n).collect();
+    for name in &only {
+        if !known.contains(&name.as_str()) {
+            eprintln!("error: no spot point named {name:?}; known: {known:?}");
+            std::process::exit(2);
+        }
+    }
+
+    // The spot provenance: full scale, seed 0, one observation per
+    // point (the spot tables are raw measurements, not replicate
+    // means).
+    let meta = RunMeta {
+        driver: spot::DRIVER.to_string(),
+        scale: "full".to_string(),
+        seed: 0,
+        replicates: 1,
+        k: None,
+        shard: None,
+    };
+    let root = bench::figures::golden_root();
+    let mut tables = Vec::new();
+    for (name, build) in spot::all() {
+        if !only.is_empty() && !only.iter().any(|n| n == name) {
+            continue;
+        }
+        eprintln!("# running spot point {name} (paper scale; minutes, not seconds)");
+        let t = build();
+        println!("table,{}", t.name);
+        print!("{}", t.to_csv());
+        tables.push(t);
+    }
+
+    if bless {
+        if !only.is_empty() {
+            // A partial bless would delete the other points' goldens.
+            eprintln!("error: --bless records the whole suite; drop --point");
+            std::process::exit(2);
+        }
+        let written = bless_driver(spot::DRIVER, &tables, &root, &meta)
+            .unwrap_or_else(|e| fatal(&format!("bless: {e}")));
+        for p in written {
+            println!("# blessed {}", p.display());
+        }
+        return;
+    }
+
+    // Partial runs still compare cell-for-cell; skip the whole-suite
+    // manifest/stale checks only when --point restricted the run.
+    let drifts = compare_driver(spot::DRIVER, &tables, &root, &GoldenSpec::strict(), &meta)
+        .unwrap_or_else(|e| fatal(&format!("compare: {e}")));
+    let drifts: Vec<_> = drifts
+        .into_iter()
+        .filter(|d| only.is_empty() || tables.iter().any(|t| t.name == d.table) || d.table == "*")
+        .collect();
+    if drifts.is_empty() {
+        println!("# ok: spot baselines match goldens/{}/", spot::DRIVER);
+        return;
+    }
+    for d in &drifts {
+        eprintln!("DRIFT {d}");
+    }
+    eprintln!(
+        "{} drift(s) from goldens/{}/; if intended, re-record with \
+         `cargo run --release -p bench --bin spot_check -- --bless`",
+        drifts.len(),
+        spot::DRIVER
+    );
+    std::process::exit(1);
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: spot_check [--bless] [--point NAME]...");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

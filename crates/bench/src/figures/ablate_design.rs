@@ -88,6 +88,7 @@ fn uplink_count(ctx: &Ctx) -> Table {
     let us: &[usize] = ctx.by_scale(&[3, 6], &[3, 4, 6, 8], &[3, 4, 6, 8]);
     let racks: usize = ctx.by_scale(48, 96, 96);
     let sweep = Sweep::grid1(us, |u| u);
+    let sref = ctx.sweep_ref(&sweep);
     let per_point = ctx.run(&sweep, |&u, _| {
         let params = OperaParams {
             racks,
@@ -124,9 +125,10 @@ fn uplink_count(ctx: &Ctx) -> Table {
             ("avg_path", expt::f2),
             ("max_path", expt::f2),
         ],
-    );
-    for (key, metrics) in per_point {
-        out.push_constant(key, &metrics, ctx.replicates());
+    )
+    .for_sweep(&sref);
+    for ((key, metrics), &p) in per_point.into_iter().zip(&sref.owned) {
+        out.push_constant_at(p, key, &metrics, ctx.replicates());
     }
     out.build()
 }
@@ -138,6 +140,7 @@ fn threshold(ctx: &Ctx) -> Table {
     let racks: usize = ctx.by_scale(8, 16, 16);
     let cases = [("bulk", 1_000u64), ("low_latency", u64::MAX)];
     let sweep = Sweep::grid1(&cases, |c| c);
+    let sref = ctx.sweep_ref(&sweep);
     let per_point = ctx.run(&sweep, |&(label, bulk_threshold), _| {
         let mut cfg = OperaNetConfig::small_test();
         cfg.params.racks = racks;
@@ -165,9 +168,10 @@ fn threshold(ctx: &Ctx) -> Table {
         "bulk_threshold",
         &["class", "note"],
         &[("fct_ms", expt::f3 as MetricFmt)],
-    );
-    for (key, metrics) in per_point {
-        out.push_constant(key, &metrics, ctx.replicates());
+    )
+    .for_sweep(&sref);
+    for ((key, metrics), &p) in per_point.into_iter().zip(&sref.owned) {
+        out.push_constant_at(p, key, &metrics, ctx.replicates());
     }
     out.build()
 }
@@ -180,6 +184,7 @@ fn threshold(ctx: &Ctx) -> Table {
 fn vlb(ctx: &Ctx) -> Table {
     let racks: usize = ctx.by_scale(8, 16, 16);
     let sweep = Sweep::grid1(&[true, false], |b| b);
+    let sref = ctx.sweep_ref(&sweep);
     let per_point = ctx.run_replicated(&sweep, |&allow, rc| {
         let mut cfg = OperaNetConfig::small_test();
         cfg.params.racks = racks;
@@ -216,10 +221,11 @@ fn vlb(ctx: &Ctx) -> Table {
             ("completion_fraction_at_40ms", expt::f2 as MetricFmt),
             ("avg_bulk_fct_ms", expt::f2),
         ],
-    );
-    for point in per_point {
+    )
+    .for_sweep(&sref);
+    for (point, &p) in per_point.into_iter().zip(&sref.owned) {
         for (key, metrics) in point {
-            out.push(key, &metrics);
+            out.push_at(p, key, &metrics);
         }
     }
     out.build()

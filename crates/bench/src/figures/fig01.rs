@@ -26,6 +26,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         &[Workload::Datamining, Workload::Websearch, Workload::Hadoop],
         |w| w,
     );
+    let sref = ctx.sweep_ref(&sweep);
     let per_workload = ctx.run(&sweep, |&w, _| {
         let d = FlowSizeDist::of(w);
         let total: f64 = (0..n)
@@ -57,7 +58,8 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         "flow_size_cdfs",
         &["workload", "size_bytes"],
         &[("cdf_flows", expt::f as MetricFmt), ("cdf_bytes", expt::f)],
-    );
+    )
+    .for_sweep(&sref);
     let mut summary = RepTableBuilder::new(
         "byte_summary",
         &["workload"],
@@ -65,12 +67,13 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("mean_bytes", expt::f0 as MetricFmt),
             ("byte_share_above_15mb", expt::f3),
         ],
-    );
-    for (rows, (skey, smetrics)) in per_workload {
+    )
+    .for_sweep(&sref);
+    for ((rows, (skey, smetrics)), &p) in per_workload.into_iter().zip(&sref.owned) {
         for (key, metrics) in rows {
-            cdfs.push_constant(key, &metrics, ctx.replicates());
+            cdfs.push_constant_at(p, key, &metrics, ctx.replicates());
         }
-        summary.push_constant(skey, &smetrics, ctx.replicates());
+        summary.push_constant_at(p, skey, &smetrics, ctx.replicates());
     }
     vec![cdfs.build(), summary.build()]
 }

@@ -42,6 +42,7 @@ fn cdf_rows(label: &str, hist: &[u64]) -> Vec<(Vec<Cell>, Vec<f64>)> {
 pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let quick = ctx.quick();
     let sweep = Sweep::grid1(&[Net::Opera, Net::Expander, Net::Clos], |n| n);
+    let sref = ctx.sweep_ref(&sweep);
     let per_net = ctx.run(&sweep, |&net, _| match net {
         Net::Opera => {
             // Aggregate over all slices of the cycle.
@@ -117,10 +118,11 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         "path_length_cdfs",
         &["network", "hops"],
         &[("pdf", expt::f as MetricFmt), ("cdf", expt::f)],
-    );
-    for rows in per_net {
+    )
+    .for_sweep(&sref);
+    for (rows, &p) in per_net.into_iter().zip(&sref.owned) {
         for (key, metrics) in rows {
-            t.push_constant(key, &metrics, ctx.replicates());
+            t.push_constant_at(p, key, &metrics, ctx.replicates());
         }
     }
     vec![t.build()]

@@ -50,6 +50,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     // Every system at a given load sees the same flow arrivals, so the
     // workload seed depends on the (load index, replicate) pair only.
     let sweep = Sweep::grid2(&SYSTEMS, loads, |s, l| (s, l));
+    let sref = ctx.sweep_ref(&sweep);
     let results = ctx.run_replicated(&sweep, |&(system, load), rc| {
         let load_idx = rc.point.index % loads.len();
         let seed = expt::replicate_seed(
@@ -93,13 +94,15 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         }
     });
 
-    let mut fct = RepTableBuilder::new("fct_by_size", &FCT_KEY_COLUMNS, &FCT_METRICS);
+    let mut fct =
+        RepTableBuilder::new("fct_by_size", &FCT_KEY_COLUMNS, &FCT_METRICS).for_sweep(&sref);
     let mut completion =
-        RepTableBuilder::new("completion", &["system", "load"], &COMPLETION_METRICS);
-    for point in results {
+        RepTableBuilder::new("completion", &["system", "load"], &COMPLETION_METRICS)
+            .for_sweep(&sref);
+    for (point, &p) in results.into_iter().zip(&sref.owned) {
         for (rows, (ckey, cmetrics)) in point {
-            fct.extend(rows);
-            completion.push(ckey, &cmetrics);
+            fct.extend_at(p, rows);
+            completion.push_at(p, ckey, &cmetrics);
         }
     }
     vec![fct.build(), completion.build()]

@@ -55,11 +55,14 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let horizon = SimTime::from_ms(ctx.by_scale(60, 150, 300));
     let reps = ctx.replicates();
 
+    let sweep = Sweep::grid1(&STATIC_SYSTEMS, |s| s);
+    let sref = ctx.sweep_ref(&sweep);
     let mut series = RepTableBuilder::new(
         "throughput_timeseries",
         &["network", "time_ms"],
         &[("normalized_throughput", expt::f as MetricFmt)],
-    );
+    )
+    .for_sweep(&sref);
     let mut summary = RepTableBuilder::new(
         "completion_summary",
         &["network"],
@@ -69,7 +72,8 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("p99_fct_ms", expt::f2),
             ("mean_fct_ms", expt::f2),
         ],
-    );
+    )
+    .for_sweep(&sref);
 
     // Opera is seed-independent here (application tags every flow bulk,
     // all start together): one simulation, recorded once per replicate.
@@ -90,7 +94,6 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     }
 
     // Static networks: staggered random starts, re-drawn per replicate.
-    let sweep = Sweep::grid1(&STATIC_SYSTEMS, |s| s);
     let results = ctx.run_replicated(&sweep, |&system, rc| {
         let cfg = if system == "expander" {
             expander_cfg(scale)
@@ -112,7 +115,12 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         )
     });
 
-    for (point, &system) in results.into_iter().zip(&STATIC_SYSTEMS) {
+    // Zip owned results with their *global* point index — under
+    // sharding this run sees a subset of STATIC_SYSTEMS, so indexing
+    // the axis by global point (not by result position) is what keeps
+    // each shard's rows labeled with the system it actually simulated.
+    for (point, &p) in results.into_iter().zip(&sref.owned) {
+        let system = STATIC_SYSTEMS[p];
         // Replicates stop emitting bins after their last delivery; a
         // replicate that finished early genuinely delivered zero in the
         // later bins, so pad its tail with zeros — otherwise tail-bin
@@ -128,8 +136,8 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
                 .enumerate()
                 .map(|(i, &tm)| (tm, raw.get(i).map_or(0.0, |&(_, v)| v)))
                 .collect();
-            series.extend(series_rows(system, &padded, hosts));
-            summary.push(skey, &smetrics);
+            series.extend_at(p, series_rows(system, &padded, hosts));
+            summary.push_at(p, skey, &smetrics);
         }
     }
     vec![series.build(), summary.build()]

@@ -41,6 +41,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let loads: &[f64] = ctx.by_scale(&[0.05], &[0.01, 0.05, 0.10], &[0.01, 0.05, 0.10]);
 
     let sweep = Sweep::grid2(&SYSTEMS, loads, |s, l| (s, l));
+    let sref = ctx.sweep_ref(&sweep);
     let results = ctx.run_replicated(&sweep, |&(system, load), rc| {
         let load_idx = rc.point.index % loads.len();
         let seed = expt::replicate_seed(
@@ -83,13 +84,15 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         }
     });
 
-    let mut fct = RepTableBuilder::new("fct_by_size", &FCT_KEY_COLUMNS, &FCT_METRICS);
+    let mut fct =
+        RepTableBuilder::new("fct_by_size", &FCT_KEY_COLUMNS, &FCT_METRICS).for_sweep(&sref);
     let mut completion =
-        RepTableBuilder::new("completion", &["system", "load"], &COMPLETION_METRICS);
-    for point in results {
+        RepTableBuilder::new("completion", &["system", "load"], &COMPLETION_METRICS)
+            .for_sweep(&sref);
+    for (point, &p) in results.into_iter().zip(&sref.owned) {
         for (rows, (ckey, cmetrics)) in point {
-            fct.extend(rows);
-            completion.push(ckey, &cmetrics);
+            fct.extend_at(p, rows);
+            completion.push_at(p, ckey, &cmetrics);
         }
     }
     vec![fct.build(), completion.build()]

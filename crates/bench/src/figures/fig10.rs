@@ -62,6 +62,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     // RNG): each load is solved once and recorded once per replicate
     // (push_constant, zero CI).
     let sweep = Sweep::grid1(ws_loads, |w| w);
+    let sref = ctx.sweep_ref(&sweep);
     let rows = ctx.run(&sweep, |&ws, _| {
         // Opera: low-latency traffic takes `ws` of each host's capacity
         // and pays the expander tax on the slice fabric (avg path ~3.2
@@ -119,9 +120,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("expander", expt::f),
             ("clos", expt::f),
         ],
-    );
-    for (key, metrics) in rows {
-        t.push_constant(key, &metrics, ctx.replicates());
+    )
+    .for_sweep(&sref);
+    for ((key, metrics), &p) in rows.into_iter().zip(&sref.owned) {
+        t.push_constant_at(p, key, &metrics, ctx.replicates());
     }
     vec![t.build()]
 }

@@ -93,6 +93,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let fracs = fractions(ctx);
 
     let sweep = Sweep::grid2(&KINDS, fracs, |k, f| (k, f));
+    let sref = ctx.sweep_ref(&sweep);
     let rows = ctx.run_replicated(&sweep, |&(kind, frac), rc| {
         let mut rng = rc.rng();
         let fails = sample_failures(&topo, &domain, kind, frac, &mut rng);
@@ -110,9 +111,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("worst_slice_loss", expt::f as MetricFmt),
             ("all_slices_loss", expt::f),
         ],
-    );
-    for point in rows {
-        t.extend(point);
+    )
+    .for_sweep(&sref);
+    for (point, &p) in rows.into_iter().zip(&sref.owned) {
+        t.extend_at(p, point);
     }
     vec![t.build()]
 }

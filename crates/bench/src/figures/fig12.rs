@@ -66,6 +66,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     // The expensive part — one max-concurrent-flow solve per
     // (workload, α, replicate) — fans out over the runner.
     let sweep = Sweep::grid2(&[0usize, 1, 2], alphas, |w, a| (w, a));
+    let sref = ctx.sweep_ref(&sweep);
     let rows = ctx.run_replicated(&sweep, |&(wi, alpha), rc| {
         let name = &WORKLOADS[wi];
         let o = &opera_side[wi][rc.rep];
@@ -110,9 +111,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("expander", expt::f),
             ("clos", expt::f),
         ],
-    );
-    for point in rows {
-        sweep_table.extend(point);
+    )
+    .for_sweep(&sref);
+    for (point, &p) in rows.into_iter().zip(&sref.owned) {
+        sweep_table.extend_at(p, point);
     }
     // Header metadata the old driver printed as a comment.
     let mut meta = Table::new("config", &["k", "racks", "hosts"]);

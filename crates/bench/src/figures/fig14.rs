@@ -22,6 +22,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let t = SliceTiming::paper_default();
 
     let sweep = Sweep::grid1(&ks, |k| k);
+    let sref = ctx.sweep_ref(&sweep);
     let rows = ctx.run(&sweep, |&k, _| {
         let ungrouped = cycle_slices_ungrouped(k);
         let grouped = cycle_slices_grouped(k, 6.min(k / 2));
@@ -43,9 +44,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("groups_of_6", expt::f2),
             ("cycle_ms_grouped", expt::f2),
         ],
-    );
-    for (key, metrics) in rows {
-        cycle.push_constant(key, &metrics, ctx.replicates());
+    )
+    .for_sweep(&sref);
+    for ((key, metrics), &p) in rows.into_iter().zip(&sref.owned) {
+        cycle.push_constant_at(p, key, &metrics, ctx.replicates());
     }
 
     // The k=64-class takeaway: grouped cycle grows ~6x from k=12

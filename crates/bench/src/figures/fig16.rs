@@ -34,6 +34,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     // Topology seeds are fixed, so each point is computed once and
     // recorded once per replicate (push_constant, zero CI).
     let sweep = Sweep::from_points(points);
+    let sref = ctx.sweep_ref(&sweep);
     let rows = ctx.run(&sweep, |&p, _| match p {
         Point::Opera { k } => {
             let racks = 3 * k * k / 4;
@@ -84,9 +85,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         "path_length_vs_radix",
         &["k", "hosts", "series"],
         &[("avg_path", expt::f3 as MetricFmt), ("max_path", expt::f0)],
-    );
-    for (key, metrics) in rows {
-        t.push_constant(key, &metrics, ctx.replicates());
+    )
+    .for_sweep(&sref);
+    for ((key, metrics), &pi) in rows.into_iter().zip(&sref.owned) {
+        t.push_constant_at(pi, key, &metrics, ctx.replicates());
     }
     vec![t.build()]
 }

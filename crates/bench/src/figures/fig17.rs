@@ -55,6 +55,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
     // each point is computed once and recorded once per replicate
     // (push_constant): zero CI, none of the spectral work repeated.
     let sweep = Sweep::from_points(points);
+    let sref = ctx.sweep_ref(&sweep);
     let rows = ctx.run(&sweep, |&p, _| match p {
         Point::OperaSlice(s) => {
             let g = topo.slice(s).graph();
@@ -110,9 +111,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("lambda2", expt::f3),
             ("ramanujan_bound", expt::f3),
         ],
-    );
-    for (key, metrics) in rows {
-        t.push_constant(key, &metrics, ctx.replicates());
+    )
+    .for_sweep(&sref);
+    for ((key, metrics), &pi) in rows.into_iter().zip(&sref.owned) {
+        t.push_constant_at(pi, key, &metrics, ctx.replicates());
     }
     vec![t.build()]
 }

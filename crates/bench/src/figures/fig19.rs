@@ -33,6 +33,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
 
     let kinds = ["links", "switches"];
     let sweep = Sweep::grid2(&kinds, fracs, |k, f| (k, f));
+    let sref = ctx.sweep_ref(&sweep);
     let rows = ctx.run_replicated(&sweep, |&(kind, frac), rc| {
         let mut rng = rc.rng();
         let fails = match kind {
@@ -73,9 +74,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("avg_path", expt::f3),
             ("worst_path", expt::f2),
         ],
-    );
-    for point in rows {
-        t.extend(point);
+    )
+    .for_sweep(&sref);
+    for (point, &p) in rows.into_iter().zip(&sref.owned) {
+        t.extend_at(p, point);
     }
     vec![t.build()]
 }

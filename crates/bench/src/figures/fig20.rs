@@ -43,6 +43,7 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
 
     let kinds = ["links", "tors"];
     let sweep = Sweep::grid2(&kinds, fracs, |k, f| (k, f));
+    let sref = ctx.sweep_ref(&sweep);
     let per_point = ctx.run_replicated(&sweep, |&(kind, frac), rc| {
         let mut rng = rc.rng();
         let fails = match kind {
@@ -80,10 +81,11 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("avg_path", expt::f3),
             ("worst_path", expt::f2),
         ],
-    );
-    for point in per_point {
+    )
+    .for_sweep(&sref);
+    for (point, &p) in per_point.into_iter().zip(&sref.owned) {
         for (key, metrics) in point {
-            t.push(key, &metrics);
+            t.push_at(p, key, &metrics);
         }
     }
     vec![t.build()]

@@ -27,7 +27,7 @@ pub mod table1;
 pub mod table2;
 
 use expt::golden::{bless_driver, compare_driver, Drift, GoldenSpec};
-use expt::{Cell, Ctx, Experiment, ExptArgs, MetricFmt, Scale, Table};
+use expt::{Cell, Ctx, Experiment, ExptArgs, MetricFmt, RunMeta, Scale, Table};
 use netsim::FlowTracker;
 use opera::harness::FctStats;
 use std::io;
@@ -97,11 +97,12 @@ pub fn golden_run(
     bless: bool,
 ) -> io::Result<Vec<Drift>> {
     let tables = build(ctx);
+    let meta = RunMeta::new(exp.name, &ctx.args);
     if bless {
-        bless_driver(exp.name, &tables, root)?;
+        bless_driver(exp.name, &tables, root, &meta)?;
         return Ok(Vec::new());
     }
-    compare_driver(exp.name, &tables, root, &golden_spec(exp.name))
+    compare_driver(exp.name, &tables, root, &golden_spec(exp.name), &meta)
 }
 
 /// Key columns of the per-size-bin FCT tables (Figures 7 and 9).

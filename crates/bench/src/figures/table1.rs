@@ -28,6 +28,7 @@ const PAPER: [(u64, f64); 6] = [
 pub fn tables(ctx: &Ctx) -> Vec<Table> {
     let sizes = table1_rows();
     let sweep = Sweep::grid1(&sizes, |rc| rc);
+    let sref = ctx.sweep_ref(&sweep);
     let per_point = ctx.run(&sweep, |&(racks, uplinks), pt| {
         let r = ruleset_for(racks, uplinks);
         let (paper_entries, paper_util) = PAPER.get(pt.index).copied().unwrap_or((0, 0.0));
@@ -51,9 +52,10 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
             ("paper_entries", expt::f0),
             ("paper_util_pct", expt::f2),
         ],
-    );
-    for (key, metrics) in per_point {
-        t.push_constant(key, &metrics, ctx.replicates());
+    )
+    .for_sweep(&sref);
+    for ((key, metrics), &p) in per_point.into_iter().zip(&sref.owned) {
+        t.push_constant_at(p, key, &metrics, ctx.replicates());
     }
     vec![t.build()]
 }

@@ -12,7 +12,9 @@
 //! * **full** — the paper's configurations (648 / 5184 hosts, 90 µs
 //!   slices) where the driver supports it.
 
+pub mod backend;
 pub mod figures;
+pub mod spot;
 
 use expt::Scale;
 use opera::{OperaNetConfig, SliceTiming, StaticNetConfig, StaticTopologyKind};

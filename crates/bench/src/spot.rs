@@ -1,0 +1,158 @@
+//! Nightly full-scale spot baselines: a handful of headline numbers at
+//! the paper's 648-host configurations, recorded under `goldens/full/`.
+//!
+//! The quick-mode goldens exercise every code path but tiny networks;
+//! the figures' *full* sweeps (fig08's all-to-all shuffle, fig09's
+//! Websearch loads) are hours of packet simulation — too slow even for
+//! a nightly job. The spot suite is the tractable middle: the **exact
+//! paper-scale networks** (`PaperTrio`, 648 hosts, 90 µs slices) under
+//! a **bounded spot workload** — a partial shuffle and a short
+//! Websearch window — sized so the whole suite fits a nightly CI
+//! budget. The headline metrics (shuffle completion time, Websearch
+//! p99) regress through the same tolerance-aware golden machinery as
+//! the quick baselines, manifest included:
+//!
+//! ```text
+//! spot_check            # compare against goldens/full/
+//! spot_check --bless    # re-record (commit the goldens/full/ diff)
+//! ```
+
+use crate::PaperTrio;
+use expt::{f2, Cell, Table};
+use netsim::FlowTracker;
+use opera::{opera_net, static_net};
+use simkit::SimTime;
+use workloads::dists::{FlowSizeDist, Workload};
+use workloads::gen::PoissonGen;
+use workloads::FlowSpec;
+
+/// The golden "driver" directory spot baselines live under
+/// (`goldens/full/`).
+pub const DRIVER: &str = "full";
+
+/// One spot point: a named table builder.
+pub type SpotFn = fn() -> Table;
+
+/// Every spot point, in suite order: `(table name, builder)`.
+pub fn all() -> Vec<(&'static str, SpotFn)> {
+    vec![
+        ("shuffle_648", shuffle_648 as SpotFn),
+        ("websearch_648", websearch_648 as SpotFn),
+    ]
+}
+
+fn fct_summary(tracker: &FlowTracker) -> (f64, f64, f64) {
+    let s = expt::summarize(
+        tracker
+            .flows()
+            .iter()
+            .filter_map(|f| f.fct())
+            .map(|x| x.as_ms_f64()),
+    );
+    (s.mean, s.p99, s.max)
+}
+
+/// Fig08's headline at paper scale: bulk shuffle time on the 648-host
+/// Opera network, every flow over direct circuits. The spot workload is
+/// a partial shuffle — each host sends 100 KB to its next
+/// `SHUFFLE_PEERS` ring neighbors — so the run measures paper-scale
+/// circuit scheduling without fig08's full 648 × 647 flow matrix.
+fn shuffle_648() -> Table {
+    const SHUFFLE_PEERS: usize = 16;
+    const FLOW_SIZE: u64 = 100_000;
+    let mut cfg = PaperTrio::opera();
+    cfg.bulk_threshold = 0; // application tags everything bulk (§3.4)
+    let hosts = cfg.hosts();
+    let mut flows = Vec::with_capacity(hosts * SHUFFLE_PEERS);
+    for src in 0..hosts {
+        for k in 1..=SHUFFLE_PEERS {
+            flows.push(FlowSpec {
+                src,
+                dst: (src + k * (hosts / SHUFFLE_PEERS + 1)) % hosts,
+                size: FLOW_SIZE,
+                start: SimTime::ZERO,
+            });
+        }
+    }
+    let offered = flows.len();
+    let mut sim = opera_net::build(cfg, flows);
+    sim.run_until(SimTime::from_ms(120));
+    let t = sim.world.logic.tracker();
+    let (mean, p99, max) = fct_summary(t);
+    let mut out = Table::new(
+        "shuffle_648",
+        &[
+            "network",
+            "flows",
+            "completed",
+            "shuffle_ms",
+            "p99_fct_ms",
+            "mean_fct_ms",
+        ],
+    );
+    out.push(vec![
+        Cell::from("opera-648"),
+        Cell::from(offered),
+        Cell::from(t.completed()),
+        f2(max),
+        f2(p99),
+        f2(mean),
+    ]);
+    out
+}
+
+/// Fig09's headline at paper scale: Websearch p99 FCT on the 648-host
+/// Opera network (every flow under the bulk threshold, riding indirect
+/// expander paths) against the cost-equivalent 3:1 folded Clos. The
+/// spot workload is one short Poisson window at 10% load.
+fn websearch_648() -> Table {
+    const LOAD: f64 = 0.10;
+    let window = SimTime::from_ms(10);
+    let horizon = SimTime::from_ms(60);
+    let mut out = Table::new(
+        "websearch_648",
+        &[
+            "network",
+            "load",
+            "flows",
+            "completed",
+            "p99_fct_ms",
+            "mean_fct_ms",
+        ],
+    );
+    let mut push = |network: &str, offered: usize, tracker: &FlowTracker| {
+        let (mean, p99, _) = fct_summary(tracker);
+        out.push(vec![
+            Cell::from(network),
+            Cell::F64(LOAD),
+            Cell::from(offered),
+            Cell::from(tracker.completed()),
+            f2(p99),
+            f2(mean),
+        ]);
+    };
+
+    let gen_flows = |hosts: usize| -> Vec<FlowSpec> {
+        PoissonGen::new(FlowSizeDist::of(Workload::Websearch), hosts, 10.0, LOAD, 0)
+            .flows_until(window)
+    };
+
+    {
+        let mut cfg = PaperTrio::opera();
+        cfg.bulk_threshold = 20_000_000; // fig09's premise: all low-latency
+        let flows = gen_flows(cfg.hosts());
+        let offered = flows.len();
+        let mut sim = opera_net::build(cfg, flows);
+        sim.run_until(horizon);
+        push("opera-648", offered, sim.world.logic.tracker());
+    }
+    {
+        let cfg = PaperTrio::clos();
+        let flows = gen_flows(crate::static_hosts(&cfg));
+        let offered = flows.len();
+        let mut sim = static_net::build(cfg, flows);
+        sim.run_until(horizon);
+        push("folded-clos-648", offered, sim.world.logic.tracker());
+    }
+    out
+}

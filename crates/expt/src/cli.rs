@@ -10,8 +10,10 @@
 //! * `--replicates R` — replicate seeds per sweep point (default 3);
 //!   figure tables report mean and 95% CI over the replicates,
 //! * `--shard I/N` — run only sweep points with `index % N == I`, for
-//!   fanning a sweep out across machines (merge CSVs afterwards with
-//!   [`crate::output::merge_sharded_csv`]),
+//!   fanning a sweep out across machines; sharded runs write JSON table
+//!   documents under `results/<driver>/shards/`, merged back (with
+//!   point-index validation) by [`crate::output::merge_shard_docs`] or
+//!   the `opera_orchestrate` binary,
 //! * `--out DIR` — results root (default `results/`),
 //! * `--no-write` — print CSV to stdout only,
 //! * `--k K` — ToR radix override where the driver supports it.

@@ -22,11 +22,136 @@
 //! `golden_check` binary); on an unmodified tree a bless is
 //! byte-idempotent.
 
+use crate::json::{self, Json};
+use crate::output::RunMeta;
 use crate::table::Table;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Provenance manifest stamped into each `goldens/<driver>/` on bless
+/// (`manifest.json`): which commit the bless ran on and which flags and
+/// tables it recorded. [`compare_driver`] checks the flags and table
+/// list — a golden blessed under different flags, or covering a table
+/// set the driver no longer produces, is *stale* and reported as drift;
+/// the commit is provenance for reviewers, not part of the comparison
+/// (a bless necessarily runs before the commit that includes it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenManifest {
+    /// `git rev-parse --short HEAD` of the tree the bless ran on
+    /// (`unknown` outside a git checkout).
+    pub commit: String,
+    /// Scale the bless ran at.
+    pub scale: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Replicates per sweep point.
+    pub replicates: usize,
+    /// Blessed table names, sorted.
+    pub tables: Vec<String>,
+}
+
+impl GoldenManifest {
+    /// File name of the manifest within a golden directory.
+    pub const FILE: &'static str = "manifest.json";
+
+    /// The manifest describing `tables` under `meta`. The commit field
+    /// starts empty — only the bless path, which actually writes a
+    /// manifest, pays for the `git rev-parse` ([`GoldenManifest::
+    /// stamped`]); comparisons never look at it.
+    pub fn new(meta: &RunMeta, tables: &[Table]) -> Self {
+        let mut names: Vec<String> = tables.iter().map(|t| t.name.clone()).collect();
+        names.sort_unstable();
+        GoldenManifest {
+            commit: String::new(),
+            scale: meta.scale.clone(),
+            seed: meta.seed,
+            replicates: meta.replicates,
+            tables: names,
+        }
+    }
+
+    /// This manifest with the working tree's commit filled in (what a
+    /// bless writes).
+    pub fn stamped(mut self) -> Self {
+        self.commit = current_commit();
+        self
+    }
+
+    /// Render as JSON.
+    pub fn render(&self) -> String {
+        let mut s = String::from("{\n  \"commit\": ");
+        json::write_string(&mut s, &self.commit);
+        s.push_str(",\n  \"scale\": ");
+        json::write_string(&mut s, &self.scale);
+        s.push_str(&format!(",\n  \"seed\": {}", self.seed));
+        s.push_str(&format!(",\n  \"replicates\": {}", self.replicates));
+        s.push_str(",\n  \"tables\": [");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            json::write_string(&mut s, t);
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parse from JSON text.
+    pub fn parse(text: &str) -> Result<GoldenManifest, String> {
+        let j = Json::parse(text)?;
+        let str_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest: missing field {k:?}"))
+        };
+        Ok(GoldenManifest {
+            commit: str_field("commit")?,
+            scale: str_field("scale")?,
+            seed: j
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("manifest: missing field \"seed\"")?,
+            replicates: j
+                .get("replicates")
+                .and_then(Json::as_usize)
+                .ok_or("manifest: missing field \"replicates\"")?,
+            tables: j
+                .get("tables")
+                .and_then(Json::as_arr)
+                .ok_or("manifest: missing field \"tables\"")?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "manifest: bad table name".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// Short commit hash of the working tree, for bless provenance.
+/// `OPERA_COMMIT` overrides (useful in CI); falls back to `git
+/// rev-parse`, then `"unknown"`.
+fn current_commit() -> String {
+    if let Ok(c) = std::env::var("OPERA_COMMIT") {
+        if !c.is_empty() {
+            return c;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 /// Absolute/relative tolerance for one numeric comparison. Two values
 /// are close when `|a - b| <= abs` **or** `|a - b| <= rel * max(|a|,
@@ -206,6 +331,7 @@ pub fn compare_driver(
     tables: &[Table],
     golden_root: &Path,
     spec: &GoldenSpec,
+    meta: &RunMeta,
 ) -> io::Result<Vec<Drift>> {
     let dir = golden_dir(golden_root, driver);
     let drift = |table: &str, note: &str, got: String, want: String| Drift {
@@ -315,15 +441,65 @@ pub fn compare_driver(
             name.clone(),
         ));
     }
+
+    // Provenance: the manifest must exist and record the flags and
+    // table set this comparison is running under, or the bless is
+    // stale.
+    let want = GoldenManifest::new(meta, tables);
+    let mpath = dir.join(GoldenManifest::FILE);
+    match fs::read_to_string(&mpath) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            drifts.push(drift(
+                GoldenManifest::FILE,
+                "manifest missing; bless with OPERA_BLESS=1 to stamp provenance",
+                String::new(),
+                mpath.display().to_string(),
+            ));
+        }
+        Err(e) => return Err(e),
+        Ok(text) => {
+            let got = GoldenManifest::parse(&text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", mpath.display()),
+                )
+            })?;
+            // `want` holds what this run would stamp (the fresh side of
+            // the drift), `committed` what the on-disk manifest
+            // recorded (the golden side).
+            let committed = got;
+            for (field, run_v, manifest_v) in [
+                ("scale", want.scale.clone(), committed.scale.clone()),
+                ("seed", want.seed.to_string(), committed.seed.to_string()),
+                (
+                    "replicates",
+                    want.replicates.to_string(),
+                    committed.replicates.to_string(),
+                ),
+                ("tables", want.tables.join(","), committed.tables.join(",")),
+            ] {
+                if run_v != manifest_v {
+                    drifts.push(drift(
+                        GoldenManifest::FILE,
+                        &format!("stale bless: manifest {field} disagrees with this run"),
+                        run_v,
+                        manifest_v,
+                    ));
+                }
+            }
+        }
+    }
     Ok(drifts)
 }
 
-/// Write (bless) a driver's tables as its new goldens, deleting stale
-/// table files. Returns the written paths, in table order.
+/// Write (bless) a driver's tables as its new goldens, stamping the
+/// provenance manifest and deleting stale table files. Returns the
+/// written CSV paths, in table order.
 pub fn bless_driver(
     driver: &str,
     tables: &[Table],
     golden_root: &Path,
+    meta: &RunMeta,
 ) -> io::Result<Vec<PathBuf>> {
     let dir = golden_dir(golden_root, driver);
     fs::create_dir_all(&dir)?;
@@ -333,6 +509,10 @@ pub fn bless_driver(
         fs::write(&path, t.to_csv())?;
         written.push(path);
     }
+    fs::write(
+        dir.join(GoldenManifest::FILE),
+        GoldenManifest::new(meta, tables).stamped().render(),
+    )?;
     let keep: Vec<String> = tables.iter().map(|t| format!("{}.csv", t.name)).collect();
     for entry in fs::read_dir(&dir)? {
         let entry = entry?;
@@ -353,6 +533,17 @@ mod tests {
         let d = std::env::temp_dir().join(format!("golden-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
+    }
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            driver: "drv".into(),
+            scale: "quick".into(),
+            seed: 0,
+            replicates: 3,
+            k: None,
+            shard: None,
+        }
     }
 
     fn demo_table() -> Table {
@@ -402,14 +593,16 @@ mod tests {
     fn clean_compare_and_bless_idempotence() {
         let root = tmp_root("clean");
         let t = vec![demo_table()];
-        let first = bless_driver("drv", &t, &root).unwrap();
+        let first = bless_driver("drv", &t, &root, &meta()).unwrap();
         assert_eq!(first.len(), 1);
         let before = fs::read_to_string(&first[0]).unwrap();
-        assert!(compare_driver("drv", &t, &root, &GoldenSpec::strict())
-            .unwrap()
-            .is_empty());
+        assert!(
+            compare_driver("drv", &t, &root, &GoldenSpec::strict(), &meta())
+                .unwrap()
+                .is_empty()
+        );
         // Re-bless on an unmodified table is byte-idempotent.
-        bless_driver("drv", &t, &root).unwrap();
+        bless_driver("drv", &t, &root, &meta()).unwrap();
         assert_eq!(fs::read_to_string(&first[0]).unwrap(), before);
         fs::remove_dir_all(&root).unwrap();
     }
@@ -417,10 +610,11 @@ mod tests {
     #[test]
     fn drift_names_row_and_column() {
         let root = tmp_root("drift");
-        bless_driver("drv", &[demo_table()], &root).unwrap();
+        bless_driver("drv", &[demo_table()], &root, &meta()).unwrap();
         let mut changed = demo_table();
         changed.rows[0][2] = Cell::from("0.6000");
-        let drifts = compare_driver("drv", &[changed], &root, &GoldenSpec::strict()).unwrap();
+        let drifts =
+            compare_driver("drv", &[changed], &root, &GoldenSpec::strict(), &meta()).unwrap();
         assert_eq!(drifts.len(), 1);
         let d = &drifts[0];
         assert_eq!((d.row, d.column.as_deref()), (Some(1), Some("y")));
@@ -432,15 +626,17 @@ mod tests {
     #[test]
     fn per_column_tolerance_overrides() {
         let root = tmp_root("tol");
-        bless_driver("drv", &[demo_table()], &root).unwrap();
+        bless_driver("drv", &[demo_table()], &root, &meta()).unwrap();
         let mut changed = demo_table();
         changed.rows[0][2] = Cell::from("0.5004");
         let loose = GoldenSpec::strict().with_column("y", Tolerance::new(1e-3, 0.0));
-        assert!(compare_driver("drv", &[changed.clone()], &root, &loose)
-            .unwrap()
-            .is_empty());
+        assert!(
+            compare_driver("drv", &[changed.clone()], &root, &loose, &meta())
+                .unwrap()
+                .is_empty()
+        );
         assert_eq!(
-            compare_driver("drv", &[changed], &root, &GoldenSpec::strict())
+            compare_driver("drv", &[changed], &root, &GoldenSpec::strict(), &meta())
                 .unwrap()
                 .len(),
             1
@@ -451,27 +647,36 @@ mod tests {
     #[test]
     fn nan_cells_match_and_structure_changes_are_drift() {
         let root = tmp_root("structure");
-        bless_driver("drv", &[demo_table()], &root).unwrap();
+        bless_driver("drv", &[demo_table()], &root, &meta()).unwrap();
         // NaN golden vs NaN run: no drift (covered by clean compare).
-        // Missing golden file.
+        // Missing golden file (plus the manifest's table list no longer
+        // matching the blessed set).
         let extra = Table::new("extra", &["a"]);
-        let drifts =
-            compare_driver("drv", &[demo_table(), extra], &root, &GoldenSpec::strict()).unwrap();
-        assert_eq!(drifts.len(), 1);
+        let drifts = compare_driver(
+            "drv",
+            &[demo_table(), extra],
+            &root,
+            &GoldenSpec::strict(),
+            &meta(),
+        )
+        .unwrap();
+        assert_eq!(drifts.len(), 2);
         assert!(drifts[0].note.contains("missing"));
+        assert!(drifts[1].note.contains("manifest tables"));
         // Stale golden file.
-        let drifts = compare_driver("drv", &[], &root, &GoldenSpec::strict()).unwrap();
-        assert_eq!(drifts.len(), 1);
-        assert!(drifts[0].note.contains("stale"));
+        let drifts = compare_driver("drv", &[], &root, &GoldenSpec::strict(), &meta()).unwrap();
+        assert!(drifts.iter().any(|d| d.note.contains("stale golden")));
         // Row-count change.
         let mut short = demo_table();
         short.rows.pop();
-        let drifts = compare_driver("drv", &[short], &root, &GoldenSpec::strict()).unwrap();
+        let drifts =
+            compare_driver("drv", &[short], &root, &GoldenSpec::strict(), &meta()).unwrap();
         assert!(drifts.iter().any(|d| d.note.contains("row count")));
         // Column rename.
         let mut renamed = demo_table();
         renamed.columns[2] = "z".into();
-        let drifts = compare_driver("drv", &[renamed], &root, &GoldenSpec::strict()).unwrap();
+        let drifts =
+            compare_driver("drv", &[renamed], &root, &GoldenSpec::strict(), &meta()).unwrap();
         assert!(drifts.iter().any(|d| d.note.contains("column set")));
         fs::remove_dir_all(&root).unwrap();
     }
@@ -479,9 +684,54 @@ mod tests {
     #[test]
     fn missing_directory_is_reported() {
         let root = tmp_root("nodir");
-        let drifts =
-            compare_driver("ghost", &[demo_table()], &root, &GoldenSpec::strict()).unwrap();
+        let drifts = compare_driver(
+            "ghost",
+            &[demo_table()],
+            &root,
+            &GoldenSpec::strict(),
+            &meta(),
+        )
+        .unwrap();
         assert_eq!(drifts.len(), 1);
         assert!(drifts[0].note.contains("no golden directory"));
+    }
+
+    #[test]
+    fn manifest_round_trips_and_detects_stale_bless() {
+        let root = tmp_root("manifest");
+        bless_driver("drv", &[demo_table()], &root, &meta()).unwrap();
+        let text = fs::read_to_string(root.join("drv").join(GoldenManifest::FILE)).unwrap();
+        let m = GoldenManifest::parse(&text).unwrap();
+        assert_eq!((m.scale.as_str(), m.seed, m.replicates), ("quick", 0, 3));
+        assert_eq!(m.tables, ["series"]);
+        assert!(!m.commit.is_empty());
+
+        // Same tables compared under different flags: stale bless.
+        let other = RunMeta {
+            replicates: 5,
+            ..meta()
+        };
+        let drifts =
+            compare_driver("drv", &[demo_table()], &root, &GoldenSpec::strict(), &other).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].note.contains("manifest replicates"));
+        assert_eq!(
+            (drifts[0].got.as_str(), drifts[0].want.as_str()),
+            ("5", "3")
+        );
+
+        // Deleting the manifest is detectable drift, not a pass.
+        fs::remove_file(root.join("drv").join(GoldenManifest::FILE)).unwrap();
+        let drifts = compare_driver(
+            "drv",
+            &[demo_table()],
+            &root,
+            &GoldenSpec::strict(),
+            &meta(),
+        )
+        .unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].note.contains("manifest missing"));
+        fs::remove_dir_all(&root).unwrap();
     }
 }

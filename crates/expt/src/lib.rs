@@ -16,12 +16,20 @@
 //! * [`replicate`] — per-point replicate seeds and the
 //!   [`replicate::RepTableBuilder`] that folds R observations per row
 //!   into `mean`/`ci95` columns,
-//! * [`golden`] — committed quick-mode baseline CSVs and the
-//!   tolerance-aware diff engine behind the tier-1 golden test,
+//! * [`golden`] — committed quick-mode baseline CSVs with provenance
+//!   manifests and the tolerance-aware diff engine behind the tier-1
+//!   golden test,
 //! * [`table::Table`] — the uniform result model (named columns × typed
-//!   cells),
-//! * [`output`] — CSV and JSON writers into `results/<figure>/`, plus
-//!   the shard-CSV merge helper,
+//!   cells, per-row sweep-point provenance),
+//! * [`output`] — CSV and JSON table-document writers into
+//!   `results/<figure>/`, plus the self-validating shard merge
+//!   ([`output::merge_shard_docs`]),
+//! * [`orchestrate`] — the driver-level scheduler behind
+//!   `opera_orchestrate`: fans `driver × shard` jobs over a worker pool
+//!   (pluggable [`orchestrate::Backend`]), retries failures, and merges
+//!   shard documents with point-index validation,
+//! * [`json`] — the minimal offline JSON reader the two modules above
+//!   share,
 //! * [`cli::ExptArgs`] — the `--quick` / `--threads` / `--out` /
 //!   `--full` / `--seed` / `--replicates` / `--shard` flags shared by
 //!   all drivers,
@@ -34,6 +42,8 @@
 
 pub mod cli;
 pub mod golden;
+pub mod json;
+pub mod orchestrate;
 pub mod output;
 pub mod replicate;
 pub mod runner;
@@ -42,10 +52,11 @@ pub mod sweep;
 pub mod table;
 
 pub use cli::{ExptArgs, Scale};
+pub use output::{merge_shard_docs, MergeError, RunMeta, TableDoc};
 pub use replicate::{replicate_seed, MetricFmt, RepCtx, RepTableBuilder};
 pub use runner::{derive_seed, PointCtx, Runner};
 pub use summary::{summarize, Summary};
-pub use sweep::Sweep;
+pub use sweep::{Sweep, SweepRef};
 pub use table::{f, f0, f2, f3, Cell, Table};
 
 /// Static description of one figure/table driver.
@@ -97,6 +108,19 @@ impl Ctx {
     /// Replicate seeds per sweep point (`--replicates`, at least 1).
     pub fn replicates(&self) -> usize {
         self.args.replicates
+    }
+
+    /// The sweep's shape as this runner sees it: total point count plus
+    /// the global indices of the points this runner's shard owns.
+    /// Figure builders zip owned results with `sweep_ref.owned` to
+    /// recover global point indices, and pass the whole [`SweepRef`] to
+    /// `Table::for_sweep` / `RepTableBuilder::for_sweep` so the shard
+    /// merge can validate completeness.
+    pub fn sweep_ref<P>(&self, sweep: &Sweep<P>) -> SweepRef {
+        SweepRef {
+            points: sweep.len(),
+            owned: self.runner.owned_points(sweep.len()),
+        }
     }
 
     /// Run a sweep with [`Ctx::replicates`] replicate seeds per point;
@@ -156,7 +180,8 @@ pub fn emit(exp: &Experiment, ctx: &Ctx, tables: &[Table]) {
     }
     if !ctx.args.no_write {
         let dir = ctx.args.out.join(exp.name);
-        match output::write_tables(&dir, tables) {
+        let meta = RunMeta::new(exp.name, &ctx.args);
+        match output::write_tables(&dir, tables, &meta) {
             Ok(paths) => {
                 for p in paths {
                     println!("# wrote {}", p.display());

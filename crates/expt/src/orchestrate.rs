@@ -1,0 +1,785 @@
+//! Driver-level sweep orchestration: fan `driver × shard` jobs over a
+//! worker pool, retry failures, and merge the per-shard table documents
+//! with full validation.
+//!
+//! The per-driver `--shard i/n` flag (PR 3/4) lets one *driver* split
+//! its sweep, but left scheduling and merging to the caller — and the
+//! merge worked on rendered CSV, which cannot validate what each shard
+//! actually produced. This module is the missing scheduler:
+//!
+//! * a [`Plan`] says which drivers to run, across how many shards, and
+//!   how often to retry a failed shard,
+//! * a [`Backend`] executes one [`ShardJob`] and returns the table
+//!   documents the sharded run wrote — the in-process thread-pool
+//!   backend lives in `bench` (it needs the driver registry), and a
+//!   multi-machine runner can slot in behind the same trait,
+//! * the [`Orchestrator`] claims jobs across scoped worker threads,
+//!   retries, then merges each driver's shard documents through
+//!   [`crate::output::merge_shard_docs`], so every result set is
+//!   *validated* — every point index present exactly once, schema and
+//!   flags matching — before a merged CSV is rendered,
+//! * [`write_run`] persists a run under `results/` (shard documents
+//!   under `shards/`, merged CSV + JSON beside them), and
+//!   [`validate_dir`] re-validates such a directory from disk — the CI
+//!   merge-validation step, and the hook tests use to prove a dropped
+//!   shard fails with a named [`MergeError::MissingPointIndex`].
+
+use crate::json::Json;
+use crate::output::{self, merge_shard_docs, MergeError, TableDoc};
+use crate::Scale;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of work: one driver restricted to one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardJob {
+    /// Driver (experiment) name.
+    pub driver: String,
+    /// The `(i, n)` shard this job runs.
+    pub shard: (usize, usize),
+}
+
+/// Executes shard jobs. Implementations must be shareable across the
+/// orchestrator's worker threads.
+pub trait Backend: Sync {
+    /// Run one shard job to completion, returning the JSON table
+    /// documents it produced (one per table, in table order). Errors are
+    /// retried up to the orchestrator's retry budget.
+    fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String>;
+}
+
+/// What to run: the resolved driver list plus sharding and retry knobs.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Drivers to run, in order.
+    pub drivers: Vec<String>,
+    /// Shards per driver (1 = unsharded).
+    pub shards: usize,
+    /// Extra attempts per failed shard job (0 = fail fast).
+    pub retries: usize,
+}
+
+/// Plan-file overrides (JSON): any subset of
+/// `{"drivers": [...], "shards": N, "retries": N, "workers": N,
+/// "scale": "quick", "seed": S, "replicates": R}`.
+/// Omitted fields keep their CLI/default values; `drivers` omitted (or
+/// `"all"`) means every registered driver.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanFile {
+    /// Driver subset, `None` = all.
+    pub drivers: Option<Vec<String>>,
+    /// Shards per driver.
+    pub shards: Option<usize>,
+    /// Retry budget per shard job.
+    pub retries: Option<usize>,
+    /// Orchestrator worker threads.
+    pub workers: Option<usize>,
+    /// Run scale (`quick` / `default` / `full`).
+    pub scale: Option<Scale>,
+    /// Base seed.
+    pub seed: Option<u64>,
+    /// Replicates per sweep point.
+    pub replicates: Option<usize>,
+}
+
+impl PlanFile {
+    /// Parse a plan file.
+    pub fn parse(text: &str) -> Result<PlanFile, String> {
+        let j = Json::parse(text).map_err(|e| format!("plan: {e}"))?;
+        if !matches!(j, Json::Obj(_)) {
+            return Err("plan: expected a JSON object".into());
+        }
+        let uint = |k: &str| -> Result<Option<usize>, String> {
+            match j.get(k) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_usize()
+                    .map(Some)
+                    .ok_or_else(|| format!("plan: {k:?} must be a non-negative integer")),
+            }
+        };
+        let drivers = match j.get("drivers") {
+            None => None,
+            Some(Json::Str(s)) if s == "all" => None,
+            Some(Json::Arr(a)) => Some(
+                a.iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "plan: \"drivers\" entries must be strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Some(_) => return Err("plan: \"drivers\" must be an array or \"all\"".into()),
+        };
+        let scale = match j.get("scale").map(|v| v.as_str()) {
+            None => None,
+            Some(Some("quick")) => Some(Scale::Quick),
+            Some(Some("default")) => Some(Scale::Default),
+            Some(Some("full")) => Some(Scale::Full),
+            Some(_) => return Err("plan: \"scale\" must be quick/default/full".into()),
+        };
+        Ok(PlanFile {
+            drivers,
+            shards: uint("shards")?,
+            retries: uint("retries")?,
+            workers: uint("workers")?,
+            scale,
+            seed: match j.get("seed") {
+                None => None,
+                Some(v) => {
+                    Some(v.as_u64().ok_or_else(|| {
+                        "plan: \"seed\" must be a non-negative integer".to_string()
+                    })?)
+                }
+            },
+            replicates: uint("replicates")?,
+        })
+    }
+}
+
+/// One driver's outcome within a completed run.
+#[derive(Debug)]
+pub struct DriverRun {
+    /// Driver name.
+    pub driver: String,
+    /// Shard documents, grouped per shard in shard order
+    /// (`shard_docs[i]` holds shard `i`'s parsed documents).
+    pub shard_docs: Vec<Vec<TableDoc>>,
+    /// Validated merged documents, one per table.
+    pub merged: Vec<TableDoc>,
+    /// Shard-job attempts that failed and were retried.
+    pub retried: usize,
+}
+
+/// A completed orchestrated run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-driver outcomes, in plan order.
+    pub drivers: Vec<DriverRun>,
+    /// Shards per driver.
+    pub shards: usize,
+    /// Total shard-job attempts, including retries.
+    pub attempts: usize,
+}
+
+/// An orchestration failure.
+#[derive(Debug)]
+pub enum OrchestrateError {
+    /// A shard job failed after exhausting its retry budget.
+    Job {
+        /// Failing job.
+        job: ShardJob,
+        /// Attempts made (1 + retries).
+        attempts: usize,
+        /// The last error.
+        error: String,
+    },
+    /// A backend returned a document that did not parse, or a shard
+    /// merge failed validation.
+    Merge {
+        /// Driver whose results failed to merge.
+        driver: String,
+        /// The underlying merge error.
+        error: MergeError,
+    },
+    /// Filesystem failure while persisting or validating a run.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// The underlying error.
+        error: String,
+    },
+    /// A validated directory disagrees with its shard documents.
+    Stale {
+        /// The merged CSV that is out of date.
+        path: PathBuf,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for OrchestrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestrateError::Job {
+                job,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "{} shard {}/{}: failed after {attempts} attempt(s): {error}",
+                job.driver, job.shard.0, job.shard.1
+            ),
+            OrchestrateError::Merge { driver, error } => write!(f, "{driver}: {error}"),
+            OrchestrateError::Io { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            OrchestrateError::Stale { path, detail } => {
+                write!(f, "{}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrchestrateError {}
+
+/// Schedules shard jobs over a worker pool and merges the results.
+#[derive(Debug)]
+pub struct Orchestrator<B> {
+    backend: B,
+    workers: usize,
+}
+
+impl<B: Backend> Orchestrator<B> {
+    /// New orchestrator over `backend`. `workers == 0` means one worker
+    /// per available core.
+    pub fn new(backend: B, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        Orchestrator { backend, workers }
+    }
+
+    /// Run every `driver × shard` job of `plan`, retrying each failed
+    /// job up to `plan.retries` extra times, then merge and validate
+    /// each driver's shard documents. Job scheduling is work-stealing
+    /// and nondeterministic; results are keyed by (driver, shard), so
+    /// the report — like everything in this harness — is independent of
+    /// worker count.
+    pub fn run(&self, plan: &Plan) -> Result<RunReport, OrchestrateError> {
+        assert!(plan.shards >= 1, "plan needs at least one shard");
+        let jobs: Vec<ShardJob> = plan
+            .drivers
+            .iter()
+            .flat_map(|d| {
+                (0..plan.shards).map(move |i| ShardJob {
+                    driver: d.clone(),
+                    shard: (i, plan.shards),
+                })
+            })
+            .collect();
+
+        // Claim loop over jobs; each worker retries its claimed job
+        // in-place before reporting.
+        type JobOutcome = Result<(usize, Vec<String>), (usize, String)>; // attempts
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<JobOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(jobs.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[slot];
+                    let mut outcome: JobOutcome = Err((0, "never attempted".into()));
+                    for attempt in 1..=plan.retries + 1 {
+                        match self.backend.run_shard(job) {
+                            Ok(docs) => {
+                                outcome = Ok((attempt, docs));
+                                break;
+                            }
+                            Err(e) => outcome = Err((attempt, e)),
+                        }
+                    }
+                    *results[slot].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+
+        let mut report = RunReport {
+            drivers: Vec::with_capacity(plan.drivers.len()),
+            shards: plan.shards,
+            attempts: 0,
+        };
+        let mut outcomes = results.into_iter().map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every job slot is claimed exactly once")
+        });
+        for (di, driver) in plan.drivers.iter().enumerate() {
+            let mut shard_docs: Vec<Vec<TableDoc>> = Vec::with_capacity(plan.shards);
+            let mut retried = 0usize;
+            for shard in 0..plan.shards {
+                let job = &jobs[di * plan.shards + shard];
+                match outcomes.next().expect("one outcome per job") {
+                    Ok((attempts, docs)) => {
+                        report.attempts += attempts;
+                        retried += attempts - 1;
+                        let parsed: Result<Vec<TableDoc>, MergeError> =
+                            docs.iter().map(|d| TableDoc::parse(d)).collect();
+                        shard_docs.push(parsed.map_err(|error| OrchestrateError::Merge {
+                            driver: driver.clone(),
+                            error,
+                        })?);
+                    }
+                    Err((attempts, error)) => {
+                        report.attempts += attempts;
+                        return Err(OrchestrateError::Job {
+                            job: job.clone(),
+                            attempts,
+                            error,
+                        });
+                    }
+                }
+            }
+            let merged = merge_driver_docs(driver, &shard_docs)?;
+            report.drivers.push(DriverRun {
+                driver: driver.clone(),
+                shard_docs,
+                merged,
+                retried,
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// Group one driver's per-shard documents by table and merge each group
+/// with validation. Tables are ordered as shard 0 produced them; every
+/// shard must produce the same table set.
+pub fn merge_driver_docs(
+    driver: &str,
+    shard_docs: &[Vec<TableDoc>],
+) -> Result<Vec<TableDoc>, OrchestrateError> {
+    let merr = |error| OrchestrateError::Merge {
+        driver: driver.to_string(),
+        error,
+    };
+    let first = shard_docs
+        .first()
+        .ok_or_else(|| merr(MergeError::NoShards))?;
+    let mut merged = Vec::with_capacity(first.len());
+    for lead in first {
+        // Every shard must produce the table exactly once: a missing
+        // copy is a short shard; a duplicate (e.g. a retry artifact
+        // from a buggy backend) could silently shadow drifted rows if
+        // only the first copy were taken.
+        let mut group: Vec<TableDoc> = Vec::with_capacity(shard_docs.len());
+        for (i, docs) in shard_docs.iter().enumerate() {
+            let mut matches = docs.iter().filter(|d| d.table == lead.table);
+            match (matches.next(), matches.next()) {
+                (Some(one), None) => group.push(one.clone()),
+                (found, _) => {
+                    return Err(merr(MergeError::SchemaMismatch {
+                        table: lead.table.clone(),
+                        field: "table",
+                        got: if found.is_none() {
+                            format!("absent from shard {i}")
+                        } else {
+                            format!("duplicated in shard {i}")
+                        },
+                        want: "exactly one document per shard".to_string(),
+                    }));
+                }
+            }
+        }
+        merged.push(merge_shard_docs(&group).map_err(merr)?);
+    }
+    // A shard producing extra tables is drift too.
+    for (i, docs) in shard_docs.iter().enumerate() {
+        if let Some(extra) = docs
+            .iter()
+            .find(|d| !first.iter().any(|l| l.table == d.table))
+        {
+            return Err(merr(MergeError::SchemaMismatch {
+                table: extra.table.clone(),
+                field: "table",
+                got: format!("extra table in shard {i}"),
+                want: "absent from shard 0".to_string(),
+            }));
+        }
+    }
+    Ok(merged)
+}
+
+/// Persist a completed run under `out`: each driver's shard documents
+/// under `<out>/<driver>/shards/`, and the validated merged tables as
+/// `<out>/<driver>/<table>.csv` + `.json`. The driver directory is
+/// pruned first — stale shard documents from a previous run with a
+/// different shard count, and merged files of tables the driver no
+/// longer produces, would otherwise poison a later [`validate_dir`]
+/// (or resurrect dropped tables as "ok"). Returns the merged CSV
+/// paths.
+pub fn write_run(out: &Path, report: &RunReport) -> Result<Vec<PathBuf>, OrchestrateError> {
+    let io_err = |path: &Path, e: std::io::Error| OrchestrateError::Io {
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    };
+    let mut csvs = Vec::new();
+    for run in &report.drivers {
+        let dir = out.join(&run.driver);
+        let sdir = dir.join(output::SHARD_DIR);
+        match fs::remove_dir_all(&sdir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&sdir, e)),
+        }
+        fs::create_dir_all(&sdir).map_err(|e| io_err(&sdir, e))?;
+        for docs in &run.shard_docs {
+            for doc in docs {
+                let shard = doc.shard.expect("shard docs are sharded");
+                let path = sdir.join(output::shard_file_name(&doc.table, shard));
+                fs::write(&path, doc.render()).map_err(|e| io_err(&path, e))?;
+            }
+        }
+        let mut keep = Vec::with_capacity(run.merged.len() * 2);
+        for doc in &run.merged {
+            let csv = dir.join(format!("{}.csv", doc.table));
+            fs::write(&csv, doc.to_csv()).map_err(|e| io_err(&csv, e))?;
+            let json = dir.join(format!("{}.json", doc.table));
+            fs::write(&json, doc.render()).map_err(|e| io_err(&json, e))?;
+            keep.push(csv.clone());
+            keep.push(json);
+            csvs.push(csv);
+        }
+        for entry in fs::read_dir(&dir).map_err(|e| io_err(&dir, e))? {
+            let path = entry.map_err(|e| io_err(&dir, e))?.path();
+            if path.is_file() && !keep.contains(&path) {
+                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            }
+        }
+    }
+    Ok(csvs)
+}
+
+/// One validated `(driver, table)` pair from [`validate_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatedTable {
+    /// Driver directory name.
+    pub driver: String,
+    /// Table name.
+    pub table: String,
+    /// Shard documents found.
+    pub shards: usize,
+    /// Merged data-row count.
+    pub rows: usize,
+}
+
+/// Re-validate an orchestrated results directory from disk: for every
+/// `<dir>/<driver>/shards/*.json`, re-merge the shard documents (full
+/// validation — missing or duplicated point indices fail here) and
+/// check the committed merged CSV matches the re-merge byte-for-byte.
+/// Returns the validated tables, or the first failure.
+pub fn validate_dir(out: &Path) -> Result<Vec<ValidatedTable>, OrchestrateError> {
+    let io_err = |path: &Path, e: std::io::Error| OrchestrateError::Io {
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    };
+    let mut validated = Vec::new();
+    let mut driver_dirs: Vec<PathBuf> = fs::read_dir(out)
+        .map_err(|e| io_err(out, e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.join(output::SHARD_DIR).is_dir())
+        .collect();
+    driver_dirs.sort();
+    for dir in driver_dirs {
+        let driver = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let sdir = dir.join(output::SHARD_DIR);
+        let mut groups: BTreeMap<String, Vec<TableDoc>> = BTreeMap::new();
+        let mut files: Vec<PathBuf> = fs::read_dir(&sdir)
+            .map_err(|e| io_err(&sdir, e))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        files.sort();
+        for path in files {
+            let text = fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+            let doc = TableDoc::parse(&text).map_err(|error| OrchestrateError::Merge {
+                driver: driver.clone(),
+                error,
+            })?;
+            groups.entry(doc.table.clone()).or_default().push(doc);
+        }
+        for (table, docs) in groups {
+            let merged = merge_shard_docs(&docs).map_err(|error| OrchestrateError::Merge {
+                driver: driver.clone(),
+                error,
+            })?;
+            let csv_path = dir.join(format!("{table}.csv"));
+            let committed = fs::read_to_string(&csv_path).map_err(|e| io_err(&csv_path, e))?;
+            if committed != merged.to_csv() {
+                return Err(OrchestrateError::Stale {
+                    path: csv_path,
+                    detail: "merged CSV does not match a re-merge of its shard documents"
+                        .to_string(),
+                });
+            }
+            validated.push(ValidatedTable {
+                driver: driver.clone(),
+                table,
+                shards: docs.len(),
+                rows: merged.rows.len(),
+            });
+        }
+    }
+    Ok(validated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::RunMeta;
+    use crate::sweep::SweepRef;
+    use crate::table::{Cell, Table};
+
+    /// A deterministic fake driver: 6-point sweep, 2 rows per point,
+    /// one constant row.
+    fn fake_docs(driver: &str, shard: (usize, usize), seed: u64) -> Vec<String> {
+        let points = 6usize;
+        let owned: Vec<usize> = (0..points).filter(|p| p % shard.1 == shard.0).collect();
+        let sweep = SweepRef {
+            points,
+            owned: owned.clone(),
+        };
+        let mut t = Table::new("data", &["point", "sub"]).for_sweep(&sweep);
+        t.push(vec![Cell::from("const"), Cell::from(seed)]);
+        for &p in &owned {
+            for sub in 0..2usize {
+                t.push_indexed(p, vec![Cell::from(p), Cell::from(sub)]);
+            }
+        }
+        let meta = RunMeta {
+            driver: driver.to_string(),
+            scale: "quick".into(),
+            seed,
+            replicates: 1,
+            k: None,
+            shard: Some(shard),
+        };
+        vec![crate::output::table_json(&t, &meta)]
+    }
+
+    struct FakeBackend {
+        /// Jobs that fail on their first `fail_first` attempts.
+        fail_first: usize,
+        calls: std::sync::Mutex<std::collections::HashMap<String, usize>>,
+    }
+
+    impl Backend for FakeBackend {
+        fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+            let key = format!("{}:{}", job.driver, job.shard.0);
+            let mut calls = self.calls.lock().unwrap();
+            let n = calls.entry(key).or_insert(0);
+            *n += 1;
+            if *n <= self.fail_first {
+                return Err(format!("transient failure {n}"));
+            }
+            if job.driver == "always-broken" {
+                return Err("permanent failure".into());
+            }
+            Ok(fake_docs(&job.driver, job.shard, 0))
+        }
+    }
+
+    fn plan(drivers: &[&str], shards: usize, retries: usize) -> Plan {
+        Plan {
+            drivers: drivers.iter().map(|s| s.to_string()).collect(),
+            shards,
+            retries,
+        }
+    }
+
+    #[test]
+    fn orchestrates_and_merges_across_workers() {
+        let orch = Orchestrator::new(
+            FakeBackend {
+                fail_first: 0,
+                calls: Default::default(),
+            },
+            3,
+        );
+        let report = orch.run(&plan(&["a", "b"], 3, 0)).unwrap();
+        assert_eq!(report.attempts, 6);
+        assert_eq!(report.drivers.len(), 2);
+        for run in &report.drivers {
+            assert_eq!(run.retried, 0);
+            assert_eq!(run.merged.len(), 1);
+            // Merged equals what an unsharded run would render.
+            let unsharded = TableDoc::parse(&fake_docs(&run.driver, (0, 1), 0)[0]).unwrap();
+            assert_eq!(run.merged[0].to_csv(), unsharded.to_csv());
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        let orch = Orchestrator::new(
+            FakeBackend {
+                fail_first: 1,
+                calls: Default::default(),
+            },
+            2,
+        );
+        let report = orch.run(&plan(&["a"], 2, 2)).unwrap();
+        // Each of the 2 jobs failed once, then succeeded.
+        assert_eq!(report.attempts, 4);
+        assert_eq!(report.drivers[0].retried, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_with_the_job_named() {
+        let orch = Orchestrator::new(
+            FakeBackend {
+                fail_first: 0,
+                calls: Default::default(),
+            },
+            2,
+        );
+        let err = orch.run(&plan(&["a", "always-broken"], 2, 1)).unwrap_err();
+        match err {
+            OrchestrateError::Job { job, attempts, .. } => {
+                assert_eq!(job.driver, "always-broken");
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected Job error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn write_then_validate_round_trips_and_detects_drops() {
+        let out = std::env::temp_dir().join(format!("orch-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&out);
+        let orch = Orchestrator::new(
+            FakeBackend {
+                fail_first: 0,
+                calls: Default::default(),
+            },
+            2,
+        );
+        let report = orch.run(&plan(&["a"], 3, 0)).unwrap();
+        let csvs = write_run(&out, &report).unwrap();
+        assert_eq!(csvs.len(), 1);
+        let validated = validate_dir(&out).unwrap();
+        assert_eq!(validated.len(), 1);
+        assert_eq!(validated[0].shards, 3);
+
+        // Injected dropped shard: deleting one shard document must fail
+        // with the named missing-point-index error.
+        fs::remove_file(out.join("a/shards/data.shard1of3.json")).unwrap();
+        match validate_dir(&out).unwrap_err() {
+            OrchestrateError::Merge {
+                error: MergeError::MissingPointIndex { point, .. },
+                ..
+            } => assert_eq!(point, 1),
+            other => panic!("expected MissingPointIndex, got {other}"),
+        }
+
+        // Duplicated shard: copying a shard in as another shard's file
+        // fails as a duplicate point index.
+        let text = fs::read_to_string(out.join("a/shards/data.shard0of3.json")).unwrap();
+        fs::write(out.join("a/shards/data.shard1of3.json"), &text).unwrap();
+        fs::write(out.join("a/shards/data.extra.json"), &text).unwrap();
+        match validate_dir(&out).unwrap_err() {
+            OrchestrateError::Merge {
+                error: MergeError::DuplicatePointIndex { point, .. },
+                ..
+            } => assert_eq!(point, 0),
+            other => panic!("expected DuplicatePointIndex, got {other}"),
+        }
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn rewriting_a_run_prunes_stale_shard_docs() {
+        let out = std::env::temp_dir().join(format!("orch-prune-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&out);
+        let orch = Orchestrator::new(
+            FakeBackend {
+                fail_first: 0,
+                calls: Default::default(),
+            },
+            2,
+        );
+        // A 3-shard run followed by a 2-shard run into the same out dir:
+        // without pruning, the leftover *of3 documents would make
+        // validate_dir fail with a shard-count mismatch.
+        let report = orch.run(&plan(&["a"], 3, 0)).unwrap();
+        write_run(&out, &report).unwrap();
+        let report = orch.run(&plan(&["a"], 2, 0)).unwrap();
+        write_run(&out, &report).unwrap();
+        let validated = validate_dir(&out).unwrap();
+        assert_eq!(validated.len(), 1);
+        assert_eq!(validated[0].shards, 2);
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn duplicate_table_within_a_shard_is_rejected() {
+        let docs0: Vec<TableDoc> = fake_docs("a", (0, 2), 0)
+            .iter()
+            .map(|d| TableDoc::parse(d).unwrap())
+            .collect();
+        let docs1: Vec<TableDoc> = fake_docs("a", (1, 2), 0)
+            .iter()
+            .map(|d| TableDoc::parse(d).unwrap())
+            .collect();
+        // Shard 1 returns its table twice (e.g. a retry artifact).
+        let doubled = vec![docs0, vec![docs1[0].clone(), docs1[0].clone()]];
+        match merge_driver_docs("a", &doubled).unwrap_err() {
+            OrchestrateError::Merge {
+                error: MergeError::SchemaMismatch { got, .. },
+                ..
+            } => assert!(got.contains("duplicated in shard 1")),
+            other => panic!("expected SchemaMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tampered_merged_csv_is_stale() {
+        let out = std::env::temp_dir().join(format!("orch-stale-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&out);
+        let orch = Orchestrator::new(
+            FakeBackend {
+                fail_first: 0,
+                calls: Default::default(),
+            },
+            1,
+        );
+        let report = orch.run(&plan(&["a"], 2, 0)).unwrap();
+        let csvs = write_run(&out, &report).unwrap();
+        fs::write(&csvs[0], "point,sub\n9,9\n").unwrap();
+        assert!(matches!(
+            validate_dir(&out).unwrap_err(),
+            OrchestrateError::Stale { .. }
+        ));
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn plan_file_parsing() {
+        let p = PlanFile::parse(
+            r#"{"drivers": ["fig08"], "shards": 4, "retries": 1, "workers": 2,
+                "scale": "quick", "seed": 7, "replicates": 2}"#,
+        )
+        .unwrap();
+        assert_eq!(p.drivers.as_deref(), Some(&["fig08".to_string()][..]));
+        assert_eq!(p.shards, Some(4));
+        assert_eq!(p.retries, Some(1));
+        assert_eq!(p.workers, Some(2));
+        assert_eq!(p.scale, Some(Scale::Quick));
+        assert_eq!(p.seed, Some(7));
+        assert_eq!(p.replicates, Some(2));
+        assert_eq!(
+            PlanFile::parse(r#"{"drivers": "all"}"#).unwrap().drivers,
+            None
+        );
+        assert_eq!(PlanFile::parse("{}").unwrap(), PlanFile::default());
+        assert!(PlanFile::parse(r#"{"scale": "huge"}"#).is_err());
+        assert!(PlanFile::parse("[1]").is_err());
+        assert!(PlanFile::parse("{").is_err());
+    }
+}

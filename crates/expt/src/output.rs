@@ -1,57 +1,840 @@
-//! Result-file writers: `results/<figure>/<table>.csv` and `.json`.
+//! Result-file writers and the self-validating shard merge.
+//!
+//! Unsharded runs write `results/<figure>/<table>.csv` and a JSON
+//! *table document* (`<table>.json`) carrying the same rows plus
+//! provenance: the run's flags (scale / seed / replicates), the shard,
+//! the sweep's total point count, the point indices this run executed,
+//! and each row's point index. Sharded runs (`--shard i/n`) write only
+//! their table documents, under `results/<figure>/shards/`.
+//!
+//! [`merge_shard_docs`] reassembles the unsharded table from shard
+//! documents and *validates* what used to be a caller contract: every
+//! point index present exactly once across shards, no duplicates, no
+//! point in the wrong shard, matching schema and flags, and identical
+//! constant rows. Each failure mode is a distinct [`MergeError`]
+//! variant, so a dropped or duplicated shard is named, not scrambled
+//! into the output. The legacy rendered-CSV merge
+//! ([`merge_sharded_csv`]) is kept only for one-row-per-point tables
+//! and is deprecated.
 
-use crate::table::Table;
+use crate::json::{self, Json};
+use crate::table::{Cell, Table};
+use crate::ExptArgs;
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Write every table as both CSV and JSON under `dir`, creating the
-/// directory as needed. Returns the written paths (CSV then JSON per
-/// table, in table order). Existing files are overwritten so re-runs
-/// are idempotent.
-pub fn write_tables(dir: &Path, tables: &[Table]) -> io::Result<Vec<PathBuf>> {
-    fs::create_dir_all(dir)?;
+/// Subdirectory of `results/<figure>/` holding per-shard table
+/// documents.
+pub const SHARD_DIR: &str = "shards";
+
+/// Format tag written into every table document.
+const DOC_FORMAT: u64 = 1;
+
+/// Run provenance stamped into every table document: which driver
+/// produced it, under which flags, and which shard it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Driver (experiment) name.
+    pub driver: String,
+    /// Scale the run used (`quick` / `default` / `full`).
+    pub scale: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Replicates per sweep point.
+    pub replicates: usize,
+    /// The `--k` ToR-radix override, where the driver supports one —
+    /// part of the flag set shards must agree on (different `k` means a
+    /// different topology).
+    pub k: Option<usize>,
+    /// The `(i, n)` shard, if the run was sharded.
+    pub shard: Option<(usize, usize)>,
+}
+
+impl RunMeta {
+    /// The meta describing one driver invocation.
+    pub fn new(driver: &str, args: &ExptArgs) -> Self {
+        RunMeta {
+            driver: driver.to_string(),
+            scale: args.scale.to_string(),
+            seed: args.seed,
+            replicates: args.replicates,
+            k: args.k,
+            shard: args.shard,
+        }
+    }
+}
+
+/// Render one table as a JSON table document.
+///
+/// Cells are recorded as their **rendered strings** — exactly the text
+/// the CSV writer emits — so a merged document reproduces the unsharded
+/// CSV byte-for-byte (typed JSON numbers would lose `NaN` cells and
+/// 64-bit integer precision).
+pub fn table_json(t: &Table, meta: &RunMeta) -> String {
+    let mut s = String::from("{\n  \"format\": ");
+    s.push_str(&DOC_FORMAT.to_string());
+    s.push_str(",\n  \"driver\": ");
+    json::write_string(&mut s, &meta.driver);
+    s.push_str(",\n  \"table\": ");
+    json::write_string(&mut s, &t.name);
+    s.push_str(",\n  \"scale\": ");
+    json::write_string(&mut s, &meta.scale);
+    s.push_str(&format!(",\n  \"seed\": {}", meta.seed));
+    s.push_str(&format!(",\n  \"replicates\": {}", meta.replicates));
+    match meta.k {
+        Some(k) => s.push_str(&format!(",\n  \"k\": {k}")),
+        None => s.push_str(",\n  \"k\": null"),
+    }
+    match meta.shard {
+        Some((i, n)) => s.push_str(&format!(",\n  \"shard\": [{i}, {n}]")),
+        None => s.push_str(",\n  \"shard\": null"),
+    }
+    match t.sweep_points {
+        Some(n) => s.push_str(&format!(",\n  \"sweep_points\": {n}")),
+        None => s.push_str(",\n  \"sweep_points\": null"),
+    }
+    s.push_str(",\n  \"points_run\": [");
+    for (i, p) in t.points_run.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&p.to_string());
+    }
+    s.push_str("],\n  \"columns\": [");
+    for (i, c) in t.columns.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        json::write_string(&mut s, c);
+    }
+    s.push_str("],\n  \"row_points\": [");
+    for (i, p) in t.row_points.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match p {
+            Some(p) => s.push_str(&p.to_string()),
+            None => s.push_str("null"),
+        }
+    }
+    s.push_str("],\n  \"rows\": [");
+    for (ri, row) in t.rows.iter().enumerate() {
+        if ri > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    [");
+        for (ci, cell) in row.iter().enumerate() {
+            if ci > 0 {
+                s.push_str(", ");
+            }
+            json::write_string(&mut s, &cell.to_string());
+        }
+        s.push(']');
+    }
+    if !t.rows.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// A parsed table document: one table as one (possibly sharded) run
+/// produced it, with full provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDoc {
+    /// Driver name.
+    pub driver: String,
+    /// Table name.
+    pub table: String,
+    /// Run scale.
+    pub scale: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Replicates per sweep point.
+    pub replicates: usize,
+    /// The `--k` ToR-radix override, if one was set.
+    pub k: Option<usize>,
+    /// The `(i, n)` shard, if sharded.
+    pub shard: Option<(usize, usize)>,
+    /// Total sweep point count, if the table has sweep rows.
+    pub sweep_points: Option<usize>,
+    /// Point indices this run executed.
+    pub points_run: Vec<usize>,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Per-row point index, parallel to `rows`.
+    pub row_points: Vec<Option<usize>>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableDoc {
+    /// Parse a table document from its JSON text.
+    pub fn parse(text: &str) -> Result<TableDoc, MergeError> {
+        let bad = |what: &str| MergeError::Parse {
+            context: what.to_string(),
+        };
+        let j = Json::parse(text).map_err(|e| MergeError::Parse { context: e })?;
+        match j.get("format").and_then(Json::as_u64) {
+            Some(DOC_FORMAT) => {}
+            Some(other) => {
+                return Err(bad(&format!(
+                    "unsupported document format {other} (this build reads format {DOC_FORMAT})"
+                )))
+            }
+            None => return Err(bad("missing or non-integer field \"format\"")),
+        }
+        let str_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("missing or non-string field {k:?}")))
+        };
+        let opt_pair = |k: &str| -> Result<Option<(usize, usize)>, MergeError> {
+            match j.get(k) {
+                None => Err(bad(&format!("missing field {k:?}"))),
+                Some(Json::Null) => Ok(None),
+                Some(v) => {
+                    let a = v.as_arr().ok_or_else(|| bad(&format!("bad {k:?}")))?;
+                    match a {
+                        [i, n] => Ok(Some((
+                            i.as_usize().ok_or_else(|| bad(&format!("bad {k:?}")))?,
+                            n.as_usize().ok_or_else(|| bad(&format!("bad {k:?}")))?,
+                        ))),
+                        _ => Err(bad(&format!("bad {k:?}"))),
+                    }
+                }
+            }
+        };
+        let doc = TableDoc {
+            driver: str_field("driver")?,
+            table: str_field("table")?,
+            scale: str_field("scale")?,
+            seed: j
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing or non-integer field \"seed\""))?,
+            replicates: j
+                .get("replicates")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| bad("missing or non-integer field \"replicates\""))?,
+            k: match j.get("k") {
+                Some(Json::Null) => None,
+                Some(v) => Some(v.as_usize().ok_or_else(|| bad("bad \"k\""))?),
+                None => return Err(bad("missing field \"k\"")),
+            },
+            shard: opt_pair("shard")?,
+            sweep_points: match j.get("sweep_points") {
+                Some(Json::Null) => None,
+                Some(v) => Some(v.as_usize().ok_or_else(|| bad("bad \"sweep_points\""))?),
+                None => return Err(bad("missing field \"sweep_points\"")),
+            },
+            points_run: j
+                .get("points_run")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("missing field \"points_run\""))?
+                .iter()
+                .map(|v| v.as_usize().ok_or_else(|| bad("bad \"points_run\" entry")))
+                .collect::<Result<_, _>>()?,
+            columns: j
+                .get("columns")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("missing field \"columns\""))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| bad("bad column name"))
+                })
+                .collect::<Result<_, _>>()?,
+            row_points: j
+                .get("row_points")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("missing field \"row_points\""))?
+                .iter()
+                .map(|v| match v {
+                    Json::Null => Ok(None),
+                    v => v
+                        .as_usize()
+                        .map(Some)
+                        .ok_or_else(|| bad("bad \"row_points\" entry")),
+                })
+                .collect::<Result<_, _>>()?,
+            rows: j
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("missing field \"rows\""))?
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .ok_or_else(|| bad("bad row"))?
+                        .iter()
+                        .map(|c| {
+                            c.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| bad("bad cell (expected string)"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if doc.rows.len() != doc.row_points.len() {
+            return Err(bad("\"rows\" and \"row_points\" lengths disagree"));
+        }
+        if let Some(bad_row) = doc.rows.iter().find(|r| r.len() != doc.columns.len()) {
+            return Err(bad(&format!(
+                "row has {} cells, expected {}",
+                bad_row.len(),
+                doc.columns.len()
+            )));
+        }
+        Ok(doc)
+    }
+
+    /// Build a document directly from a table (what [`table_json`]
+    /// renders).
+    pub fn from_table(t: &Table, meta: &RunMeta) -> TableDoc {
+        TableDoc {
+            driver: meta.driver.clone(),
+            table: t.name.clone(),
+            scale: meta.scale.clone(),
+            seed: meta.seed,
+            replicates: meta.replicates,
+            k: meta.k,
+            shard: meta.shard,
+            sweep_points: t.sweep_points,
+            points_run: t.points_run.clone(),
+            columns: t.columns.clone(),
+            row_points: t.row_points.clone(),
+            rows: t
+                .rows
+                .iter()
+                .map(|r| r.iter().map(Cell::to_string).collect())
+                .collect(),
+        }
+    }
+
+    /// Convert back into a [`Table`] (cells become rendered strings —
+    /// the CSV output is unchanged by the round trip).
+    pub fn to_table(&self) -> Table {
+        let columns: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        let mut t = Table::new(&self.table, &columns);
+        t.sweep_points = self.sweep_points;
+        t.points_run = self.points_run.clone();
+        t.rows = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| Cell::Str(c.clone())).collect())
+            .collect();
+        t.row_points = self.row_points.clone();
+        t
+    }
+
+    /// Render the document's rows as CSV — by construction the same
+    /// renderer, and therefore the same bytes, as the source table's
+    /// [`Table::to_csv`].
+    pub fn to_csv(&self) -> String {
+        self.to_table().to_csv()
+    }
+
+    /// Render as JSON text.
+    pub fn render(&self) -> String {
+        let meta = RunMeta {
+            driver: self.driver.clone(),
+            scale: self.scale.clone(),
+            seed: self.seed,
+            replicates: self.replicates,
+            k: self.k,
+            shard: self.shard,
+        };
+        table_json(&self.to_table(), &meta)
+    }
+}
+
+/// A validation failure while merging shard documents (or, for
+/// [`MergeError::RowCountMismatch`], while merging legacy rendered
+/// CSVs). Every failure mode the merge guards against is a distinct
+/// variant, so CI and tests can assert on *which* invariant broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// No shard documents were given.
+    NoShards,
+    /// A document failed to parse or was structurally invalid.
+    Parse {
+        /// What was malformed.
+        context: String,
+    },
+    /// Documents disagree on driver, table name, or column set.
+    SchemaMismatch {
+        /// Table being merged.
+        table: String,
+        /// Which part of the schema disagreed.
+        field: &'static str,
+        /// Value in the offending document.
+        got: String,
+        /// Value in the first document.
+        want: String,
+    },
+    /// Documents disagree on a run flag (scale / seed / replicates /
+    /// sweep size): they come from different runs and must not merge.
+    FlagMismatch {
+        /// Table being merged.
+        table: String,
+        /// Which flag disagreed.
+        flag: &'static str,
+        /// Value in the offending document.
+        got: String,
+        /// Value in the first document.
+        want: String,
+    },
+    /// A multi-document merge contained an unsharded document.
+    NotSharded {
+        /// Table being merged.
+        table: String,
+    },
+    /// Documents disagree on the shard count `n`.
+    ShardCountMismatch {
+        /// Table being merged.
+        table: String,
+        /// `n` in the offending document.
+        got: usize,
+        /// `n` in the first document.
+        want: usize,
+    },
+    /// A document claims shard index `i >= n`.
+    InvalidShardIndex {
+        /// Table being merged.
+        table: String,
+        /// The out-of-range shard index.
+        shard: usize,
+        /// The declared shard count.
+        count: usize,
+    },
+    /// A table has sweep rows but no recorded sweep point count.
+    UnknownPointCount {
+        /// Table being merged.
+        table: String,
+    },
+    /// A document claims a point its shard does not own (`point % n !=
+    /// i`), or reports a row for a point it never ran.
+    ShardAssignment {
+        /// Table being merged.
+        table: String,
+        /// The misassigned point.
+        point: usize,
+        /// The shard index that claimed it.
+        shard: usize,
+    },
+    /// A sweep point index is present in no shard — a shard was dropped
+    /// or never ran.
+    MissingPointIndex {
+        /// Table being merged.
+        table: String,
+        /// The absent point.
+        point: usize,
+        /// The shard index that should have produced it.
+        expected_shard: usize,
+    },
+    /// A sweep point index is present in more than one shard — a shard
+    /// was duplicated.
+    DuplicatePointIndex {
+        /// Table being merged.
+        table: String,
+        /// The duplicated point.
+        point: usize,
+    },
+    /// Constant (non-sweep) rows differ between shards.
+    ConstantRowMismatch {
+        /// Table being merged.
+        table: String,
+        /// 1-based constant-row number (0 when the counts differ).
+        row: usize,
+        /// Rendered row in the offending document.
+        got: String,
+        /// Rendered row in the first document.
+        want: String,
+    },
+    /// Legacy CSV merge: the data-row count does not equal the sweep
+    /// point count, so the round-robin interleave would scramble a
+    /// multi-row-per-point table.
+    RowCountMismatch {
+        /// Total data rows across the shard CSVs.
+        rows: usize,
+        /// Expected sweep point count.
+        points: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shard documents to merge"),
+            MergeError::Parse { context } => write!(f, "malformed table document: {context}"),
+            MergeError::SchemaMismatch {
+                table,
+                field,
+                got,
+                want,
+            } => write!(
+                f,
+                "{table}: shard schema mismatch on {field}: got `{got}` want `{want}`"
+            ),
+            MergeError::FlagMismatch {
+                table,
+                flag,
+                got,
+                want,
+            } => write!(
+                f,
+                "{table}: shard flag mismatch on {flag}: got `{got}` want `{want}` \
+                 (shards must come from one run configuration)"
+            ),
+            MergeError::NotSharded { table } => {
+                write!(f, "{table}: unsharded document in a multi-shard merge")
+            }
+            MergeError::ShardCountMismatch { table, got, want } => write!(
+                f,
+                "{table}: shard count mismatch: got {got}-way shard, want {want}-way"
+            ),
+            MergeError::InvalidShardIndex {
+                table,
+                shard,
+                count,
+            } => write!(
+                f,
+                "{table}: invalid shard index {shard} for a {count}-way sharding"
+            ),
+            MergeError::UnknownPointCount { table } => write!(
+                f,
+                "{table}: sweep rows present but no sweep point count recorded"
+            ),
+            MergeError::ShardAssignment {
+                table,
+                point,
+                shard,
+            } => write!(
+                f,
+                "{table}: point index {point} claimed by shard {shard}, which does not own it"
+            ),
+            MergeError::MissingPointIndex {
+                table,
+                point,
+                expected_shard,
+            } => write!(
+                f,
+                "{table}: missing point index {point} (shard {expected_shard} dropped?)"
+            ),
+            MergeError::DuplicatePointIndex { table, point } => write!(
+                f,
+                "{table}: duplicate point index {point} across shards (shard submitted twice?)"
+            ),
+            MergeError::ConstantRowMismatch {
+                table,
+                row,
+                got,
+                want,
+            } => write!(
+                f,
+                "{table}: constant row {row} differs between shards: got `{got}` want `{want}`"
+            ),
+            MergeError::RowCountMismatch { rows, points } => write!(
+                f,
+                "csv merge: {rows} data row(s) for {points} sweep point(s); the rendered-CSV \
+                 merge only supports one row per point — use the JSON shard merge instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merge shard documents of one table back into the unsharded document.
+///
+/// Validates, in order: schema (driver / table / columns), run flags
+/// (scale / seed / replicates / sweep size), shard consistency, point
+/// ownership (`point % n == i`), completeness (**every point index
+/// present exactly once across shards** — a dropped shard surfaces as
+/// [`MergeError::MissingPointIndex`], a duplicated one as
+/// [`MergeError::DuplicatePointIndex`]), and constant-row identity.
+/// The merged row order is the canonical unsharded order: constant rows
+/// first, then sweep rows by ascending point index, each point's rows
+/// in its shard's emission order — so the merged CSV is byte-identical
+/// to a `--threads 1` unsharded run.
+pub fn merge_shard_docs(docs: &[TableDoc]) -> Result<TableDoc, MergeError> {
+    let first = docs.first().ok_or(MergeError::NoShards)?;
+    let table = first.table.clone();
+
+    // Schema and flag agreement.
+    for d in docs {
+        let schema = |field, got: &str, want: &str| MergeError::SchemaMismatch {
+            table: table.clone(),
+            field,
+            got: got.to_string(),
+            want: want.to_string(),
+        };
+        if d.driver != first.driver {
+            return Err(schema("driver", &d.driver, &first.driver));
+        }
+        if d.table != first.table {
+            return Err(schema("table", &d.table, &first.table));
+        }
+        if d.columns != first.columns {
+            return Err(schema(
+                "columns",
+                &d.columns.join(","),
+                &first.columns.join(","),
+            ));
+        }
+        let flag = |flag, got: String, want: String| MergeError::FlagMismatch {
+            table: table.clone(),
+            flag,
+            got,
+            want,
+        };
+        if d.scale != first.scale {
+            return Err(flag("scale", d.scale.clone(), first.scale.clone()));
+        }
+        if d.seed != first.seed {
+            return Err(flag("seed", d.seed.to_string(), first.seed.to_string()));
+        }
+        if d.replicates != first.replicates {
+            return Err(flag(
+                "replicates",
+                d.replicates.to_string(),
+                first.replicates.to_string(),
+            ));
+        }
+        if d.k != first.k {
+            return Err(flag("k", format!("{:?}", d.k), format!("{:?}", first.k)));
+        }
+        if d.sweep_points != first.sweep_points {
+            return Err(flag(
+                "sweep_points",
+                format!("{:?}", d.sweep_points),
+                format!("{:?}", first.sweep_points),
+            ));
+        }
+    }
+
+    // Single unsharded document: nothing to reassemble.
+    if docs.len() == 1 && first.shard.is_none() {
+        return Ok(first.clone());
+    }
+
+    // Shard consistency.
+    let (_, n) = first.shard.ok_or(MergeError::NotSharded {
+        table: table.clone(),
+    })?;
+    for d in docs {
+        let (i, dn) = d.shard.ok_or(MergeError::NotSharded {
+            table: table.clone(),
+        })?;
+        if dn != n {
+            return Err(MergeError::ShardCountMismatch {
+                table,
+                got: dn,
+                want: n,
+            });
+        }
+        if i >= n {
+            return Err(MergeError::InvalidShardIndex {
+                table,
+                shard: i,
+                count: n,
+            });
+        }
+    }
+
+    let sweep_points = match first.sweep_points {
+        Some(p) => p,
+        None => {
+            // No sweep behind this table: every shard computed the same
+            // constant rows. Validate identity and pass one through.
+            if docs
+                .iter()
+                .any(|d| d.row_points.iter().any(Option::is_some))
+            {
+                return Err(MergeError::UnknownPointCount { table });
+            }
+            check_constants(&table, docs)?;
+            let mut merged = first.clone();
+            merged.shard = None;
+            return Ok(merged);
+        }
+    };
+
+    // Point ownership and completeness, from the executed-point lists:
+    // a point may produce zero rows, so rows alone cannot prove a shard
+    // ran. `owner[p]` is the doc index that executed point `p`.
+    let mut owner: Vec<Option<usize>> = vec![None; sweep_points];
+    for (di, d) in docs.iter().enumerate() {
+        let shard_i = d.shard.expect("checked above").0;
+        for &p in &d.points_run {
+            if p >= sweep_points || p % n != shard_i {
+                return Err(MergeError::ShardAssignment {
+                    table,
+                    point: p,
+                    shard: shard_i,
+                });
+            }
+            if owner[p].is_some() {
+                return Err(MergeError::DuplicatePointIndex { table, point: p });
+            }
+            owner[p] = Some(di);
+        }
+        // Every row's point must be among the points the shard ran.
+        for p in d.row_points.iter().flatten() {
+            if !d.points_run.contains(p) {
+                return Err(MergeError::ShardAssignment {
+                    table,
+                    point: *p,
+                    shard: shard_i,
+                });
+            }
+        }
+    }
+    if let Some(p) = owner.iter().position(Option::is_none) {
+        return Err(MergeError::MissingPointIndex {
+            table,
+            point: p,
+            expected_shard: p % n,
+        });
+    }
+
+    check_constants(&table, docs)?;
+
+    // Reassemble: constants (validated identical) first, then points in
+    // ascending global order, each in its owning shard's emission order.
+    let mut merged = TableDoc {
+        shard: None,
+        points_run: (0..sweep_points).collect(),
+        row_points: Vec::new(),
+        rows: Vec::new(),
+        ..first.clone()
+    };
+    for (row, p) in first.rows.iter().zip(&first.row_points) {
+        if p.is_none() {
+            merged.rows.push(row.clone());
+            merged.row_points.push(None);
+        }
+    }
+    for (p, di) in owner.iter().enumerate() {
+        let d = &docs[di.expect("completeness checked")];
+        for (row, rp) in d.rows.iter().zip(&d.row_points) {
+            if *rp == Some(p) {
+                merged.rows.push(row.clone());
+                merged.row_points.push(Some(p));
+            }
+        }
+    }
+    Ok(merged)
+}
+
+/// Validate that every document's constant (non-sweep) rows are
+/// identical, in order.
+fn check_constants(table: &str, docs: &[TableDoc]) -> Result<(), MergeError> {
+    let constants = |d: &TableDoc| -> Vec<Vec<String>> {
+        d.rows
+            .iter()
+            .zip(&d.row_points)
+            .filter(|(_, p)| p.is_none())
+            .map(|(r, _)| r.clone())
+            .collect()
+    };
+    let want = constants(&docs[0]);
+    for d in &docs[1..] {
+        let got = constants(d);
+        if got.len() != want.len() {
+            return Err(MergeError::ConstantRowMismatch {
+                table: table.to_string(),
+                row: 0,
+                got: format!("{} constant row(s)", got.len()),
+                want: format!("{} constant row(s)", want.len()),
+            });
+        }
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            if g != w {
+                return Err(MergeError::ConstantRowMismatch {
+                    table: table.to_string(),
+                    row: i + 1,
+                    got: g.join(","),
+                    want: w.join(","),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The shard-document filename for table `name` under shard `(i, n)`.
+pub fn shard_file_name(name: &str, shard: (usize, usize)) -> String {
+    format!("{name}.shard{}of{}.json", shard.0, shard.1)
+}
+
+/// Write every table's result files under `dir`, creating directories
+/// as needed. Unsharded runs write `<table>.csv` plus the `<table>.json`
+/// table document; sharded runs write only
+/// `shards/<table>.shard<i>of<n>.json`, ready for [`merge_shard_docs`].
+/// Returns the written paths in table order. Existing files are
+/// overwritten so re-runs are idempotent.
+pub fn write_tables(dir: &Path, tables: &[Table], meta: &RunMeta) -> io::Result<Vec<PathBuf>> {
     let mut paths = Vec::with_capacity(tables.len() * 2);
-    for t in tables {
-        let csv = dir.join(format!("{}.csv", t.name));
-        fs::write(&csv, t.to_csv())?;
-        paths.push(csv);
-        let json = dir.join(format!("{}.json", t.name));
-        fs::write(&json, t.to_json())?;
-        paths.push(json);
+    match meta.shard {
+        Some(shard) => {
+            let sdir = dir.join(SHARD_DIR);
+            fs::create_dir_all(&sdir)?;
+            for t in tables {
+                let json = sdir.join(shard_file_name(&t.name, shard));
+                fs::write(&json, table_json(t, meta))?;
+                paths.push(json);
+            }
+        }
+        None => {
+            fs::create_dir_all(dir)?;
+            for t in tables {
+                let csv = dir.join(format!("{}.csv", t.name));
+                fs::write(&csv, t.to_csv())?;
+                paths.push(csv);
+                let json = dir.join(format!("{}.json", t.name));
+                fs::write(&json, table_json(t, meta))?;
+                paths.push(json);
+            }
+        }
     }
     Ok(paths)
 }
 
 /// Merge per-shard CSV renderings of one table back into the unsharded
-/// row order.
+/// row order, for tables with **exactly one row per sweep point**.
 ///
-/// Shard `k` of `n` owns sweep points `k, k + n, k + 2n, ...`
-/// ([`crate::Runner::with_shard`]), so for tables with exactly one row
-/// per sweep point — the common figure-table shape — the unsharded
-/// order is the round-robin interleave of the shard files' data rows.
-/// Pass the parts in shard order (`parts[k]` is shard `k`'s CSV).
-/// Tables built outside the sweep are identical in every shard and are
-/// returned as-is.
-///
-/// **Caller contract: one row per sweep point.** A rendered CSV does
-/// not say which point produced a row, so this cannot be validated
-/// here: the row-count check below rejects *impossible* shardings, but
-/// a multi-row-per-point table whose per-shard row counts happen to be
-/// round-robin-consistent (e.g. every point emitting the same number of
-/// rows) merges without error into a scrambled row order. Tables that
-/// emit several rows per point (the FCT size-bin tables) must be
-/// re-run unsharded instead.
-///
-/// Errors when headers disagree, or when the row counts are impossible
-/// for a `k/n` sharding of one sweep. Rows are split on newlines, so
-/// cells containing embedded newlines are not supported here.
-pub fn merge_sharded_csv(parts: &[String]) -> Result<String, String> {
+/// `points` is the expected data-row count of the *merged* table — the
+/// sweep's total point count for a one-row-per-point sweep table, or
+/// the (per-shard, identical) row count for a table built outside any
+/// sweep, which every shard renders identically and which passes
+/// through as-is. When the merged row count would differ from
+/// `points`, the merge refuses with [`MergeError::RowCountMismatch`]
+/// instead of silently round-robin scrambling a multi-row-per-point
+/// table (the failure mode that made this API unsafe).
+#[deprecated(
+    note = "merge table documents with `merge_shard_docs` instead: the JSON merge \
+            validates point-index completeness and supports multi-row-per-point tables"
+)]
+pub fn merge_sharded_csv(parts: &[String], points: usize) -> Result<String, MergeError> {
     if parts.is_empty() {
-        return Err("no shard files to merge".into());
+        return Err(MergeError::NoShards);
     }
     if parts.iter().all(|p| p == &parts[0]) {
-        // Constant (non-sweep) table: every shard computed the same rows.
+        // Constant (non-sweep) table: every shard computed the same
+        // rows. Still held to the count (`points` = expected row
+        // count), so identical-looking *partial* shards — e.g. every
+        // point rendering the same row — cannot slip through as a
+        // short table.
+        let rows = parts[0].lines().count().saturating_sub(1);
+        if rows != points {
+            return Err(MergeError::RowCountMismatch { rows, points });
+        }
         return Ok(parts[0].clone());
     }
     let split: Vec<(&str, Vec<&str>)> = parts
@@ -63,23 +846,31 @@ pub fn merge_sharded_csv(parts: &[String]) -> Result<String, String> {
         })
         .collect();
     let header = split[0].0;
-    if split.iter().any(|(h, _)| *h != header) {
-        return Err("shard headers disagree".into());
+    if let Some((h, _)) = split.iter().find(|(h, _)| *h != header) {
+        return Err(MergeError::SchemaMismatch {
+            table: String::new(),
+            field: "columns",
+            got: h.to_string(),
+            want: header.to_string(),
+        });
     }
     let n = split.len();
     let total: usize = split.iter().map(|(_, rows)| rows.len()).sum();
+    if total != points {
+        return Err(MergeError::RowCountMismatch {
+            rows: total,
+            points,
+        });
+    }
     let mut out = String::with_capacity(parts.iter().map(String::len).sum());
     out.push_str(header);
     out.push('\n');
     for j in 0..total {
         let (_, rows) = &split[j % n];
-        let row = rows.get(j / n).ok_or_else(|| {
-            format!(
-                "shard {} has too few rows for a {}-way round-robin merge \
-                 (is this a one-row-per-point table?)",
-                j % n,
-                n
-            )
+        let row = rows.get(j / n).ok_or(MergeError::MissingPointIndex {
+            table: String::new(),
+            point: j,
+            expected_shard: j % n,
         })?;
         out.push_str(row);
         out.push('\n');
@@ -88,8 +879,10 @@ pub fn merge_sharded_csv(parts: &[String]) -> Result<String, String> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::sweep::SweepRef;
     use crate::table::Cell;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -98,8 +891,219 @@ mod tests {
         d
     }
 
+    fn meta(shard: Option<(usize, usize)>) -> RunMeta {
+        RunMeta {
+            driver: "drv".into(),
+            scale: "quick".into(),
+            seed: 0,
+            replicates: 3,
+            k: None,
+            shard,
+        }
+    }
+
+    /// A 5-point sweep sharded 2 ways, with one constant row and two
+    /// rows per point.
+    fn sharded_docs() -> Vec<TableDoc> {
+        (0..2usize)
+            .map(|i| {
+                let sweep = SweepRef {
+                    points: 5,
+                    owned: (0..5).filter(|p| p % 2 == i).collect(),
+                };
+                let mut t = Table::new("series", &["p", "sub"]).for_sweep(&sweep);
+                t.push(vec![Cell::from("const"), Cell::from(0u64)]);
+                for &p in &sweep.owned {
+                    for sub in 0..2u64 {
+                        t.push_indexed(p, vec![Cell::from(p), Cell::from(sub)]);
+                    }
+                }
+                TableDoc::from_table(&t, &meta(Some((i, 2))))
+            })
+            .collect()
+    }
+
+    fn unsharded_csv() -> String {
+        let sweep = SweepRef {
+            points: 5,
+            owned: (0..5).collect(),
+        };
+        let mut t = Table::new("series", &["p", "sub"]).for_sweep(&sweep);
+        t.push(vec![Cell::from("const"), Cell::from(0u64)]);
+        for p in 0..5usize {
+            for sub in 0..2u64 {
+                t.push_indexed(p, vec![Cell::from(p), Cell::from(sub)]);
+            }
+        }
+        t.to_csv()
+    }
+
     #[test]
-    fn sharded_merge_restores_sweep_order() {
+    fn doc_round_trips_through_json() {
+        let sweep = SweepRef {
+            points: 3,
+            owned: vec![0, 1, 2],
+        };
+        let mut t = Table::new("demo", &["label", "v"]).for_sweep(&sweep);
+        t.push(vec![Cell::from("a\"b,c"), Cell::F64(f64::NAN)]);
+        t.push_indexed(0, vec![Cell::from("x"), Cell::F64(0.5)]);
+        let m = meta(Some((0, 1)));
+        let text = table_json(&t, &m);
+        let doc = TableDoc::parse(&text).unwrap();
+        assert_eq!(doc, TableDoc::from_table(&t, &m));
+        // Rendered cells preserve NaN and the CSV rendering exactly.
+        assert_eq!(doc.rows[0][1], "NaN");
+        assert_eq!(doc.to_csv(), t.to_csv());
+        // render() is parse's inverse.
+        assert_eq!(TableDoc::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn merge_restores_unsharded_order_with_multirow_points() {
+        let merged = merge_shard_docs(&sharded_docs()).unwrap();
+        assert_eq!(merged.to_csv(), unsharded_csv());
+        assert_eq!(merged.shard, None);
+        assert_eq!(merged.points_run, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropped_shard_is_a_missing_point_index() {
+        let docs = sharded_docs();
+        let err = merge_shard_docs(&docs[..1]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::MissingPointIndex {
+                table: "series".into(),
+                point: 1,
+                expected_shard: 1,
+            }
+        );
+        assert!(err.to_string().contains("missing point index 1"));
+    }
+
+    #[test]
+    fn duplicated_shard_is_a_duplicate_point_index() {
+        let docs = sharded_docs();
+        let dup = vec![docs[0].clone(), docs[1].clone(), docs[0].clone()];
+        let err = merge_shard_docs(&dup).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::DuplicatePointIndex {
+                table: "series".into(),
+                point: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn schema_and_flag_mismatches_are_named() {
+        let mut docs = sharded_docs();
+        docs[1].columns[1] = "other".into();
+        assert!(matches!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::SchemaMismatch {
+                field: "columns",
+                ..
+            }
+        ));
+        let mut docs = sharded_docs();
+        docs[1].seed = 7;
+        assert!(matches!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::FlagMismatch { flag: "seed", .. }
+        ));
+        // Shards run under different --k topologies must not merge.
+        let mut docs = sharded_docs();
+        docs[1].k = Some(24);
+        assert!(matches!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::FlagMismatch { flag: "k", .. }
+        ));
+        // An out-of-range shard index is named as such.
+        let mut docs = sharded_docs();
+        docs[1].shard = Some((5, 2));
+        docs[1].points_run.clear();
+        docs[1].rows.truncate(1);
+        docs[1].row_points.truncate(1);
+        assert!(matches!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::InvalidShardIndex {
+                shard: 5,
+                count: 2,
+                ..
+            }
+        ));
+        let mut docs = sharded_docs();
+        docs[1].shard = None;
+        assert!(matches!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::NotSharded { .. }
+        ));
+        let mut docs = sharded_docs();
+        docs[1].shard = Some((1, 3));
+        assert!(matches!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::ShardCountMismatch {
+                got: 3,
+                want: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn misassigned_point_and_constant_drift_are_named() {
+        let mut docs = sharded_docs();
+        // Shard 1 claims point 2 (owned by shard 0).
+        docs[1].points_run.push(2);
+        assert_eq!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::ShardAssignment {
+                table: "series".into(),
+                point: 2,
+                shard: 1,
+            }
+        );
+        let mut docs = sharded_docs();
+        docs[1].rows[0][0] = "drifted".into();
+        assert!(matches!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::ConstantRowMismatch { row: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_row_points_still_validate() {
+        // A shard that ran its points but produced no rows for them is
+        // complete; dropping it from points_run is what must fail.
+        let mut docs = sharded_docs();
+        // Keep the constant row, drop the sweep rows.
+        docs[1].rows.truncate(1);
+        docs[1].row_points.truncate(1);
+        assert!(merge_shard_docs(&docs).is_ok());
+        docs[1].points_run.clear();
+        assert!(matches!(
+            merge_shard_docs(&docs).unwrap_err(),
+            MergeError::MissingPointIndex { point: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn constant_tables_merge_by_identity() {
+        let mut t = Table::new("config", &["k"]);
+        t.push(vec![Cell::from(12u64)]);
+        let docs: Vec<TableDoc> = (0..3)
+            .map(|i| TableDoc::from_table(&t, &meta(Some((i, 3)))))
+            .collect();
+        let merged = merge_shard_docs(&docs).unwrap();
+        assert_eq!(merged.to_csv(), t.to_csv());
+        // Single unsharded doc passes through.
+        let solo = TableDoc::from_table(&t, &meta(None));
+        assert_eq!(merge_shard_docs(std::slice::from_ref(&solo)).unwrap(), solo);
+    }
+
+    #[test]
+    fn legacy_csv_merge_restores_one_row_per_point_order() {
         // 7 points over 3 shards: 0,3,6 / 1,4 / 2,5.
         let unsharded = "x,y\n0,a\n1,b\n2,c\n3,d\n4,e\n5,f\n6,g\n";
         let parts = vec![
@@ -107,41 +1111,58 @@ mod tests {
             "x,y\n1,b\n4,e\n".to_string(),
             "x,y\n2,c\n5,f\n".to_string(),
         ];
-        assert_eq!(merge_sharded_csv(&parts).unwrap(), unsharded);
-    }
-
-    #[test]
-    fn constant_tables_pass_through() {
+        assert_eq!(merge_sharded_csv(&parts, 7).unwrap(), unsharded);
+        // Constant tables pass through.
         let same = "k,v\n1,2\n".to_string();
         assert_eq!(
-            merge_sharded_csv(&[same.clone(), same.clone()]).unwrap(),
+            merge_sharded_csv(&[same.clone(), same.clone()], 1).unwrap(),
             same
         );
     }
 
     #[test]
-    fn merge_errors() {
-        assert!(merge_sharded_csv(&[]).is_err());
+    fn legacy_csv_merge_rejects_multirow_tables() {
+        assert_eq!(merge_sharded_csv(&[], 0).unwrap_err(), MergeError::NoShards);
         // Mismatched headers.
         let parts = vec!["a,b\n1,2\n".to_string(), "a,c\n3,4\n".to_string()];
-        assert!(merge_sharded_csv(&parts).is_err());
-        // Impossible row counts for round-robin (shard 1 longer than 0).
-        let parts = vec!["h\n1\n".to_string(), "h\n2\n3\n4\n".to_string()];
-        assert!(merge_sharded_csv(&parts).is_err());
+        assert!(matches!(
+            merge_sharded_csv(&parts, 2).unwrap_err(),
+            MergeError::SchemaMismatch { .. }
+        ));
+        // Two rows per point (4 rows, 2 points): refused by name rather
+        // than scrambled.
+        let parts = vec!["h\np0a\np0b\n".to_string(), "h\np1a\np1b\n".to_string()];
+        assert_eq!(
+            merge_sharded_csv(&parts, 2).unwrap_err(),
+            MergeError::RowCountMismatch { rows: 4, points: 2 }
+        );
+        // Identical-looking *partial* shards (every point rendering the
+        // same row) must not pass through as a short table.
+        let same = "h\nx\nx\n".to_string();
+        assert_eq!(
+            merge_sharded_csv(&[same.clone(), same], 4).unwrap_err(),
+            MergeError::RowCountMismatch { rows: 2, points: 4 }
+        );
     }
 
     #[test]
-    fn writes_csv_and_json() {
+    fn writes_csv_and_doc_unsharded_and_doc_only_sharded() {
         let dir = tmp_dir("write");
         let mut t = Table::new("series", &["x", "y"]);
         t.push(vec![Cell::from(1u64), Cell::from(2u64)]);
-        let paths = write_tables(&dir, std::slice::from_ref(&t)).unwrap();
+        let paths = write_tables(&dir, std::slice::from_ref(&t), &meta(None)).unwrap();
         assert_eq!(paths.len(), 2);
         assert_eq!(fs::read_to_string(&paths[0]).unwrap(), "x,y\n1,2\n");
-        assert!(fs::read_to_string(&paths[1]).unwrap().contains("\"rows\""));
+        let doc = TableDoc::parse(&fs::read_to_string(&paths[1]).unwrap()).unwrap();
+        assert_eq!(doc.rows, vec![vec!["1".to_string(), "2".to_string()]]);
         // Overwrite is idempotent.
-        let again = write_tables(&dir, std::slice::from_ref(&t)).unwrap();
+        let again = write_tables(&dir, std::slice::from_ref(&t), &meta(None)).unwrap();
         assert_eq!(paths, again);
+        // Sharded: document only, under shards/.
+        let spaths = write_tables(&dir, std::slice::from_ref(&t), &meta(Some((1, 4)))).unwrap();
+        assert_eq!(spaths.len(), 1);
+        assert!(spaths[0].ends_with("shards/series.shard1of4.json"));
+        assert!(spaths[0].exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

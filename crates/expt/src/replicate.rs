@@ -24,6 +24,7 @@
 
 use crate::runner::{derive_seed, PointCtx};
 use crate::summary::summarize;
+use crate::sweep::SweepRef;
 use crate::table::{Cell, Table};
 use simkit::SimRng;
 use std::collections::HashMap;
@@ -76,15 +77,31 @@ impl PointCtx {
 /// Renders a metric value into its table cell (e.g. [`crate::f2`]).
 pub type MetricFmt = fn(f64) -> Cell;
 
+/// One builder row: the sweep point that produced it (`None` for
+/// constant rows), its key cells, and one observation series per
+/// metric.
+type RepRow = (Option<usize>, Vec<Cell>, Vec<Vec<f64>>);
+
 /// Accumulates per-replicate observations keyed by label cells and
-/// builds the aggregated mean/CI table.
+/// builds the aggregated mean/CI table, tracking each row's sweep point
+/// so sharded outputs can be merged with validation.
+///
+/// Rows come in two kinds, mirroring [`Table`]: *sweep* rows
+/// ([`RepTableBuilder::push_at`]) carry the global index of the sweep
+/// point that produced them, *constant* rows ([`RepTableBuilder::push`])
+/// are computed outside any sweep and must precede them. A row key must
+/// always come from the same sweep point — keys are how replicates of a
+/// point find their row, so a key shared *across* points would fold
+/// unrelated observations together (and silently diverge under
+/// sharding); that is rejected at push time.
 #[derive(Debug, Clone)]
 pub struct RepTableBuilder {
     name: String,
     key_cols: Vec<String>,
     metrics: Vec<(String, MetricFmt)>,
     index: HashMap<String, usize>,
-    rows: Vec<(Vec<Cell>, Vec<Vec<f64>>)>,
+    rows: Vec<RepRow>,
+    sweep: Option<SweepRef>,
 }
 
 impl RepTableBuilder {
@@ -100,15 +117,41 @@ impl RepTableBuilder {
                 .collect(),
             index: HashMap::new(),
             rows: Vec::new(),
+            sweep: None,
         }
     }
 
-    /// Record one replicate's observation of the row identified by
-    /// `key`. Rows appear in the built table in first-push order.
+    /// Declare the sweep behind this table's indexed rows (see
+    /// `Ctx::sweep_ref`); recorded into the built [`Table`] so the
+    /// shard merge can validate point completeness.
+    pub fn for_sweep(mut self, sweep: &SweepRef) -> Self {
+        self.sweep = Some(sweep.clone());
+        self
+    }
+
+    /// Record one replicate's observation of the constant row
+    /// identified by `key` (a row computed outside any sweep). Rows
+    /// appear in the built table in first-push order.
     ///
     /// # Panics
-    /// Panics when `key` or `metrics` have the wrong arity.
+    /// Panics when `key` or `metrics` have the wrong arity, when `key`
+    /// was first pushed as a sweep row, or when any sweep row was
+    /// already pushed (constant rows must precede sweep rows).
     pub fn push(&mut self, key: Vec<Cell>, metrics: &[f64]) {
+        self.record(None, key, metrics);
+    }
+
+    /// Record one replicate's observation of the row identified by
+    /// `key`, produced by sweep point `point` (global index).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or when `key` was previously pushed
+    /// with a different point (or as a constant row).
+    pub fn push_at(&mut self, point: usize, key: Vec<Cell>, metrics: &[f64]) {
+        self.record(Some(point), key, metrics);
+    }
+
+    fn record(&mut self, point: Option<usize>, key: Vec<Cell>, metrics: &[f64]) {
         assert_eq!(
             key.len(),
             self.key_cols.len(),
@@ -125,6 +168,13 @@ impl RepTableBuilder {
             metrics.len(),
             self.metrics.len()
         );
+        if point.is_none() {
+            assert!(
+                self.rows.iter().all(|(p, _, _)| p.is_none()),
+                "table {}: constant rows must precede sweep-indexed rows",
+                self.name
+            );
+        }
         let id = key
             .iter()
             .map(Cell::to_string)
@@ -135,28 +185,57 @@ impl RepTableBuilder {
             None => {
                 let i = self.rows.len();
                 self.index.insert(id, i);
-                self.rows.push((key, vec![Vec::new(); self.metrics.len()]));
+                self.rows
+                    .push((point, key, vec![Vec::new(); self.metrics.len()]));
                 i
             }
         };
-        for (series, &v) in self.rows[idx].1.iter_mut().zip(metrics) {
+        assert_eq!(
+            self.rows[idx].0, point,
+            "table {}: row key {:?} pushed from sweep point {:?} but first seen from {:?} \
+             (a key must identify one sweep point)",
+            self.name, self.rows[idx].1, point, self.rows[idx].0
+        );
+        for (series, &v) in self.rows[idx].2.iter_mut().zip(metrics) {
             series.push(v);
         }
     }
 
-    /// Record many observations (see [`RepTableBuilder::push`]).
+    /// Record many constant observations (see [`RepTableBuilder::push`]).
     pub fn extend(&mut self, rows: impl IntoIterator<Item = (Vec<Cell>, Vec<f64>)>) {
         for (key, metrics) in rows {
             self.push(key, &metrics);
         }
     }
 
-    /// Record the same observation once per replicate — for closed-form,
-    /// seed-independent rows that would be identical under every
-    /// replicate seed (their CI is exactly 0 without re-computation).
+    /// Record many observations from sweep point `point` (see
+    /// [`RepTableBuilder::push_at`]).
+    pub fn extend_at(
+        &mut self,
+        point: usize,
+        rows: impl IntoIterator<Item = (Vec<Cell>, Vec<f64>)>,
+    ) {
+        for (key, metrics) in rows {
+            self.push_at(point, key, &metrics);
+        }
+    }
+
+    /// Record the same constant observation once per replicate — for
+    /// closed-form, seed-independent rows that would be identical under
+    /// every replicate seed (their CI is exactly 0 without
+    /// re-computation).
     pub fn push_constant(&mut self, key: Vec<Cell>, metrics: &[f64], reps: usize) {
         for _ in 0..reps {
             self.push(key.clone(), metrics);
+        }
+    }
+
+    /// [`RepTableBuilder::push_constant`] for a seed-independent row
+    /// that still belongs to sweep point `point` (computed once *per
+    /// point*, not once per replicate).
+    pub fn push_constant_at(&mut self, point: usize, key: Vec<Cell>, metrics: &[f64], reps: usize) {
+        for _ in 0..reps {
+            self.push_at(point, key.clone(), metrics);
         }
     }
 
@@ -171,7 +250,10 @@ impl RepTableBuilder {
         columns.push("reps".to_string());
         let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
         let mut t = Table::new(&self.name, &column_refs);
-        for (key, series) in self.rows {
+        if let Some(sweep) = &self.sweep {
+            t.set_sweep(sweep);
+        }
+        for (point, key, series) in self.rows {
             let mut row = key;
             let mut reps = 0usize;
             for ((_, fmt), vals) in self.metrics.iter().zip(&series) {
@@ -181,7 +263,10 @@ impl RepTableBuilder {
                 row.push(fmt(if s.count < 2 { f64::NAN } else { s.ci95 }));
             }
             row.push(Cell::from(reps));
-            t.push(row);
+            match point {
+                Some(p) => t.push_indexed(p, row),
+                None => t.push(row),
+            }
         }
         t
     }
@@ -265,6 +350,41 @@ mod tests {
         assert_eq!(t.rows[0][1].to_string(), "1.3000");
         assert_eq!(t.rows[0][2].to_string(), "0.0000");
         assert_eq!(t.rows[0][3].to_string(), "3");
+    }
+
+    #[test]
+    fn builder_tracks_sweep_provenance() {
+        let sweep = SweepRef {
+            points: 4,
+            owned: vec![1, 3],
+        };
+        let mut b = RepTableBuilder::new("p", &["k"], &[("v", f as MetricFmt)]).for_sweep(&sweep);
+        b.push(vec![Cell::from("const")], &[0.0]);
+        for rep in 0..2 {
+            b.push_at(1, vec![Cell::from("one")], &[rep as f64]);
+        }
+        b.push_constant_at(3, vec![Cell::from("three")], &[9.0], 2);
+        let t = b.build();
+        assert_eq!(t.row_points, [None, Some(1), Some(3)]);
+        assert_eq!(t.sweep_points, Some(4));
+        assert_eq!(t.points_run, [1, 3]);
+        assert_eq!(t.rows[2][3].to_string(), "2"); // reps column
+    }
+
+    #[test]
+    #[should_panic(expected = "must identify one sweep point")]
+    fn key_shared_across_points_rejected() {
+        let mut b = RepTableBuilder::new("p", &["k"], &[("v", f as MetricFmt)]);
+        b.push_at(0, vec![Cell::from("same")], &[1.0]);
+        b.push_at(1, vec![Cell::from("same")], &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant rows must precede")]
+    fn constant_after_sweep_row_rejected() {
+        let mut b = RepTableBuilder::new("p", &["k"], &[("v", f as MetricFmt)]);
+        b.push_at(0, vec![Cell::from("a")], &[1.0]);
+        b.push(vec![Cell::from("late const")], &[2.0]);
     }
 
     #[test]

@@ -100,8 +100,11 @@ impl Runner {
         self.base_seed
     }
 
-    /// Global indices of the sweep points this runner owns, in order.
-    fn owned_indices(&self, n_points: usize) -> Vec<usize> {
+    /// Global indices of the sweep points this runner owns, ascending —
+    /// all of `0..n_points` unsharded, every `n`-th under shard `(i,
+    /// n)`. Figure builders zip owned results with this list to tag
+    /// rows with their global point index.
+    pub fn owned_points(&self, n_points: usize) -> Vec<usize> {
         match self.shard {
             None => (0..n_points).collect(),
             Some((i, n)) => (0..n_points).filter(|p| p % n == i).collect(),
@@ -130,7 +133,7 @@ impl Runner {
         F: Fn(&P, &PointCtx) -> R + Sync,
     {
         let points = sweep.points();
-        let owned = self.owned_indices(points.len());
+        let owned = self.owned_points(points.len());
         self.execute(owned.len(), |slot| {
             let i = owned[slot];
             f(&points[i], &self.point_ctx(i))
@@ -156,7 +159,7 @@ impl Runner {
     {
         assert!(reps >= 1, "run_replicated requires at least one replicate");
         let points = sweep.points();
-        let owned = self.owned_indices(points.len());
+        let owned = self.owned_points(points.len());
         let flat = self.execute(owned.len() * reps, |slot| {
             let i = owned[slot / reps];
             let rep = slot % reps;

@@ -12,6 +12,19 @@ pub struct Sweep<P> {
     points: Vec<P>,
 }
 
+/// A sweep's shape as one runner sees it: the total point count plus
+/// the global indices of the points this runner (shard) owns. Tables
+/// record this ([`crate::Table::for_sweep`]) so a shard-merge can
+/// validate completeness — every point index present exactly once —
+/// instead of trusting row order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRef {
+    /// Total number of points in the sweep, across all shards.
+    pub points: usize,
+    /// Global indices of the points this runner owns, ascending.
+    pub owned: Vec<usize>,
+}
+
 impl<P> Sweep<P> {
     /// A sweep over explicit points, in the given order.
     pub fn from_points(points: Vec<P>) -> Self {

@@ -1,10 +1,27 @@
-//! The uniform result model: named columns × typed cells.
+//! The uniform result model: named columns × typed cells, with per-row
+//! sweep provenance.
 //!
 //! Every figure's data is one or more [`Table`]s. A table renders to CSV
-//! (the greppable stdout format and the `.csv` artifact) and to JSON
-//! (the machine-readable `.json` artifact); both renderings are pure
-//! functions of the cell values, so output is deterministic.
+//! (the greppable stdout format and the `.csv` artifact); the
+//! machine-readable `.json` artifact is rendered by
+//! [`crate::output::table_json`], which additionally records each row's
+//! **sweep point index** and the run's flags so sharded outputs can be
+//! merged with full validation. Both renderings are pure functions of
+//! the cell values, so output is deterministic.
+//!
+//! Row provenance follows two rules, enforced at push time:
+//!
+//! 1. **Constant rows precede sweep rows.** A *constant* row
+//!    ([`Table::push`]) is computed outside any sweep and is therefore
+//!    identical in every shard; a *sweep* row ([`Table::push_indexed`])
+//!    belongs to one sweep point. Interleaving them would make the
+//!    merged row order ambiguous.
+//! 2. **Sweep rows arrive in non-decreasing point order.** The runner
+//!    hands results back in owned-point order, so this holds naturally;
+//!    enforcing it keeps the unsharded rendering equal to the canonical
+//!    merge order (constants, then points ascending).
 
+use crate::sweep::SweepRef;
 use std::fmt;
 
 /// One table cell.
@@ -91,7 +108,7 @@ impl From<bool> for Cell {
     }
 }
 
-/// A named table with a fixed column set.
+/// A named table with a fixed column set and per-row sweep provenance.
 #[derive(Debug, Clone)]
 pub struct Table {
     /// Table name: the file stem under `results/<figure>/`.
@@ -100,6 +117,17 @@ pub struct Table {
     pub columns: Vec<String>,
     /// Rows; every row has exactly `columns.len()` cells.
     pub rows: Vec<Vec<Cell>>,
+    /// Per-row provenance, parallel to `rows`: the global sweep point
+    /// index that produced the row, or `None` for constant rows.
+    pub row_points: Vec<Option<usize>>,
+    /// Total point count of the sweep behind the indexed rows, across
+    /// all shards (`None` when the table has no sweep rows).
+    pub sweep_points: Option<usize>,
+    /// Global indices of the sweep points this run actually executed
+    /// (its shard's share), ascending. A point may legitimately produce
+    /// zero rows, so completeness is validated against this list, not
+    /// against the rows.
+    pub points_run: Vec<usize>,
 }
 
 impl Table {
@@ -109,14 +137,71 @@ impl Table {
             name: name.to_string(),
             columns: columns.iter().map(|c| c.to_string()).collect(),
             rows: Vec::new(),
+            row_points: Vec::new(),
+            sweep_points: None,
+            points_run: Vec::new(),
         }
     }
 
-    /// Append a row.
+    /// Declare the sweep this table's indexed rows come from: total
+    /// point count plus the points this run owns (see [`SweepRef`],
+    /// built by `Ctx::sweep_ref`).
+    pub fn for_sweep(mut self, sweep: &SweepRef) -> Self {
+        self.set_sweep(sweep);
+        self
+    }
+
+    /// In-place form of [`Table::for_sweep`].
+    pub fn set_sweep(&mut self, sweep: &SweepRef) {
+        self.sweep_points = Some(sweep.points);
+        self.points_run = sweep.owned.clone();
+    }
+
+    /// Append a constant row (identical in every shard).
     ///
     /// # Panics
-    /// Panics when the cell count does not match the column count.
+    /// Panics when the cell count does not match the column count, or
+    /// when an indexed row was already pushed (constant rows must
+    /// precede sweep rows — see the module docs).
     pub fn push(&mut self, row: Vec<Cell>) {
+        assert!(
+            self.row_points.iter().all(Option::is_none),
+            "table {}: constant rows must precede sweep-indexed rows",
+            self.name
+        );
+        self.check_arity(&row);
+        self.rows.push(row);
+        self.row_points.push(None);
+    }
+
+    /// Append a row produced by sweep point `point` (global index).
+    ///
+    /// # Panics
+    /// Panics on cell-count mismatch, on a point index beyond the
+    /// declared sweep, or when `point` is smaller than the last indexed
+    /// row's point (sweep rows must arrive in point order).
+    pub fn push_indexed(&mut self, point: usize, row: Vec<Cell>) {
+        self.check_arity(&row);
+        if let Some(n) = self.sweep_points {
+            assert!(
+                point < n,
+                "table {}: point {point} out of range for a {n}-point sweep",
+                self.name
+            );
+        }
+        if let Some(&Some(last)) = self.row_points.iter().rev().find(|p| p.is_some()) {
+            assert!(
+                point >= last,
+                "table {}: point {point} pushed after point {last} (sweep rows must \
+                 arrive in point order)",
+                self.name
+            );
+        }
+        self.rows.push(row);
+        self.row_points.push(Some(point));
+    }
+
+    fn check_arity(&self, row: &[Cell]) {
         assert_eq!(
             row.len(),
             self.columns.len(),
@@ -125,13 +210,19 @@ impl Table {
             row.len(),
             self.columns.len()
         );
-        self.rows.push(row);
     }
 
-    /// Append many rows.
+    /// Append many constant rows.
     pub fn extend(&mut self, rows: impl IntoIterator<Item = Vec<Cell>>) {
         for r in rows {
             self.push(r);
+        }
+    }
+
+    /// Append many rows produced by sweep point `point`.
+    pub fn extend_indexed(&mut self, point: usize, rows: impl IntoIterator<Item = Vec<Cell>>) {
+        for r in rows {
+            self.push_indexed(point, r);
         }
     }
 
@@ -146,6 +237,8 @@ impl Table {
     }
 
     /// Render as CSV (header line + one line per row, `\n` terminated).
+    /// Provenance is metadata, not data: it appears in the JSON artifact
+    /// only, so sharded and unsharded runs render identical CSV rows.
     pub fn to_csv(&self) -> String {
         let mut s = String::new();
         s.push_str(&self.columns.join(","));
@@ -163,76 +256,14 @@ impl Table {
         }
         s
     }
-
-    /// Render as JSON: `{"name": ..., "columns": [...], "rows": [{...}]}`.
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"name\": ");
-        json_string(&mut s, &self.name);
-        s.push_str(",\n  \"columns\": [");
-        for (i, c) in self.columns.iter().enumerate() {
-            if i > 0 {
-                s.push_str(", ");
-            }
-            json_string(&mut s, c);
-        }
-        s.push_str("],\n  \"rows\": [");
-        for (ri, row) in self.rows.iter().enumerate() {
-            if ri > 0 {
-                s.push(',');
-            }
-            s.push_str("\n    {");
-            for (ci, cell) in row.iter().enumerate() {
-                if ci > 0 {
-                    s.push_str(", ");
-                }
-                json_string(&mut s, &self.columns[ci]);
-                s.push_str(": ");
-                json_cell(&mut s, cell);
-            }
-            s.push('}');
-        }
-        if !self.rows.is_empty() {
-            s.push_str("\n  ");
-        }
-        s.push_str("]\n}\n");
-        s
-    }
 }
 
 /// Quote a CSV field when it contains separators or quotes.
-fn csv_escape(field: &str) -> String {
+pub(crate) fn csv_escape(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
-    }
-}
-
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn json_cell(out: &mut String, cell: &Cell) {
-    match cell {
-        Cell::Str(s) => json_string(out, s),
-        Cell::U64(v) => out.push_str(&v.to_string()),
-        Cell::I64(v) => out.push_str(&v.to_string()),
-        Cell::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
-        // NaN/inf are not valid JSON numbers.
-        Cell::F64(_) => out.push_str("null"),
-        Cell::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
     }
 }
 
@@ -249,20 +280,52 @@ mod tests {
     }
 
     #[test]
-    fn json_rendering() {
-        let mut t = Table::new("demo", &["label", "v"]);
-        t.push(vec![Cell::from("a\"b"), Cell::F64(f64::NAN)]);
-        let j = t.to_json();
-        assert!(j.contains("\"label\": \"a\\\"b\""));
-        assert!(j.contains("\"v\": null"));
-        assert!(j.starts_with("{\n  \"name\": \"demo\""));
-    }
-
-    #[test]
     #[should_panic(expected = "row has 1 cells")]
     fn row_arity_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.push(vec![Cell::from(1u64)]);
+    }
+
+    #[test]
+    fn provenance_bookkeeping() {
+        let sweep = SweepRef {
+            points: 4,
+            owned: vec![1, 3],
+        };
+        let mut t = Table::new("demo", &["x"]).for_sweep(&sweep);
+        t.push(vec![Cell::from("const")]);
+        t.push_indexed(1, vec![Cell::from("a")]);
+        t.extend_indexed(3, vec![vec![Cell::from("b")], vec![Cell::from("c")]]);
+        assert_eq!(t.row_points, [None, Some(1), Some(3), Some(3)]);
+        assert_eq!(t.sweep_points, Some(4));
+        assert_eq!(t.points_run, [1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant rows must precede")]
+    fn constant_after_indexed_rejected() {
+        let mut t = Table::new("demo", &["x"]);
+        t.push_indexed(0, vec![Cell::from(1u64)]);
+        t.push(vec![Cell::from(2u64)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep rows must")]
+    fn decreasing_point_rejected() {
+        let mut t = Table::new("demo", &["x"]);
+        t.push_indexed(2, vec![Cell::from(1u64)]);
+        t.push_indexed(1, vec![Cell::from(2u64)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_beyond_sweep_rejected() {
+        let sweep = SweepRef {
+            points: 2,
+            owned: vec![0, 1],
+        };
+        let mut t = Table::new("demo", &["x"]).for_sweep(&sweep);
+        t.push_indexed(2, vec![Cell::from(1u64)]);
     }
 
     #[test]

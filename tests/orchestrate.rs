@@ -1,0 +1,103 @@
+//! Tier-1 acceptance tests for the sweep orchestrator: merged sharded
+//! output must be byte-identical to unsharded `--threads 1` runs for
+//! **every** driver, and an injected dropped shard must fail with the
+//! named missing-point-index error.
+
+use bench::backend::LocalBackend;
+use bench::figures;
+use expt::orchestrate::{validate_dir, OrchestrateError, Orchestrator, Plan};
+use expt::output::MergeError;
+use expt::{Ctx, ExptArgs, Scale, Table};
+
+fn quick_args() -> ExptArgs {
+    ExptArgs {
+        scale: Scale::Quick,
+        no_write: true,
+        ..ExptArgs::default()
+    }
+}
+
+/// The acceptance bar from the issue: `opera_orchestrate --drivers all
+/// --shards 4 --quick` produces CSVs byte-identical to unsharded
+/// `--threads 1` runs for all 19 drivers.
+#[test]
+fn orchestrated_4_shard_quick_run_matches_unsharded_threads_1() {
+    let drivers: Vec<String> = figures::all()
+        .iter()
+        .map(|(e, _)| e.name.to_string())
+        .collect();
+    let orch = Orchestrator::new(LocalBackend::new(quick_args()), 2);
+    let report = orch
+        .run(&Plan {
+            drivers: drivers.clone(),
+            shards: 4,
+            retries: 0,
+        })
+        .expect("orchestrated quick run succeeds");
+    assert_eq!(report.drivers.len(), 19);
+
+    let serial = Ctx::new(ExptArgs {
+        threads: 1,
+        ..quick_args()
+    });
+    for ((exp, build), run) in figures::all().into_iter().zip(&report.drivers) {
+        assert_eq!(exp.name, run.driver);
+        let unsharded: Vec<Table> = build(&serial);
+        assert_eq!(
+            unsharded.len(),
+            run.merged.len(),
+            "{}: table count differs",
+            exp.name
+        );
+        for (t, merged) in unsharded.iter().zip(&run.merged) {
+            assert_eq!(t.name, merged.table, "{}: table order differs", exp.name);
+            assert_eq!(
+                merged.to_csv(),
+                t.to_csv(),
+                "{}/{}: merged CSV differs from unsharded --threads 1",
+                exp.name,
+                t.name
+            );
+        }
+    }
+}
+
+/// Dropping one shard document from a persisted run must fail
+/// validation with `MergeError::MissingPointIndex` naming the dropped
+/// point — the self-validating half of the acceptance bar.
+#[test]
+fn dropped_shard_fails_with_missing_point_index() {
+    let out = std::env::temp_dir().join(format!("orch-accept-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let orch = Orchestrator::new(LocalBackend::new(quick_args()), 2);
+    let report = orch
+        .run(&Plan {
+            drivers: vec!["fig11_fault_tolerance".to_string()],
+            shards: 3,
+            retries: 0,
+        })
+        .unwrap();
+    expt::orchestrate::write_run(&out, &report).unwrap();
+    assert!(!validate_dir(&out).unwrap().is_empty());
+
+    // Injected dropped shard.
+    std::fs::remove_file(out.join("fig11_fault_tolerance/shards/connectivity_loss.shard1of3.json"))
+        .unwrap();
+    match validate_dir(&out).unwrap_err() {
+        OrchestrateError::Merge {
+            driver,
+            error:
+                MergeError::MissingPointIndex {
+                    point,
+                    expected_shard,
+                    ..
+                },
+        } => {
+            assert_eq!(driver, "fig11_fault_tolerance");
+            assert_eq!(point, 1);
+            assert_eq!(expected_shard, 1);
+        }
+        other => panic!("expected MissingPointIndex, got: {other}"),
+    }
+    std::fs::remove_dir_all(&out).unwrap();
+}

@@ -233,9 +233,10 @@ proptest! {
     }
 
     /// Sharding a sweep and merging the per-shard CSVs reproduces the
-    /// unsharded rendering byte-for-byte, for any shard count.
+    /// unsharded rendering byte-for-byte, for any shard count
+    /// (one-row-per-point tables only — the legacy merge's domain).
     #[test]
-    fn shard_merge_round_trips(n in 1usize..30, shards in 1usize..6, seed in 0u64..500) {
+    fn legacy_csv_shard_merge_round_trips(n in 1usize..30, shards in 1usize..6, seed in 0u64..500) {
         let sweep = expt::Sweep::from_points((0..n).collect::<Vec<_>>());
         let build = |runner: expt::Runner| {
             let mut t = expt::Table::new("points", &["i", "seed", "draw"]);
@@ -253,6 +254,71 @@ proptest! {
         let parts: Vec<String> = (0..shards)
             .map(|i| build(expt::Runner::new(2, seed).with_shard(Some((i, shards)))))
             .collect();
-        prop_assert_eq!(expt::output::merge_sharded_csv(&parts).unwrap(), unsharded);
+        #[allow(deprecated)]
+        let merged = expt::output::merge_sharded_csv(&parts, n).unwrap();
+        prop_assert_eq!(merged, unsharded);
+    }
+
+    /// The JSON shard merge reproduces the unsharded rendering
+    /// byte-for-byte for tables with a *variable number of rows per
+    /// point* (the shape the legacy CSV merge scrambles), through a full
+    /// serialize → parse → merge round trip, for any shard count.
+    #[test]
+    fn json_shard_merge_round_trips_multirow_tables(
+        n in 1usize..24,
+        shards in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let sweep = expt::Sweep::from_points((0..n).collect::<Vec<_>>());
+        let build = |shard: Option<(usize, usize)>| {
+            let runner = expt::Runner::new(2, seed).with_shard(shard);
+            let sref = expt::SweepRef {
+                points: sweep.len(),
+                owned: runner.owned_points(sweep.len()),
+            };
+            let mut t = expt::Table::new("points", &["i", "sub", "draw"]).for_sweep(&sref);
+            // One constant row, computed identically in every shard.
+            t.push(vec![
+                expt::Cell::from("const"),
+                expt::Cell::from(0u64),
+                expt::Cell::from(seed),
+            ]);
+            let rows = runner.run(&sweep, |&p, ctx| {
+                let mut rng = ctx.rng();
+                // 0..=2 rows depending on the seed: exercises points
+                // with zero rows and points with several.
+                let k = (rng.next_u64() % 3) as usize;
+                (0..k)
+                    .map(|sub| {
+                        vec![
+                            expt::Cell::from(p),
+                            expt::Cell::from(sub),
+                            expt::Cell::from(rng.next_u64()),
+                        ]
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (point_rows, &p) in rows.into_iter().zip(&sref.owned) {
+                t.extend_indexed(p, point_rows);
+            }
+            let meta = expt::RunMeta {
+                driver: "prop".into(),
+                scale: "quick".into(),
+                seed,
+                replicates: 1,
+                k: None,
+                shard,
+            };
+            (t.to_csv(), expt::output::table_json(&t, &meta))
+        };
+        let (unsharded_csv, _) = build(None);
+        let docs: Vec<expt::TableDoc> = (0..shards)
+            .map(|i| {
+                let (_, json) = build(Some((i, shards)));
+                expt::TableDoc::parse(&json).unwrap()
+            })
+            .collect();
+        let merged = expt::merge_shard_docs(&docs).unwrap();
+        prop_assert_eq!(merged.to_csv(), unsharded_csv);
     }
 }
