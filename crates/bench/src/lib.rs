@@ -14,6 +14,7 @@
 
 pub mod backend;
 pub mod figures;
+pub mod record;
 pub mod spot;
 
 use expt::Scale;

@@ -1,0 +1,435 @@
+//! The committed performance trajectory: `bench_record`.
+//!
+//! The ROADMAP asks for engine speed "proven with a committed perf
+//! trajectory". This module is that proof: a fixed scenario set — a raw
+//! engine-churn microbenchmark plus bounded fig08 (shuffle) and fig09
+//! (Websearch) slices — measured through the same core as the criterion
+//! benches ([`criterion::sample_batched`] / [`criterion::Summary`]) and
+//! appended to the **append-only** `BENCH_hot_paths.json` at the
+//! workspace root. Each entry records, per scenario:
+//!
+//! * `events` — deterministic simulator event count of one run,
+//! * `wall_ms_median` / `wall_ms_stddev` — wall time over the samples,
+//! * `events_per_sec` — `events / median wall`, the headline number,
+//! * `peak_pending` — high-water mark of the pending-event queue,
+//!
+//! plus which engine produced it ([`simkit::engine::ENGINE_NAME`]), the
+//! scale mode, the git revision, and a timestamp. Because entries are
+//! never rewritten, the file reads as a performance time series over the
+//! PR history, and CI's `bench-record` job can gate regressions by
+//! comparing a fresh run against the latest committed entry (see
+//! [`check`]; the threshold is generous — shared runners are noisy — so
+//! only real cliffs fail the build).
+
+use crate::{MiniTrio, QuickTrio};
+use criterion::{sample_batched, Summary};
+use expt::json::Json;
+use simkit::engine::{EventContext, EventHandler, Simulator};
+use simkit::SimTime;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use workloads::dists::{FlowSizeDist, Workload};
+use workloads::gen::PoissonGen;
+use workloads::FlowSpec;
+
+/// Default trajectory file, at the workspace root next to `goldens/`.
+pub const DEFAULT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hot_paths.json");
+
+/// Default regression-gate threshold: fail when a scenario's fresh
+/// `events_per_sec` drops more than 30% below the committed baseline.
+/// Generous on purpose — CI runners share cores and wall time jitters —
+/// so the gate catches algorithmic cliffs, not scheduler noise.
+pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
+/// One measured scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name (JSON key).
+    pub name: &'static str,
+    /// Simulator events processed by one run (deterministic).
+    pub events: u64,
+    /// Wall-time statistics over the samples.
+    pub wall: Summary,
+    /// `events / median wall`, in events per wall-clock second.
+    pub events_per_sec: f64,
+    /// High-water mark of pending events in the engine queue.
+    pub peak_pending: usize,
+}
+
+/// Run the fixed scenario set. `full` selects the nightly configuration
+/// (larger networks, longer horizons, more samples); quick is the
+/// per-push CI configuration.
+pub fn run_all(full: bool) -> Vec<ScenarioResult> {
+    vec![
+        engine_churn(full),
+        fig08_shuffle_slice(full),
+        fig09_websearch_slice(full),
+    ]
+}
+
+/// World for the raw engine microbenchmark: a constant population of
+/// events, every one rescheduling itself onto a future slot boundary.
+/// This is the rotor-network shape the scheduler must be fast for —
+/// nearly all events land on a small set of known slot-aligned times.
+struct Churn {
+    slot_ns: u64,
+    remaining: u64,
+}
+
+impl EventHandler for Churn {
+    type Event = u32;
+    fn handle_event(&mut self, ev: u32, ctx: &mut EventContext<'_, u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            // Hop 1–4 slots ahead, deterministically per event id, so
+            // pending events spread over a handful of future boundaries.
+            let hop = 1 + (ev as u64 & 3);
+            ctx.schedule_in(SimTime::from_ns(self.slot_ns * hop), ev);
+        }
+    }
+}
+
+/// Raw engine churn: `pending` concurrent events over 90 µs-style slot
+/// boundaries, `total` pops. No fabric, no packets — pure scheduler.
+fn engine_churn(full: bool) -> ScenarioResult {
+    let (pending, total, samples) = if full {
+        (262_144u32, 15_000_000u64, 7)
+    } else {
+        (65_536u32, 1_500_000u64, 5)
+    };
+    let slot_ns = 1_000;
+    let mut peak = 0usize;
+    let wall = sample_batched(
+        samples,
+        || {
+            let mut sim = Simulator::new(Churn {
+                slot_ns,
+                remaining: total,
+            });
+            for i in 0..pending {
+                sim.schedule_at(SimTime::from_ns(slot_ns * (1 + (i as u64 & 3))), i);
+            }
+            sim
+        },
+        |mut sim| {
+            sim.run_events(total);
+            peak = sim.peak_pending();
+            sim.events_processed()
+        },
+    );
+    finish("engine_churn", total, wall, peak)
+}
+
+/// A bounded slice of fig08: bulk shuffle on the Opera network, every
+/// flow over direct circuits (RotorLB + circuit scheduling hot paths).
+fn fig08_shuffle_slice(full: bool) -> ScenarioResult {
+    let (mut cfg, peers, horizon, samples) = if full {
+        (MiniTrio::opera(), 8, SimTime::from_ms(40), 5)
+    } else {
+        (QuickTrio::opera(), 4, SimTime::from_ms(20), 3)
+    };
+    cfg.bulk_threshold = 0; // application tags everything bulk (§3.4)
+    let hosts = cfg.hosts();
+    let mut flows = Vec::with_capacity(hosts * peers);
+    for src in 0..hosts {
+        for k in 1..=peers {
+            flows.push(FlowSpec {
+                src,
+                dst: (src + k * (hosts / peers + 1)) % hosts,
+                size: 100_000,
+                start: SimTime::ZERO,
+            });
+        }
+    }
+    measure_net("fig08_shuffle_slice", samples, horizon, move || {
+        opera::opera_net::build(cfg, flows.clone())
+    })
+}
+
+/// A bounded slice of fig09: a short Websearch Poisson window at 10%
+/// load, all flows low-latency (NDP + indirect expander paths).
+fn fig09_websearch_slice(full: bool) -> ScenarioResult {
+    let (mut cfg, window, horizon, samples) = if full {
+        (
+            MiniTrio::opera(),
+            SimTime::from_ms(10),
+            SimTime::from_ms(40),
+            5,
+        )
+    } else {
+        (
+            QuickTrio::opera(),
+            SimTime::from_ms(2),
+            SimTime::from_ms(10),
+            3,
+        )
+    };
+    cfg.bulk_threshold = 20_000_000; // fig09's premise: all low-latency
+    let hosts = cfg.hosts();
+    let flows = PoissonGen::new(FlowSizeDist::of(Workload::Websearch), hosts, 10.0, 0.10, 0)
+        .flows_until(window);
+    measure_net("fig09_websearch_slice", samples, horizon, move || {
+        opera::opera_net::build(cfg, flows.clone())
+    })
+}
+
+/// Measure a packet-level scenario: build the simulation per sample
+/// (setup excluded from timing), run to `horizon`, count engine events.
+fn measure_net<W, F>(
+    name: &'static str,
+    samples: usize,
+    horizon: SimTime,
+    mut build: F,
+) -> ScenarioResult
+where
+    W: EventHandler,
+    F: FnMut() -> Simulator<W>,
+{
+    let mut events = 0u64;
+    let mut peak = 0usize;
+    let wall = sample_batched(samples, &mut build, |mut sim| {
+        sim.run_until(horizon);
+        events = sim.events_processed();
+        peak = sim.peak_pending();
+    });
+    finish(name, events, wall, peak)
+}
+
+fn finish(
+    name: &'static str,
+    events: u64,
+    wall_samples: Vec<std::time::Duration>,
+    peak_pending: usize,
+) -> ScenarioResult {
+    let wall = Summary::from_samples(&wall_samples).expect("sampled at least once");
+    let events_per_sec = events as f64 / wall.median.as_secs_f64();
+    ScenarioResult {
+        name,
+        events,
+        wall,
+        events_per_sec,
+        peak_pending,
+    }
+}
+
+fn num(text: String) -> Json {
+    Json::Num(text)
+}
+
+/// Build the JSON object for one trajectory entry.
+pub fn entry(results: &[ScenarioResult], mode: &str, recorded_at_unix: u64, git_rev: &str) -> Json {
+    let mut scenarios = BTreeMap::new();
+    for r in results {
+        let mut s = BTreeMap::new();
+        s.insert("events".into(), num(r.events.to_string()));
+        s.insert(
+            "events_per_sec".into(),
+            num(format!("{:.1}", r.events_per_sec)),
+        );
+        s.insert("peak_pending".into(), num(r.peak_pending.to_string()));
+        s.insert(
+            "wall_ms_median".into(),
+            num(format!("{:.3}", r.wall.median.as_secs_f64() * 1e3)),
+        );
+        s.insert(
+            "wall_ms_stddev".into(),
+            num(format!("{:.3}", r.wall.stddev.as_secs_f64() * 1e3)),
+        );
+        scenarios.insert(r.name.to_string(), Json::Obj(s));
+    }
+    let mut e = BTreeMap::new();
+    e.insert(
+        "engine".into(),
+        Json::Str(simkit::engine::ENGINE_NAME.into()),
+    );
+    e.insert("git_rev".into(), Json::Str(git_rev.into()));
+    e.insert(
+        "host".into(),
+        Json::Str(format!(
+            "{}-{}",
+            std::env::consts::OS,
+            std::env::consts::ARCH
+        )),
+    );
+    e.insert("mode".into(), Json::Str(mode.into()));
+    e.insert("recorded_at_unix".into(), num(recorded_at_unix.to_string()));
+    e.insert("scenarios".into(), Json::Obj(scenarios));
+    Json::Obj(e)
+}
+
+/// Load a trajectory document, or the empty skeleton if `path` does not
+/// exist yet.
+pub fn load(path: &Path) -> io::Result<Json> {
+    if !path.exists() {
+        let mut doc = BTreeMap::new();
+        doc.insert("entries".into(), Json::Arr(vec![]));
+        doc.insert("schema".into(), Json::Num("1".into()));
+        doc.insert(
+            "unit".into(),
+            Json::Str(
+                "events_per_sec = simulator events per wall-clock second, \
+                 median over samples; see README \"Performance trajectory\""
+                    .into(),
+            ),
+        );
+        return Ok(Json::Obj(doc));
+    }
+    let text = std::fs::read_to_string(path)?;
+    Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Append `new_entry` to the trajectory at `path` (append-only: existing
+/// entries are re-rendered byte-losslessly, never modified).
+pub fn append(path: &Path, new_entry: Json) -> io::Result<()> {
+    let mut doc = load(path)?;
+    let Json::Obj(members) = &mut doc else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: root is not an object", path.display()),
+        ));
+    };
+    match members
+        .entry("entries".to_string())
+        .or_insert_with(|| Json::Arr(vec![]))
+    {
+        Json::Arr(entries) => entries.push(new_entry),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: \"entries\" is not an array", path.display()),
+            ))
+        }
+    }
+    std::fs::write(path, doc.render() + "\n")
+}
+
+/// The latest committed baseline for `(scenario, mode)`: scans entries
+/// newest-last, returning that scenario's `events_per_sec`.
+pub fn latest_baseline(doc: &Json, scenario: &str, mode: &str) -> Option<f64> {
+    doc.get("entries")?
+        .as_arr()?
+        .iter()
+        .rev()
+        .filter(|e| e.get("mode").and_then(Json::as_str) == Some(mode))
+        .find_map(|e| {
+            e.get("scenarios")?
+                .get(scenario)?
+                .get("events_per_sec")?
+                .as_f64()
+        })
+}
+
+/// The CI regression gate: compare fresh results against the latest
+/// committed entry of the same mode. Returns human-readable failures —
+/// empty means the gate passes. A scenario with no committed baseline
+/// passes (first recording), and improvements always pass.
+pub fn check(doc: &Json, fresh: &[ScenarioResult], mode: &str, threshold: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in fresh {
+        let Some(base) = latest_baseline(doc, r.name, mode) else {
+            continue;
+        };
+        let floor = base * (1.0 - threshold);
+        if r.events_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} events/sec is {:.0}% below the committed baseline \
+                 {:.0} (floor {:.0} at threshold {:.0}%)",
+                r.name,
+                r.events_per_sec,
+                (1.0 - r.events_per_sec / base) * 100.0,
+                base,
+                floor,
+                threshold * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn result(name: &'static str, eps: f64) -> ScenarioResult {
+        ScenarioResult {
+            name,
+            events: 1000,
+            wall: Summary::from_samples(&[Duration::from_millis(5)]).unwrap(),
+            events_per_sec: eps,
+            peak_pending: 7,
+        }
+    }
+
+    fn doc_with(eps: f64) -> Json {
+        let e = entry(&[result("engine_churn", eps)], "quick", 123, "abc");
+        let mut doc = BTreeMap::new();
+        doc.insert("entries".into(), Json::Arr(vec![e]));
+        Json::Obj(doc)
+    }
+
+    #[test]
+    fn entry_round_trips_through_render() {
+        let results = [result("engine_churn", 1_000_000.0)];
+        let e = entry(&results, "quick", 1_700_000_000, "deadbeef");
+        let text = e.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("mode").unwrap().as_str(), Some("quick"));
+        assert_eq!(
+            back.get("scenarios")
+                .unwrap()
+                .get("engine_churn")
+                .unwrap()
+                .get("events_per_sec")
+                .unwrap()
+                .as_f64(),
+            Some(1_000_000.0)
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_below() {
+        let doc = doc_with(1_000_000.0);
+        // 25% down: inside the 30% budget.
+        assert!(check(&doc, &[result("engine_churn", 750_000.0)], "quick", 0.30).is_empty());
+        // Improvement passes.
+        assert!(check(&doc, &[result("engine_churn", 2_000_000.0)], "quick", 0.30).is_empty());
+        // 40% down: fails, message names scenario and numbers.
+        let fails = check(&doc, &[result("engine_churn", 600_000.0)], "quick", 0.30);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("engine_churn"), "{}", fails[0]);
+        // Unknown scenario or mismatched mode has no baseline: passes.
+        assert!(check(&doc, &[result("other", 1.0)], "quick", 0.30).is_empty());
+        assert!(check(&doc, &[result("engine_churn", 1.0)], "full", 0.30).is_empty());
+    }
+
+    #[test]
+    fn append_is_append_only() {
+        let dir = std::env::temp_dir().join(format!("bench-record-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let _ = std::fs::remove_file(&path);
+        append(
+            &path,
+            entry(&[result("engine_churn", 10.0)], "quick", 1, "a"),
+        )
+        .unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        append(
+            &path,
+            entry(&[result("engine_churn", 20.0)], "quick", 2, "b"),
+        )
+        .unwrap();
+        let doc = load(&path).unwrap();
+        let entries = doc.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 2);
+        // The first entry survives byte-identically inside the new doc.
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains(first.lines().nth(3).unwrap()));
+        // Latest baseline is the newest matching entry.
+        assert_eq!(latest_baseline(&doc, "engine_churn", "quick"), Some(20.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

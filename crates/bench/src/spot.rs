@@ -18,12 +18,16 @@
 //! ```
 
 use crate::PaperTrio;
-use expt::{f2, Cell, Table};
+use expt::{f, f2, Cell, Table};
+use flowsim::{clos_throughput, max_concurrent_flow, opera_model};
 use netsim::FlowTracker;
 use opera::{opera_net, static_net};
 use simkit::SimTime;
+use topo::cost::{expander_racks, expander_uplinks};
+use topo::expander::{ExpanderParams, ExpanderTopology};
+use topo::opera::{OperaParams, OperaTopology};
 use workloads::dists::{FlowSizeDist, Workload};
-use workloads::gen::PoissonGen;
+use workloads::gen::{PoissonGen, ScenarioGen};
 use workloads::FlowSpec;
 
 /// The golden "driver" directory spot baselines live under
@@ -38,6 +42,7 @@ pub fn all() -> Vec<(&'static str, SpotFn)> {
     vec![
         ("shuffle_648", shuffle_648 as SpotFn),
         ("websearch_648", websearch_648 as SpotFn),
+        ("fig12_k24", fig12_k24 as SpotFn),
     ]
 }
 
@@ -97,6 +102,62 @@ fn shuffle_648() -> Table {
         f2(max),
         f2(p99),
         f2(mean),
+    ]);
+    out
+}
+
+/// Fig12's headline at the paper's `k = 24` radix (5184 hosts): one
+/// flow-level throughput point — the hot-rack workload at α = 1.0 —
+/// through the same Opera duty-cycle model and expander
+/// max-concurrent-flow solve as the figure's full sweep. The quick
+/// goldens only ever solve `k = 8`; this pins the paper-scale solver
+/// path (432-rack Opera, cost-equivalent expander MCF at 60
+/// iterations) nightly. Hot-rack demands are closed-form, so the point
+/// needs no RNG and is exactly reproducible.
+fn fig12_k24() -> Table {
+    const K: usize = 24;
+    const ALPHA: f64 = 1.0;
+    let rate = 10.0;
+    let duty = 0.98;
+    let d_opera = K / 2;
+    let racks_opera = 3 * K * K / 4;
+    let hosts = racks_opera * d_opera;
+
+    let opera = OperaTopology::generate(OperaParams::from_radix(K, racks_opera), 5);
+    let demands = ScenarioGen::hotrack_demands(d_opera, rate);
+    let o = opera_model(&opera, &demands, rate, duty, true).throughput_fraction();
+
+    // Cost-equivalent expander at α = 1.0, as fig12 builds it.
+    let u = expander_uplinks(ALPHA, K).clamp(3, K - 1);
+    let de = K - u;
+    let racks_e = expander_racks(hosts, K, u);
+    let exp = ExpanderTopology::generate(
+        ExpanderParams {
+            racks: racks_e,
+            uplinks: u,
+            hosts_per_rack: de,
+        },
+        7,
+    );
+    let demands_e = ScenarioGen::hotrack_demands(de, rate);
+    let tor: Vec<usize> = (0..racks_e).collect();
+    let e = max_concurrent_flow(exp.graph(), &tor, &demands_e, rate, de as f64 * rate, 60).lambda;
+    let c = clos_throughput(ALPHA);
+
+    let mut out = Table::new(
+        "fig12_k24",
+        &[
+            "workload", "alpha", "k", "hosts", "opera", "expander", "clos",
+        ],
+    );
+    out.push(vec![
+        Cell::from("hotrack"),
+        Cell::F64(ALPHA),
+        Cell::from(K),
+        Cell::from(hosts),
+        f(o),
+        f(e),
+        f(c),
     ]);
     out
 }

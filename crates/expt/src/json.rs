@@ -104,6 +104,64 @@ impl Json {
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
     }
+
+    /// Render back to JSON text, pretty-printed with two-space indents
+    /// and sorted object keys. Numbers are emitted as their raw literal
+    /// text, so `parse → render → parse` is lossless — the property the
+    /// append-only `BENCH_*.json` trajectory relies on when it rewrites
+    /// the document with one more entry.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -391,6 +449,20 @@ mod tests {
         assert!(Json::parse(r#""\ud800\u0041""#).is_err());
         // A well-formed pair still decodes.
         assert_eq!(Json::parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn render_round_trips_losslessly() {
+        let text =
+            r#"{"b": [1, 2.5, 18446744073709551615], "a": {"x": null, "y": "q\n"}, "c": true}"#;
+        let parsed = Json::parse(text).unwrap();
+        let rendered = parsed.render();
+        // Pretty output parses back to the identical value (raw number
+        // text preserved, u64 seeds included).
+        assert_eq!(Json::parse(&rendered).unwrap(), parsed);
+        assert!(rendered.contains("18446744073709551615"));
+        // Rendering is idempotent once pretty-printed.
+        assert_eq!(Json::parse(&rendered).unwrap().render(), rendered);
     }
 
     #[test]

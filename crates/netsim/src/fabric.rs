@@ -14,7 +14,7 @@
 //! later rewire — matching the physical behavior the guard bands of §3.5
 //! protect.
 
-use crate::packet::{Packet, Priority, PRIORITY_LEVELS};
+use crate::packet::{Packet, PacketArena, PacketRef, Priority, PRIORITY_LEVELS};
 use simkit::engine::EventContext;
 use simkit::time::serialization_ns;
 use simkit::SimTime;
@@ -95,7 +95,9 @@ pub enum SendOutcome {
 
 #[derive(Debug)]
 struct Port {
-    queues: [VecDeque<Packet>; PRIORITY_LEVELS],
+    /// Slab handles into [`Fabric::arena`]; the packet bodies stay put
+    /// until transmission, so queue churn moves 4-byte refs.
+    queues: [VecDeque<PacketRef>; PRIORITY_LEVELS],
     queued_bytes: [u64; PRIORITY_LEVELS],
     cfg: QueueConfig,
     link: LinkSpec,
@@ -169,6 +171,9 @@ pub enum NetEvent {
 #[derive(Debug, Default)]
 pub struct Fabric {
     nodes: Vec<Vec<Port>>,
+    /// Slab backing every queued packet; slots recycle through a free
+    /// list, so steady-state forwarding allocates nothing per packet.
+    arena: PacketArena,
     /// Aggregate counters.
     pub counters: FabricCounters,
     /// Random per-packet loss: `(probability, rng)`. Applied to every
@@ -304,15 +309,18 @@ impl Fabric {
             return SendOutcome::Dropped;
         };
 
-        let p = &mut self.nodes[node][port];
         let lvl = packet.prio as usize;
-        p.queues[lvl].push_back(packet);
-        p.queued_bytes[lvl] += packet.size as u64;
+        let size = packet.size as u64;
+        let r = self.arena.alloc(packet);
+        let p = &mut self.nodes[node][port];
+        p.queues[lvl].push_back(r);
+        p.queued_bytes[lvl] += size;
+        let busy = p.busy;
         match outcome {
             SendOutcome::Trimmed => self.counters.trimmed += 1,
             _ => self.counters.queued += 1,
         }
-        if !p.busy {
+        if !busy {
             self.start_tx(ctx, node, port);
         }
         outcome
@@ -320,12 +328,19 @@ impl Fabric {
 
     /// Dequeue the highest-priority packet and put it on the wire.
     fn start_tx(&mut self, ctx: &mut EventContext<'_, NetEvent>, node: NodeId, port: PortId) {
-        let p = &mut self.nodes[node][port];
+        let Fabric {
+            nodes,
+            arena,
+            counters: _,
+            loss,
+        } = self;
+        let p = &mut nodes[node][port];
         debug_assert!(!p.busy);
         let Some(lvl) = (0..PRIORITY_LEVELS).find(|&l| !p.queues[l].is_empty()) else {
             return;
         };
-        let packet = p.queues[lvl].pop_front().expect("non-empty");
+        let r = p.queues[lvl].pop_front().expect("non-empty");
+        let packet = arena.take(r);
         p.queued_bytes[lvl] -= packet.size as u64;
         p.busy = true;
         let ser = p.link.serialize(packet.size);
@@ -333,7 +348,7 @@ impl Fabric {
         let peer = p.peer;
         let failed = p.failed;
         ctx.schedule_in(ser, NetEvent::PortFree { node, port });
-        let corrupted = match &mut self.loss {
+        let corrupted = match loss {
             Some((p, rng)) => rng.chance(*p),
             None => false,
         };
@@ -373,10 +388,17 @@ impl Fabric {
     /// Drop every queued bulk packet at a port, returning them — used by
     /// the RotorLB NACK path when a transmission window closes (§4.2.2).
     pub fn drain_bulk(&mut self, node: NodeId, port: PortId) -> Vec<Packet> {
-        let p = &mut self.nodes[node][port];
+        let Fabric { nodes, arena, .. } = self;
+        let p = &mut nodes[node][port];
         let lvl = Priority::Bulk as usize;
         p.queued_bytes[lvl] = 0;
-        p.queues[lvl].drain(..).collect()
+        p.queues[lvl].drain(..).map(|r| arena.take(r)).collect()
+    }
+
+    /// High-water mark of simultaneously queued packets across the whole
+    /// fabric (the arena's slab never shrinks below this).
+    pub fn arena_peak_live(&self) -> usize {
+        self.arena.peak_live()
     }
 }
 

@@ -26,4 +26,4 @@ pub mod packet;
 pub use fabric::{Fabric, LinkSpec, NetEvent, NodeId, PortId, QueueConfig, SendOutcome};
 pub use flows::{FlowClass, FlowId, FlowRecord, FlowTracker};
 pub use logic::{NetLogic, NetWorld};
-pub use packet::{Packet, PacketKind, Priority, HEADER_SIZE, MTU};
+pub use packet::{Packet, PacketArena, PacketKind, PacketRef, Priority, HEADER_SIZE, MTU};

@@ -1,25 +1,63 @@
 //! The discrete-event engine.
 //!
-//! The engine follows the classic calendar-queue design of packet simulators
-//! like `htsim`: a single priority queue of `(time, sequence, event)` entries.
-//! The monotonically increasing sequence number gives *deterministic FIFO
-//! ordering of simultaneous events*, which makes whole simulations
-//! reproducible bit-for-bit from a seed.
+//! The scheduler is a **hierarchical timing wheel** (Varghese & Lauck)
+//! rather than the classic binary-heap calendar queue: 11 levels of 64
+//! slots each, level *k* bucketing times by their *k*-th 6-bit digit, so
+//! the levels together cover every `u64` nanosecond timestamp with no
+//! separate overflow structure. The workload this engine exists for —
+//! packet simulation of rotor networks — schedules almost everything on
+//! a small set of known slot boundaries (rotor reconfigurations,
+//! timeslot edges, back-to-back serialization times), which a wheel
+//! turns into O(1) bucket appends and bulk drains where a heap pays a
+//! `log n` sift per event.
+//!
+//! Determinism is unchanged from the heap engine: every entry carries a
+//! monotonically increasing sequence number, buckets only ever receive
+//! appends in sequence order (direct inserts happen strictly after any
+//! cascade into the same bucket), and a drained level-0 bucket holds
+//! exactly one timestamp — so simultaneous events fire in *exactly* the
+//! FIFO order the heap produced, and whole simulations stay reproducible
+//! bit-for-bit from a seed. The `goldens/` CSVs are the proof: they were
+//! recorded under the heap engine and must stay byte-identical.
 //!
 //! Components do not hold references to each other. Instead, a single
 //! *world* type (e.g. `netsim::Network`) owns all components and dispatches
 //! events to them, scheduling follow-up events through [`EventContext`].
 //! This keeps the design free of `Rc<RefCell<..>>` aliasing while remaining
-//! fast: one heap operation per event and no dynamic dispatch on the hot
-//! path.
+//! fast: a couple of bit operations per event and no dynamic dispatch on
+//! the hot path.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::HashSet;
 
 /// Identifies a logical component within a world. Worlds assign these
 /// themselves; the engine treats them as opaque.
 pub type HandlerId = u32;
+
+/// Name of the scheduler implementation behind [`EventQueue`], recorded
+/// into `BENCH_hot_paths.json` entries so the perf trajectory says which
+/// engine produced each number.
+pub const ENGINE_NAME: &str = "timing_wheel";
+
+/// Bits per wheel digit: 64 slots per level.
+const BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Levels: ⌈64 / 6⌉ = 11 six-bit digits cover every `u64` timestamp, so
+/// arbitrarily far-future events land in a top-level slot instead of a
+/// separate overflow queue.
+const LEVELS: usize = 11;
+
+/// A handle for cancelling a scheduled event, returned by the
+/// `*_cancellable` scheduling methods.
+///
+/// Cancellation is lazy (tombstoned): the entry stays in its bucket until
+/// the wheel reaches it, then is skipped. Cancelling a token whose event
+/// has already fired is a caller bug — the engine cannot detect it, and
+/// it corrupts [`EventQueue::len`] accounting — so hold tokens only for
+/// events known to be pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -28,25 +66,28 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// One wheel level: 64 buckets plus an occupancy bitmap so the scheduler
+/// skips empty slots with a `trailing_zeros` instead of ticking through
+/// them.
+#[derive(Debug)]
+struct Level<E> {
+    slots: [Vec<Entry<E>>; SLOTS],
+    occupied: u64,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            slots: std::array::from_fn(|_| Vec::new()),
+            occupied: 0,
+        }
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+
+/// The digit of `t` at wheel level `k`.
+#[inline]
+fn digit(t: u64, level: usize) -> usize {
+    ((t >> (BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
 }
 
 /// Scheduling interface handed to event handlers while they run.
@@ -83,12 +124,50 @@ impl<'a, E> EventContext<'a, E> {
         );
         self.queue.push(at, event);
     }
+
+    /// Like [`EventContext::schedule_in`], returning a token that can
+    /// cancel the event while it is still pending.
+    pub fn schedule_in_cancellable(&mut self, delay: SimTime, event: E) -> EventToken {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Like [`EventContext::schedule_at`], returning a cancellation token.
+    pub fn schedule_at_cancellable(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event)
+    }
+
+    /// Cancel a pending event. Returns `true` if this call newly marked
+    /// the event cancelled. See [`EventToken`] for the pending-only
+    /// contract.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.queue.cancel(token)
+    }
 }
 
-/// The pending-event priority queue.
+/// The pending-event queue: the hierarchical timing wheel.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    levels: Vec<Level<E>>,
+    /// Wheel position: the tick (ns) of the bucket currently being
+    /// drained — all pending events are at `time >= cursor`.
+    cursor: u64,
+    /// The earliest bucket, detached from its slot and reversed so FIFO
+    /// pops come off the end (keeping the allocation recyclable).
+    active: Vec<Entry<E>>,
+    /// Recycled bucket allocations, so steady-state scheduling never
+    /// allocates.
+    spare: Vec<Vec<Entry<E>>>,
+    /// Tombstoned sequence numbers awaiting lazy removal.
+    cancelled: HashSet<u64>,
+    /// Pending (non-cancelled) events.
+    live: usize,
     next_seq: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -97,29 +176,177 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Cap on the recycled-allocation pool; beyond this, exhausted buckets
+/// are simply dropped.
+const SPARE_CAP: usize = 256;
+
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            cursor: 0,
+            active: Vec::new(),
+            spare: Vec::new(),
+            cancelled: HashSet::new(),
+            live: 0,
             next_seq: 0,
+            peak: 0,
         }
     }
 
-    fn push(&mut self, time: SimTime, event: E) {
+    fn push(&mut self, time: SimTime, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.insert(Entry { time, seq, event });
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        EventToken(seq)
     }
 
-    /// Number of pending events.
+    /// File an entry into the wheel. The level is the position of the
+    /// highest digit where the entry's time differs from the cursor —
+    /// which is what makes slots unambiguous without modular wraparound:
+    /// a time whose level-`k` digit is *behind* the cursor's must differ
+    /// at some higher digit, so it files above, never into a stale slot.
+    fn insert(&mut self, entry: Entry<E>) {
+        let t = entry.time.as_ns();
+        debug_assert!(t >= self.cursor, "insert before wheel cursor");
+        let x = t ^ self.cursor;
+        let level = if x == 0 {
+            0
+        } else {
+            ((63 - x.leading_zeros()) / BITS) as usize
+        };
+        let slot = digit(t, level);
+        let lv = &mut self.levels[level];
+        let bucket = &mut lv.slots[slot];
+        if bucket.capacity() == 0 {
+            if let Some(recycled) = self.spare.pop() {
+                *bucket = recycled;
+            }
+        }
+        bucket.push(entry);
+        lv.occupied |= 1 << slot;
+    }
+
+    /// Make `active` hold the earliest pending entry at its tail (reaping
+    /// cancelled entries on the way). Returns `false` when no live event
+    /// remains.
+    fn ensure_front(&mut self) -> bool {
+        loop {
+            // Drain the detached bucket first: its entries carry the
+            // smallest (time, seq) keys in the whole wheel.
+            while let Some(e) = self.active.last() {
+                if !self.cancelled.is_empty() && self.cancelled.remove(&e.seq) {
+                    self.active.pop();
+                    continue;
+                }
+                return true;
+            }
+            if let Some(recycled) = {
+                let a = &mut self.active;
+                (a.capacity() > 0 && self.spare.len() < SPARE_CAP).then(|| std::mem::take(a))
+            } {
+                self.spare.push(recycled);
+            }
+            if self.live == 0 {
+                return false;
+            }
+            // Scan levels bottom-up for the next occupied slot at or
+            // beyond the cursor's digit. Lower levels always hold earlier
+            // times (a higher-level occupied slot exceeds the cursor's
+            // digit there, putting its whole window later).
+            let mut level = 0;
+            loop {
+                debug_assert!(level < LEVELS, "live events but an empty wheel");
+                let from = digit(self.cursor, level);
+                let hits = self.levels[level].occupied & (!0u64 << from);
+                if hits == 0 {
+                    level += 1;
+                    continue;
+                }
+                let slot = hits.trailing_zeros() as usize;
+                let lv = &mut self.levels[level];
+                let mut bucket = std::mem::take(&mut lv.slots[slot]);
+                lv.occupied &= !(1 << slot);
+                if level == 0 {
+                    // A level-0 bucket holds exactly one timestamp; move
+                    // the cursor there and drain it FIFO (reversed, pops
+                    // off the end).
+                    self.cursor = bucket[0].time.as_ns();
+                    bucket.reverse();
+                    self.active = bucket;
+                } else {
+                    // Cascade: advance the cursor to the window start and
+                    // re-file the bucket's entries one level (or more)
+                    // down. Entries are re-filed in stored order, which
+                    // is sequence order, so FIFO survives the cascade.
+                    let shift = BITS as usize * level;
+                    let hi = if shift + BITS as usize >= 64 {
+                        0
+                    } else {
+                        (self.cursor >> (shift + BITS as usize)) << (shift + BITS as usize)
+                    };
+                    self.cursor = hi | ((slot as u64) << shift);
+                    for e in bucket.drain(..) {
+                        self.insert(e);
+                    }
+                    if self.spare.len() < SPARE_CAP {
+                        self.spare.push(bucket);
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    /// Remove and return the earliest event `(time, event)`; `None` when
+    /// no live events remain.
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        if !self.ensure_front() {
+            return None;
+        }
+        let e = self.active.pop().expect("ensure_front guarantees a tail");
+        self.live -= 1;
+        Some((e.time, e.event))
+    }
+
+    /// Time of the earliest pending event, without removing it.
+    fn next_time(&mut self) -> Option<SimTime> {
+        if !self.ensure_front() {
+            return None;
+        }
+        Some(self.active.last().expect("non-empty").time)
+    }
+
+    /// Cancel the pending event behind `token`; `true` when this call
+    /// newly tombstoned it.
+    fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(token.0) {
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
+    }
+
+    /// Largest number of simultaneously pending events seen so far.
+    pub fn peak(&self) -> usize {
+        self.peak
     }
 }
 
@@ -168,6 +395,12 @@ impl<W: EventHandler> Simulator<W> {
         self.queue.len()
     }
 
+    /// Largest number of simultaneously pending events seen so far — the
+    /// queue-pressure figure the perf trajectory records per scenario.
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak()
+    }
+
     /// Schedule an event at absolute time `at` (must be ≥ now).
     pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
         assert!(at >= self.now, "scheduling into the past");
@@ -179,19 +412,37 @@ impl<W: EventHandler> Simulator<W> {
         self.queue.push(self.now + delay, event);
     }
 
+    /// Like [`Simulator::schedule_at`], returning a cancellation token.
+    pub fn schedule_at_cancellable(&mut self, at: SimTime, event: W::Event) -> EventToken {
+        assert!(at >= self.now, "scheduling into the past");
+        self.queue.push(at, event)
+    }
+
+    /// Like [`Simulator::schedule_in`], returning a cancellation token.
+    pub fn schedule_in_cancellable(&mut self, delay: SimTime, event: W::Event) -> EventToken {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Cancel a pending event. Returns `true` if this call newly marked
+    /// the event cancelled. See [`EventToken`] for the pending-only
+    /// contract.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.queue.cancel(token)
+    }
+
     /// Process a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some(entry) = self.queue.heap.pop() else {
+        let Some((time, event)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(entry.time >= self.now, "event from the past in queue");
-        self.now = entry.time;
+        debug_assert!(time >= self.now, "event from the past in queue");
+        self.now = time;
         self.processed += 1;
         let mut ctx = EventContext {
             now: self.now,
             queue: &mut self.queue,
         };
-        self.world.handle_event(entry.event, &mut ctx);
+        self.world.handle_event(event, &mut ctx);
         true
     }
 
@@ -204,8 +455,8 @@ impl<W: EventHandler> Simulator<W> {
     /// Events at exactly `until` are processed. The clock is left at
     /// `max(now, until)` so subsequent scheduling is relative to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(entry) = self.queue.heap.peek() {
-            if entry.time > until {
+        while let Some(t) = self.queue.next_time() {
+            if t > until {
                 break;
             }
             self.step();
@@ -319,5 +570,119 @@ mod tests {
         assert!(!sim.step());
         assert!(sim.queue.is_empty());
         assert_eq!(EventQueue::<u32>::default().len(), 0);
+    }
+
+    /// The cascade-order trap: an event filed far ahead (level > 0, low
+    /// seq) and one filed directly at the same timestamp later (level 0,
+    /// higher seq) must still fire in seq order after the first cascades
+    /// down. The wheel guarantees it structurally: a direct insert into
+    /// a window's level-0 slot can only happen once the cursor is inside
+    /// that window, i.e. strictly after the cascade filed its entries.
+    #[test]
+    fn cascaded_and_direct_same_time_keep_fifo() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        // Same timestamp, scheduled at wildly different distances: 101
+        // is filed at a high level, 102 directly near the cursor once
+        // time advances.
+        sim.schedule_at(SimTime::from_ns(1 << 20), 101); // far: level 3
+        sim.schedule_at(SimTime::from_ns(60), 100); // nudges the cursor
+        sim.run_until(SimTime::from_ns(1 << 19));
+        sim.schedule_at(SimTime::from_ns(1 << 20), 102); // near: lower level
+        sim.run();
+        let order: Vec<u32> = sim.world.log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![100, 101, 102],
+            "seq order across cascade depths"
+        );
+    }
+
+    #[test]
+    fn far_future_events_cross_every_level() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        // One event per wheel level, including the top (shift 60).
+        let mut times: Vec<u64> = (0..11).map(|k| 1u64 << (6 * k)).collect();
+        times.push(u64::MAX - 1);
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_ns(t), 100 + i as u32);
+        }
+        sim.run();
+        let got: Vec<u64> = sim.world.log.iter().map(|&(t, _)| t).collect();
+        assert_eq!(got, times, "popped in time order across all levels");
+        assert_eq!(sim.events_processed(), 12);
+    }
+
+    #[test]
+    fn cancellation_skips_events_and_updates_len() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_ns(10), 101);
+        let tok = sim.schedule_at_cancellable(SimTime::from_ns(20), 102);
+        sim.schedule_at(SimTime::from_ns(30), 103);
+        assert_eq!(sim.pending(), 3);
+        assert!(sim.cancel(tok));
+        assert!(!sim.cancel(tok), "double-cancel reports false");
+        assert_eq!(sim.pending(), 2);
+        sim.run();
+        let order: Vec<u32> = sim.world.log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![101, 103]);
+        assert_eq!(sim.events_processed(), 2, "cancelled event never fires");
+    }
+
+    /// Cancelling the sole remaining event must empty the queue (pop
+    /// returns None without firing the tombstone), and scheduling after
+    /// that works normally.
+    #[test]
+    fn cancel_last_event_then_reschedule() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        let tok = sim.schedule_at_cancellable(SimTime::from_ns(10), 1);
+        sim.cancel(tok);
+        assert!(sim.queue.is_empty());
+        sim.run();
+        assert!(sim.world.log.is_empty());
+        sim.schedule_at(SimTime::from_ns(40), 2);
+        sim.run();
+        assert_eq!(sim.world.log, vec![(40, 2)]);
+    }
+
+    #[test]
+    fn in_handler_cancellation() {
+        /// Cancels its sibling from inside the handler.
+        struct Canceller {
+            victim: Option<EventToken>,
+            log: Vec<u32>,
+        }
+        impl EventHandler for Canceller {
+            type Event = u32;
+            fn handle_event(&mut self, ev: u32, ctx: &mut EventContext<'_, u32>) {
+                self.log.push(ev);
+                if ev == 1 {
+                    let tok = ctx.schedule_in_cancellable(SimTime::from_ns(50), 99);
+                    self.victim = Some(tok);
+                    ctx.schedule_in(SimTime::from_ns(10), 2);
+                } else if ev == 2 {
+                    let tok = self.victim.take().expect("scheduled by event 1");
+                    assert!(ctx.cancel(tok));
+                }
+            }
+        }
+        let mut sim = Simulator::new(Canceller {
+            victim: None,
+            log: vec![],
+        });
+        sim.schedule_at(SimTime::from_ns(5), 1);
+        sim.run();
+        assert_eq!(sim.world.log, vec![1, 2], "99 was cancelled in flight");
+    }
+
+    #[test]
+    fn peak_pending_high_water() {
+        let mut sim = Simulator::new(Recorder { log: vec![] });
+        for i in 0..50 {
+            sim.schedule_at(SimTime::from_ns(100 + i), i as u32);
+        }
+        assert_eq!(sim.peak_pending(), 50);
+        sim.run();
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.peak_pending(), 50, "peak survives the drain");
     }
 }

@@ -40,3 +40,38 @@ fn golden_figures() {
         failures.join("\n  ")
     );
 }
+
+/// Byte-identity companion to [`golden_figures`]: every driver's fresh
+/// quick-mode CSV rendering must equal the committed golden file
+/// *byte-for-byte*, not just within the tolerance-aware cell diff. This
+/// is the contract the timing-wheel scheduler must uphold — equal-time
+/// events fire in schedule order, so replacing the event queue moves no
+/// cell anywhere — and byte equality also pins the CSV rendering
+/// itself (column order, float formatting, line endings).
+#[test]
+fn golden_figures_byte_identical() {
+    if matches!(
+        std::env::var("OPERA_BLESS").ok().as_deref(),
+        Some("1") | Some("true")
+    ) {
+        return; // a bless rewrites the files; identity is vacuous
+    }
+    let root = figures::golden_root();
+    let ctx = figures::golden_ctx(0);
+    let mut failures: Vec<String> = Vec::new();
+    for (exp, build) in figures::all() {
+        for table in build(&ctx) {
+            let path = root.join(exp.name).join(format!("{}.csv", table.name));
+            let committed = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: read {}: {e}", exp.name, path.display()));
+            if table.to_csv() != committed {
+                failures.push(format!("{}/{}", exp.name, table.name));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fresh CSV differs byte-for-byte from committed golden for: {}",
+        failures.join(", ")
+    );
+}

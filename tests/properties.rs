@@ -322,3 +322,100 @@ proptest! {
         prop_assert_eq!(merged.to_csv(), unsharded_csv);
     }
 }
+
+/// World for the timing-wheel ordering property: logs every pop and,
+/// when a spawn-tagged event fires, schedules the next follow-up —
+/// exercising direct inserts into already-cascaded windows, the one
+/// place a wheel can break FIFO order.
+struct PopLog {
+    log: Vec<(u64, u32)>,
+    followups: Vec<(u32, u64)>,
+}
+
+impl simkit::EventHandler for PopLog {
+    type Event = u32;
+    fn handle_event(&mut self, ev: u32, ctx: &mut simkit::EventContext<'_, u32>) {
+        self.log.push((ctx.now().as_ns(), ev));
+        if ev.is_multiple_of(4) {
+            if let Some((id, delta)) = self.followups.pop() {
+                ctx.schedule_in(simkit::SimTime::from_ns(delta), id);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The timing-wheel scheduler pops events in exactly the order the
+    /// old binary-heap engine did: ascending `(time, seq)`, FIFO for
+    /// equal timestamps. The schedule mixes near and far-future
+    /// timestamps (crossing every wheel level), forced equal-time ties,
+    /// cancellations, and in-handler follow-up scheduling; the oracle
+    /// is a literal `BinaryHeap` over `(time, seq)` keys fed the same
+    /// operation stream.
+    #[test]
+    fn timing_wheel_matches_heap_order(
+        raw in prop::collection::vec(0u64..(1u64 << 62), 1..48),
+        seed in 0u64..10_000,
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut rng = SimRng::new(seed);
+        // Force equal-time ties so FIFO tie-breaking is actually hit.
+        let mut times = raw.clone();
+        for i in 1..times.len() {
+            if rng.chance(0.3) {
+                times[i] = times[rng.index(i)];
+            }
+        }
+        let cancels: Vec<bool> = times.iter().map(|_| rng.chance(0.25)).collect();
+        let followups: Vec<(u32, u64)> = (0..times.len())
+            .map(|j| (1000 + j as u32, rng.next_u64() % (1 << 20)))
+            .collect();
+
+        // Reference: the old engine's semantics, literally a heap keyed
+        // by (time, seq). Sequence numbers are consumed per schedule
+        // call, cancelled or not, exactly as the engine consumes them.
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, (&t, &c)) in times.iter().zip(&cancels).enumerate() {
+            if !c {
+                heap.push(Reverse((t, seq, i as u32)));
+            }
+            seq += 1;
+        }
+        let mut model_followups = followups.clone();
+        let mut expected: Vec<(u64, u32)> = Vec::new();
+        while let Some(Reverse((t, _, id))) = heap.pop() {
+            expected.push((t, id));
+            if id.is_multiple_of(4) {
+                if let Some((nid, delta)) = model_followups.pop() {
+                    heap.push(Reverse((t + delta, seq, nid)));
+                    seq += 1;
+                }
+            }
+        }
+
+        // Real engine, same stream.
+        let mut sim = simkit::Simulator::new(PopLog {
+            log: Vec::new(),
+            followups,
+        });
+        for (i, (&t, &c)) in times.iter().zip(&cancels).enumerate() {
+            let at = simkit::SimTime::from_ns(t);
+            if c {
+                let tok = sim.schedule_at_cancellable(at, i as u32);
+                prop_assert!(sim.cancel(tok));
+            } else {
+                sim.schedule_at(at, i as u32);
+            }
+        }
+        sim.run();
+
+        prop_assert_eq!(&sim.world.log, &expected);
+        prop_assert_eq!(sim.pending(), 0);
+        prop_assert_eq!(sim.events_processed(), expected.len() as u64);
+    }
+}

@@ -8,12 +8,94 @@
 //! `name/config/targets` form).
 //!
 //! It is a real, if simple, harness: each `bench_function` runs a warm-up,
-//! then `sample_size` timed samples, and prints mean/min/max wall time per
-//! iteration. Statistical analysis, plots, and baseline comparison are out
-//! of scope; swap the real criterion back in via
-//! `[workspace.dependencies]` when registry access exists.
+//! then `sample_size` timed samples, and prints a [`Summary`]
+//! (min/median/mean/max plus the sample standard deviation) per
+//! iteration. The same measurement core ([`sample_batched`] +
+//! [`Summary::from_samples`]) backs the `bench_record` perf-trajectory
+//! binary in `crates/bench`, so bench output and committed perf records
+//! are directly comparable. Plots and baseline comparison are out of
+//! scope; swap the real criterion back in via `[workspace.dependencies]`
+//! when registry access exists.
 
 use std::time::{Duration, Instant};
+
+/// Timing statistics over one benchmark's samples.
+///
+/// `median` and `stddev` exist because single-shot wall times on shared
+/// CI runners are noisy: the median is robust to one slow outlier sample
+/// and the standard deviation quantifies how much to trust a comparison
+/// between two runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Arithmetic mean of the samples.
+    pub mean: Duration,
+    /// Median sample (lower-middle for even counts — stable, and biased
+    /// toward the *faster* half, which is the repeatable signal).
+    pub median: Duration,
+    /// Population standard deviation of the samples.
+    pub stddev: Duration,
+}
+
+impl Summary {
+    /// Summarize a non-empty sample set; `None` when `samples` is empty.
+    pub fn from_samples(samples: &[Duration]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let total: Duration = samples.iter().sum();
+        let mean = total / n as u32;
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[(n - 1) / 2];
+        let mean_ns = mean.as_nanos() as f64;
+        let var = samples
+            .iter()
+            .map(|s| {
+                let d = s.as_nanos() as f64 - mean_ns;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let stddev = Duration::from_nanos(var.sqrt().round() as u64);
+        Some(Summary {
+            samples: n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            median,
+            stddev,
+        })
+    }
+}
+
+/// The shared measurement core: one warm-up call, then `sample_size`
+/// timed calls of `routine` on fresh inputs from `setup` (setup time is
+/// excluded from every sample). Both [`Bencher::iter_batched`] and the
+/// `bench_record` trajectory recorder are thin wrappers over this, so a
+/// number printed by a bench and a number committed to `BENCH_*.json`
+/// mean the same thing.
+pub fn sample_batched<I, O, S, R>(sample_size: usize, mut setup: S, mut routine: R) -> Vec<Duration>
+where
+    S: FnMut() -> I,
+    R: FnMut(I) -> O,
+{
+    black_box(routine(setup()));
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        samples.push(start.elapsed());
+    }
+    samples
+}
 
 /// Hint for how `iter_batched` amortizes setup; accepted and ignored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,18 +135,13 @@ impl Bencher {
     }
 
     /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
-    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    pub fn iter_batched<I, O, S, R>(&mut self, setup: S, routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        black_box(routine(setup()));
-        for _ in 0..self.sample_size {
-            let input = setup();
-            let start = Instant::now();
-            black_box(routine(input));
-            self.samples.push(start.elapsed());
-        }
+        self.samples
+            .extend(sample_batched(self.sample_size, setup, routine));
     }
 }
 
@@ -112,19 +189,17 @@ impl Criterion {
             warm_up_time: self.warm_up_time,
         };
         f(&mut b);
-        if b.samples.is_empty() {
+        let Some(s) = Summary::from_samples(&b.samples) else {
             println!("{name:<40} (no samples)");
             return self;
-        }
-        let total: Duration = b.samples.iter().sum();
-        let mean = total / b.samples.len() as u32;
-        let min = b.samples.iter().min().expect("non-empty");
-        let max = b.samples.iter().max().expect("non-empty");
+        };
         println!(
-            "{name:<40} time: [{} {} {}]",
-            fmt_duration(*min),
-            fmt_duration(mean),
-            fmt_duration(*max),
+            "{name:<40} time: [{} {} {}]  mean: {}  σ: {}",
+            fmt_duration(s.min),
+            fmt_duration(s.median),
+            fmt_duration(s.max),
+            fmt_duration(s.mean),
+            fmt_duration(s.stddev),
         );
         self
     }
@@ -188,6 +263,23 @@ mod tests {
         let mut runs = 0u32;
         c.bench_function("noop", |b| b.iter(|| runs += 1));
         assert!(runs >= 3);
+    }
+
+    #[test]
+    fn summary_median_and_stddev() {
+        let ms = Duration::from_millis;
+        // Median of an even count is the lower-middle; the 100ms outlier
+        // must not move it.
+        let s = Summary::from_samples(&[ms(10), ms(12), ms(14), ms(100)]).unwrap();
+        assert_eq!(s.median, ms(12));
+        assert_eq!(s.min, ms(10));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(s.mean, ms(34));
+        // Population stddev of {10,12,14,100}ms around 34ms: √(1454) ms.
+        let want = (1454.0f64).sqrt() * 1e6;
+        let got = s.stddev.as_nanos() as f64;
+        assert!((got - want).abs() < 1e3, "stddev {got} vs {want}");
+        assert!(Summary::from_samples(&[]).is_none());
     }
 
     #[test]
