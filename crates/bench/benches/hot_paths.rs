@@ -119,6 +119,26 @@ fn bench_solvers(c: &mut Criterion) {
     c.bench_function("mcf_expander_130_20phases", |b| {
         b.iter(|| flowsim::max_concurrent_flow(exp.graph(), &tor, &dem, 10.0, 50.0, 20).lambda)
     });
+
+    // Same solve through a kept solver instance: isolates the steady
+    // state (CSR + reverse adjacency built once, scratch/heap recycled)
+    // from the one-shot wrapper above.
+    let mut solver = flowsim::McfSolver::new(exp.graph());
+    c.bench_function("mcf_expander_130_20phases_reused", |b| {
+        b.iter(|| solver.solve(&tor, &dem, 10.0, 50.0, 20).lambda)
+    });
+
+    // Warm-started α-sweep step: the prior point's multiplicative-
+    // weights state seeds the next solve, as fig10/fig12 drive it.
+    let (_, state) = solver.solve_warm(None, &tor, &dem, 10.0, 50.0, 10);
+    c.bench_function("mcf_expander_130_warm_continue_20", |b| {
+        b.iter(|| {
+            solver
+                .solve_warm(Some(&state), &tor, &dem, 10.0, 50.0, 20)
+                .0
+                .lambda
+        })
+    });
 }
 
 fn bench_spectral(c: &mut Criterion) {

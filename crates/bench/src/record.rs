@@ -25,12 +25,14 @@ use crate::{MiniTrio, QuickTrio};
 use criterion::{sample_batched, Summary};
 use expt::json::Json;
 use simkit::engine::{EventContext, EventHandler, Simulator};
-use simkit::SimTime;
+use simkit::{SimRng, SimTime};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
+use topo::cost::{expander_racks, expander_uplinks};
+use topo::expander::{ExpanderParams, ExpanderTopology};
 use workloads::dists::{FlowSizeDist, Workload};
-use workloads::gen::PoissonGen;
+use workloads::gen::{PoissonGen, ScenarioGen};
 use workloads::FlowSpec;
 
 /// Default trajectory file, at the workspace root next to `goldens/`.
@@ -65,6 +67,8 @@ pub fn run_all(full: bool) -> Vec<ScenarioResult> {
         engine_churn(full),
         fig08_shuffle_slice(full),
         fig09_websearch_slice(full),
+        mcf_solve(full),
+        mcf_sweep_warm(full),
     ]
 }
 
@@ -172,6 +176,116 @@ fn fig09_websearch_slice(full: bool) -> ScenarioResult {
     measure_net("fig09_websearch_slice", samples, horizon, move || {
         opera::opera_net::build(cfg, flows.clone())
     })
+}
+
+/// Fixed-topology Garg–Könemann solves: the cost-equivalent expander of
+/// fig12/fig15 under the hot-rack and permutation demand matrices. For
+/// the solver scenarios `events` counts **MCF solves**, so
+/// `events_per_sec` reads as solves per second, and `peak_pending` is 0
+/// (no engine queue is involved).
+fn mcf_solve(full: bool) -> ScenarioResult {
+    // Quick: the paper's k = 12 cost-equivalent expander (130 × 5 hosts)
+    // at fig12's quick-scale phase count (`mcf_iters` = 25), i.e. the
+    // solver exactly as the quick driver runs it. Full: the k = 24
+    // α = 1.0 point of the nightly fig12_k24 spot check at the full-scale
+    // phase count.
+    let (params, phases, samples) = if full {
+        (
+            ExpanderParams {
+                racks: 432,
+                uplinks: 12,
+                hosts_per_rack: 12,
+            },
+            60usize,
+            5,
+        )
+    } else {
+        (ExpanderParams::example_650(), 25, 5)
+    };
+    let rate = 10.0;
+    let exp = ExpanderTopology::generate(params, 7);
+    let tor: Vec<usize> = (0..params.racks).collect();
+    let hot = ScenarioGen::hotrack_demands(params.hosts_per_rack, rate);
+    let mut rng = SimRng::new(11);
+    let perm =
+        ScenarioGen::permutation_demands(params.racks, params.hosts_per_rack, rate, &mut rng);
+    let host_cap = params.hosts_per_rack as f64 * rate;
+    let mut solver = flowsim::McfSolver::new(exp.graph());
+    let wall = sample_batched(
+        samples,
+        || (),
+        |()| {
+            let h = solver.solve(&tor, &hot, rate, host_cap, phases);
+            let p = solver.solve(&tor, &perm, rate, host_cap, phases);
+            (h.lambda, p.lambda)
+        },
+    );
+    finish("mcf_solve", 2, wall, 0)
+}
+
+/// The fig12-shaped α-sweep: one cost-equivalent expander per α, solved
+/// in ascending-α order under hot-rack + permutation demands. Adjacent α
+/// points with the same uplink count pose the *identical* problem (same
+/// seed-7 topology, demands keyed on the uplink count), which is the
+/// warm-start reuse opportunity. `events` counts α points solved.
+fn mcf_sweep_warm(full: bool) -> ScenarioResult {
+    let (k, phases, samples) = if full {
+        (24usize, 60usize, 3)
+    } else {
+        (12, 25, 5)
+    };
+    let rate = 10.0;
+    let hosts = (3 * k * k / 4) * (k / 2);
+    let alphas: Vec<f64> = (0..=10).map(|i| 1.0 + 0.1 * i as f64).collect();
+    let points: Vec<(usize, usize, ExpanderTopology)> = alphas
+        .iter()
+        .map(|&alpha| {
+            let u = expander_uplinks(alpha, k).clamp(3, k - 1);
+            let de = k - u;
+            let racks_e = expander_racks(hosts, k, u);
+            let exp = ExpanderTopology::generate(
+                ExpanderParams {
+                    racks: racks_e,
+                    uplinks: u,
+                    hosts_per_rack: de,
+                },
+                7,
+            );
+            (u, de, exp)
+        })
+        .collect();
+    let demand_sets: Vec<(Vec<flowsim::models::Demand>, Vec<usize>, f64)> = points
+        .iter()
+        .map(|(u, de, exp)| {
+            let racks_e = exp.racks();
+            let mut demands = ScenarioGen::hotrack_demands(*de, rate);
+            // Keyed on the uplink count, not the α index, so equal-u
+            // points stay byte-identical problems.
+            let mut rng = SimRng::new(1000 + *u as u64);
+            demands.extend(ScenarioGen::permutation_demands(
+                racks_e, *de, rate, &mut rng,
+            ));
+            let tor: Vec<usize> = (0..racks_e).collect();
+            (demands, tor, *de as f64 * rate)
+        })
+        .collect();
+    let wall = sample_batched(
+        samples,
+        || (),
+        |()| {
+            let mut lambdas = Vec::with_capacity(points.len());
+            let mut prior: Option<flowsim::McfState> = None;
+            for ((_, _, exp), (demands, tor, host_cap)) in points.iter().zip(&demand_sets) {
+                let mut solver = flowsim::McfSolver::new(exp.graph());
+                let (r, state) =
+                    solver.solve_warm(prior.as_ref(), tor, demands, rate, *host_cap, phases);
+                prior = Some(state);
+                lambdas.push(r.lambda);
+            }
+            lambdas
+        },
+    );
+    finish("mcf_sweep_warm", alphas.len() as u64, wall, 0)
 }
 
 /// Measure a packet-level scenario: build the simulation per sample

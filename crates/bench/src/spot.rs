@@ -19,7 +19,7 @@
 
 use crate::PaperTrio;
 use expt::{f, f2, Cell, Table};
-use flowsim::{clos_throughput, max_concurrent_flow, opera_model};
+use flowsim::{clos_throughput, opera_model, McfSolver};
 use netsim::FlowTracker;
 use opera::{opera_net, static_net};
 use simkit::SimTime;
@@ -141,7 +141,9 @@ fn fig12_k24() -> Table {
     );
     let demands_e = ScenarioGen::hotrack_demands(de, rate);
     let tor: Vec<usize> = (0..racks_e).collect();
-    let e = max_concurrent_flow(exp.graph(), &tor, &demands_e, rate, de as f64 * rate, 60).lambda;
+    let e = McfSolver::new(exp.graph())
+        .solve(&tor, &demands_e, rate, de as f64 * rate, 60)
+        .lambda;
     let c = clos_throughput(ALPHA);
 
     let mut out = Table::new(

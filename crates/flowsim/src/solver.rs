@@ -94,9 +94,10 @@ pub fn max_min_rates(inst: &Instance) -> Vec<f64> {
         }
     }
 
+    let mut load = vec![0.0; inst.links()];
     loop {
         // Load per link from unfrozen flows.
-        let mut load = vec![0.0; inst.links()];
+        load.fill(0.0);
         let mut any = false;
         for (f, &is_frozen) in frozen.iter().enumerate() {
             if is_frozen {
