@@ -1,0 +1,12 @@
+//! Ablation: switch-policy × transport matrix under incast and victim
+//! workloads.
+//!
+//! Thin wrapper over [`bench::figures::ablate_transport`]; all sweep/output
+//! logic lives in the shared `expt` harness.
+
+fn main() {
+    expt::run_main(
+        bench::figures::ablate_transport::EXPERIMENT,
+        bench::figures::ablate_transport::tables,
+    );
+}

@@ -32,10 +32,9 @@ pub fn tables(ctx: &Ctx) -> Vec<Table> {
         let mut cfg = OperaNetConfig::small_test();
         cfg.params.racks = racks;
         cfg.bulk_threshold = u64::MAX;
-        cfg.queues = QueueConfig {
-            cap_bytes: [12_000, kb * 1000, 24_000],
-            trim: true,
-        };
+        cfg.queues = QueueConfig::builder()
+            .caps([12_000, kb * 1000, 24_000])
+            .build();
         // Incast: many senders to hosts of one rack.
         let mut rng = rc.rng_stream(3);
         let hosts = cfg.hosts();

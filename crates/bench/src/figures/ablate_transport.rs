@@ -1,0 +1,248 @@
+//! Ablation: the switch-policy × transport matrix.
+//!
+//! The paper commits to one pairing — NDP over trimming switches for the
+//! low-latency class (§4.2) — with a sentence of justification. This
+//! ablation makes the alternatives concrete: every
+//! [`netsim::SwitchPolicyKind`] (drop-tail, NDP trim, PFC, ECN marking)
+//! crossed with every [`transport::TransportKind`] (NDP, DCTCP,
+//! go-back-N) on three topologies (Opera's time-varying expander, a
+//! static expander, a folded Clos), under the two workloads where the
+//! pairing matters most:
+//!
+//! * **incast** — many senders converge on one host; the switch queue at
+//!   the last hop is the whole story;
+//! * **victim** — one moderate flow shares that congested region; its
+//!   FCT shows collateral damage (PFC head-of-line blocking, drop-tail
+//!   timeouts) that aggregate counters hide.
+//!
+//! Mismatched pairings are run on purpose: go-back-N over trimming
+//! switches recovers trims only by timeout, DCTCP over drop-tail sees no
+//! marks, NDP over PFC never trims. The `completed`/`dropped`/`trimmed`/
+//! `marked` columns make each mechanism's fingerprint visible.
+
+use expt::{Cell, Ctx, Experiment, MetricFmt, RepTableBuilder, Sweep, Table};
+use netsim::fabric::QueueConfig;
+use netsim::policy::{DropTail, EcnMark, NdpTrim, Pfc};
+use netsim::{FlowTracker, SwitchPolicyKind};
+use opera::static_net::{StaticNetConfig, StaticTopologyKind};
+use opera::{opera_net, static_net, OperaNetConfig};
+use simkit::stats::Samples;
+use simkit::{SimRng, SimTime};
+use topo::clos::ClosParams;
+use transport::{DctcpParams, GoBackNParams, NdpParams, TransportKind};
+use workloads::FlowSpec;
+
+/// Driver identity.
+pub const EXPERIMENT: Experiment = Experiment {
+    name: "ablate_transport",
+    title: "Ablation: switch policy x transport matrix (incast + victim workloads)",
+};
+
+/// One point of the matrix sweep.
+type Combo = (
+    &'static str,
+    SwitchPolicyKind,
+    &'static str,
+    TransportKind,
+    &'static str,
+);
+
+fn policies() -> [(&'static str, SwitchPolicyKind); 4] {
+    [
+        ("droptail", SwitchPolicyKind::from(DropTail)),
+        ("ndp_trim", SwitchPolicyKind::from(NdpTrim)),
+        ("pfc", SwitchPolicyKind::from(Pfc::paper_default())),
+        ("ecn", SwitchPolicyKind::from(EcnMark::paper_default())),
+    ]
+}
+
+fn transports() -> [(&'static str, TransportKind); 3] {
+    [
+        ("ndp", TransportKind::Ndp(NdpParams::paper_default())),
+        ("dctcp", TransportKind::Dctcp(DctcpParams::paper_default())),
+        (
+            "gbn",
+            TransportKind::GoBackN(GoBackNParams::paper_default()),
+        ),
+    ]
+}
+
+const TOPOLOGIES: [&str; 3] = ["opera", "expander", "clos"];
+
+/// Flow list for one scenario. The victim (when present) starts at t=0,
+/// strictly before every jittered background flow, so after the sorted
+/// injection it is always flow id 0.
+fn scenario_flows(
+    scenario: &str,
+    hosts: usize,
+    senders: usize,
+    size: u64,
+    rng: &mut SimRng,
+) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    if scenario == "victim" {
+        flows.push(FlowSpec {
+            src: hosts / 2,
+            dst: 1, // same edge switch as the incast target
+            size: 2 * size,
+            start: SimTime::ZERO,
+        });
+    }
+    for _ in 0..senders {
+        // Senders from the upper three quarters of hosts: never the
+        // incast target's rack, on any of the three topologies.
+        flows.push(FlowSpec {
+            src: hosts / 4 + rng.index(hosts - hosts / 4),
+            dst: 0,
+            size,
+            start: SimTime::from_us(1 + rng.below(20)),
+        });
+    }
+    flows
+}
+
+/// Metrics of one simulated point, aligned with [`METRICS`].
+fn metrics_of(
+    tracker: &FlowTracker,
+    counters: &netsim::fabric::FabricCounters,
+    victim: bool,
+) -> Vec<f64> {
+    let mut fcts = Samples::new();
+    for f in tracker.flows() {
+        if let Some(t) = f.fct() {
+            fcts.push(t.as_us_f64());
+        }
+    }
+    let victim_fct = if victim {
+        tracker.get(0).fct().map(|t| t.as_us_f64())
+    } else {
+        None
+    };
+    // Absent values (no completions; victim column on incast rows) are 0,
+    // not NaN: the replicate summarizer rejects NaN samples.
+    vec![
+        tracker.completed() as f64,
+        tracker.len() as f64,
+        fcts.mean().unwrap_or(0.0),
+        fcts.quantile(0.99).unwrap_or(0.0),
+        victim_fct.unwrap_or(0.0),
+        counters.dropped as f64,
+        counters.trimmed as f64,
+        counters.ecn_marked as f64,
+    ]
+}
+
+/// Metric columns of the matrix table.
+const METRICS: [(&str, MetricFmt); 8] = [
+    ("completed", expt::f2),
+    ("offered", expt::f2),
+    ("avg_fct_us", expt::f2),
+    ("p99_fct_us", expt::f2),
+    ("victim_fct_us", expt::f2),
+    ("dropped", expt::f2),
+    ("trimmed", expt::f2),
+    ("marked", expt::f2),
+];
+
+/// Build the matrix table: every policy × transport × topology point,
+/// incast and victim scenarios as separate rows of the same point.
+pub fn tables(ctx: &Ctx) -> Vec<Table> {
+    let senders: usize = ctx.by_scale(8, 16, 24);
+    let size: u64 = ctx.by_scale(15_000, 30_000, 30_000);
+    let racks: usize = ctx.by_scale(8, 8, 16);
+
+    let mut combos: Vec<Combo> = Vec::new();
+    for topo in TOPOLOGIES {
+        for (pl, pk) in policies() {
+            for (tl, tk) in transports() {
+                combos.push((pl, pk, tl, tk, topo));
+            }
+        }
+    }
+    let sweep = Sweep::grid1(&combos, |c| c);
+    let sref = ctx.sweep_ref(&sweep);
+
+    let per_point = ctx.run_replicated(&sweep, |&(pl, pk, tl, tk, topo), rc| {
+        let mut rows = Vec::new();
+        for scenario in ["incast", "victim"] {
+            let mut rng = rc.rng_stream(match scenario {
+                "incast" => 5,
+                _ => 6,
+            });
+            let victim = scenario == "victim";
+            let key = vec![
+                Cell::from(pl),
+                Cell::from(tl),
+                Cell::from(topo),
+                Cell::from(scenario),
+            ];
+            let metrics = match topo {
+                "opera" => {
+                    let mut cfg = OperaNetConfig::small_test();
+                    cfg.params.racks = racks;
+                    cfg.bulk_threshold = u64::MAX; // everything low-latency
+                    cfg.queues = QueueConfig::builder().policy(pk).build();
+                    cfg.transport = tk;
+                    let flows = scenario_flows(scenario, cfg.hosts(), senders, size, &mut rng);
+                    let mut sim = opera_net::build(cfg, flows);
+                    sim.world.logic.set_hello_enabled(false);
+                    sim.run_until(SimTime::from_ms(40));
+                    metrics_of(
+                        sim.world.logic.tracker(),
+                        &sim.world.fabric.counters,
+                        victim,
+                    )
+                }
+                "expander" => {
+                    let mut cfg = StaticNetConfig::small_expander();
+                    cfg.queues = QueueConfig::builder().policy(pk).build();
+                    cfg.transport = tk;
+                    let flows = scenario_flows(scenario, 32, senders, size, &mut rng);
+                    let mut sim = static_net::build(cfg, flows);
+                    sim.run_until(SimTime::from_ms(40));
+                    metrics_of(
+                        sim.world.logic.tracker(),
+                        &sim.world.fabric.counters,
+                        victim,
+                    )
+                }
+                _ => {
+                    let params = ClosParams {
+                        radix: 4,
+                        oversubscription: 1,
+                    };
+                    let hosts = params.hosts();
+                    let mut cfg = StaticNetConfig::small_expander();
+                    cfg.kind = StaticTopologyKind::FoldedClos(params);
+                    cfg.queues = QueueConfig::builder().policy(pk).build();
+                    cfg.transport = tk;
+                    let flows = scenario_flows(scenario, hosts, senders, size, &mut rng);
+                    let mut sim = static_net::build(cfg, flows);
+                    sim.run_until(SimTime::from_ms(40));
+                    metrics_of(
+                        sim.world.logic.tracker(),
+                        &sim.world.fabric.counters,
+                        victim,
+                    )
+                }
+            };
+            rows.push((key, metrics));
+        }
+        rows
+    });
+
+    let mut out = RepTableBuilder::new(
+        "matrix",
+        &["policy", "transport", "topology", "scenario"],
+        &METRICS,
+    )
+    .for_sweep(&sref);
+    for (point, &p) in per_point.into_iter().zip(&sref.owned) {
+        for rep in point {
+            for (key, metrics) in rep {
+                out.push_at(p, key, &metrics);
+            }
+        }
+    }
+    vec![out.build()]
+}

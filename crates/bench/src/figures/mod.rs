@@ -8,6 +8,7 @@
 
 pub mod ablate_design;
 pub mod ablate_queue;
+pub mod ablate_transport;
 pub mod fig01;
 pub mod fig04;
 pub mod fig07;
@@ -58,6 +59,7 @@ pub fn all() -> Vec<(Experiment, BuildFn)> {
         (table2::EXPERIMENT, table2::tables),
         (ablate_design::EXPERIMENT, ablate_design::tables),
         (ablate_queue::EXPERIMENT, ablate_queue::tables),
+        (ablate_transport::EXPERIMENT, ablate_transport::tables),
     ]
 }
 
@@ -198,11 +200,11 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_nonempty() {
         let defs = all();
-        assert_eq!(defs.len(), 19);
+        assert_eq!(defs.len(), 20);
         let mut names: Vec<&str> = defs.iter().map(|(e, _)| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 19, "duplicate experiment names");
+        assert_eq!(names.len(), 20, "duplicate experiment names");
         for (e, _) in &defs {
             assert!(!e.name.is_empty() && !e.title.is_empty());
         }

@@ -13,9 +13,7 @@
 //! point in the wrong shard, matching schema and flags, and identical
 //! constant rows. Each failure mode is a distinct [`MergeError`]
 //! variant, so a dropped or duplicated shard is named, not scrambled
-//! into the output. The legacy rendered-CSV merge
-//! ([`merge_sharded_csv`]) is kept only for one-row-per-point tables
-//! and is deprecated.
+//! into the output.
 
 use crate::json::{self, Json};
 use crate::table::{Cell, Table};
@@ -353,10 +351,9 @@ impl TableDoc {
     }
 }
 
-/// A validation failure while merging shard documents (or, for
-/// [`MergeError::RowCountMismatch`], while merging legacy rendered
-/// CSVs). Every failure mode the merge guards against is a distinct
-/// variant, so CI and tests can assert on *which* invariant broke.
+/// A validation failure while merging shard documents. Every failure
+/// mode the merge guards against is a distinct variant, so CI and tests
+/// can assert on *which* invariant broke.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MergeError {
     /// No shard documents were given.
@@ -456,15 +453,6 @@ pub enum MergeError {
         /// Rendered row in the first document.
         want: String,
     },
-    /// Legacy CSV merge: the data-row count does not equal the sweep
-    /// point count, so the round-robin interleave would scramble a
-    /// multi-row-per-point table.
-    RowCountMismatch {
-        /// Total data rows across the shard CSVs.
-        rows: usize,
-        /// Expected sweep point count.
-        points: usize,
-    },
 }
 
 impl fmt::Display for MergeError {
@@ -538,11 +526,6 @@ impl fmt::Display for MergeError {
             } => write!(
                 f,
                 "{table}: constant row {row} differs between shards: got `{got}` want `{want}`"
-            ),
-            MergeError::RowCountMismatch { rows, points } => write!(
-                f,
-                "csv merge: {rows} data row(s) for {points} sweep point(s); the rendered-CSV \
-                 merge only supports one row per point — use the JSON shard merge instead"
             ),
         }
     }
@@ -806,80 +789,7 @@ pub fn write_tables(dir: &Path, tables: &[Table], meta: &RunMeta) -> io::Result<
     Ok(paths)
 }
 
-/// Merge per-shard CSV renderings of one table back into the unsharded
-/// row order, for tables with **exactly one row per sweep point**.
-///
-/// `points` is the expected data-row count of the *merged* table — the
-/// sweep's total point count for a one-row-per-point sweep table, or
-/// the (per-shard, identical) row count for a table built outside any
-/// sweep, which every shard renders identically and which passes
-/// through as-is. When the merged row count would differ from
-/// `points`, the merge refuses with [`MergeError::RowCountMismatch`]
-/// instead of silently round-robin scrambling a multi-row-per-point
-/// table (the failure mode that made this API unsafe).
-#[deprecated(
-    note = "merge table documents with `merge_shard_docs` instead: the JSON merge \
-            validates point-index completeness and supports multi-row-per-point tables"
-)]
-pub fn merge_sharded_csv(parts: &[String], points: usize) -> Result<String, MergeError> {
-    if parts.is_empty() {
-        return Err(MergeError::NoShards);
-    }
-    if parts.iter().all(|p| p == &parts[0]) {
-        // Constant (non-sweep) table: every shard computed the same
-        // rows. Still held to the count (`points` = expected row
-        // count), so identical-looking *partial* shards — e.g. every
-        // point rendering the same row — cannot slip through as a
-        // short table.
-        let rows = parts[0].lines().count().saturating_sub(1);
-        if rows != points {
-            return Err(MergeError::RowCountMismatch { rows, points });
-        }
-        return Ok(parts[0].clone());
-    }
-    let split: Vec<(&str, Vec<&str>)> = parts
-        .iter()
-        .map(|p| {
-            let mut lines = p.lines();
-            let header = lines.next().unwrap_or("");
-            (header, lines.collect())
-        })
-        .collect();
-    let header = split[0].0;
-    if let Some((h, _)) = split.iter().find(|(h, _)| *h != header) {
-        return Err(MergeError::SchemaMismatch {
-            table: String::new(),
-            field: "columns",
-            got: h.to_string(),
-            want: header.to_string(),
-        });
-    }
-    let n = split.len();
-    let total: usize = split.iter().map(|(_, rows)| rows.len()).sum();
-    if total != points {
-        return Err(MergeError::RowCountMismatch {
-            rows: total,
-            points,
-        });
-    }
-    let mut out = String::with_capacity(parts.iter().map(String::len).sum());
-    out.push_str(header);
-    out.push('\n');
-    for j in 0..total {
-        let (_, rows) = &split[j % n];
-        let row = rows.get(j / n).ok_or(MergeError::MissingPointIndex {
-            table: String::new(),
-            point: j,
-            expected_shard: j % n,
-        })?;
-        out.push_str(row);
-        out.push('\n');
-    }
-    Ok(out)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::sweep::SweepRef;
@@ -1100,49 +1010,6 @@ mod tests {
         // Single unsharded doc passes through.
         let solo = TableDoc::from_table(&t, &meta(None));
         assert_eq!(merge_shard_docs(std::slice::from_ref(&solo)).unwrap(), solo);
-    }
-
-    #[test]
-    fn legacy_csv_merge_restores_one_row_per_point_order() {
-        // 7 points over 3 shards: 0,3,6 / 1,4 / 2,5.
-        let unsharded = "x,y\n0,a\n1,b\n2,c\n3,d\n4,e\n5,f\n6,g\n";
-        let parts = vec![
-            "x,y\n0,a\n3,d\n6,g\n".to_string(),
-            "x,y\n1,b\n4,e\n".to_string(),
-            "x,y\n2,c\n5,f\n".to_string(),
-        ];
-        assert_eq!(merge_sharded_csv(&parts, 7).unwrap(), unsharded);
-        // Constant tables pass through.
-        let same = "k,v\n1,2\n".to_string();
-        assert_eq!(
-            merge_sharded_csv(&[same.clone(), same.clone()], 1).unwrap(),
-            same
-        );
-    }
-
-    #[test]
-    fn legacy_csv_merge_rejects_multirow_tables() {
-        assert_eq!(merge_sharded_csv(&[], 0).unwrap_err(), MergeError::NoShards);
-        // Mismatched headers.
-        let parts = vec!["a,b\n1,2\n".to_string(), "a,c\n3,4\n".to_string()];
-        assert!(matches!(
-            merge_sharded_csv(&parts, 2).unwrap_err(),
-            MergeError::SchemaMismatch { .. }
-        ));
-        // Two rows per point (4 rows, 2 points): refused by name rather
-        // than scrambled.
-        let parts = vec!["h\np0a\np0b\n".to_string(), "h\np1a\np1b\n".to_string()];
-        assert_eq!(
-            merge_sharded_csv(&parts, 2).unwrap_err(),
-            MergeError::RowCountMismatch { rows: 4, points: 2 }
-        );
-        // Identical-looking *partial* shards (every point rendering the
-        // same row) must not pass through as a short table.
-        let same = "h\nx\nx\n".to_string();
-        assert_eq!(
-            merge_sharded_csv(&[same.clone(), same], 4).unwrap_err(),
-            MergeError::RowCountMismatch { rows: 2, points: 4 }
-        );
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //! peer captured at dequeue time, so an in-flight packet is unaffected by a
 //! later rewire — matching the physical behavior the guard bands of §3.5
 //! protect.
+//!
+//! What happens when a packet meets a full (or filling) queue is the
+//! port's [`SwitchPolicy`] — trim, drop, mark, or pause upstream; see
+//! [`crate::policy`].
 
 use crate::packet::{Packet, PacketArena, PacketRef, Priority, PRIORITY_LEVELS};
+use crate::policy::{QueueView, SwitchPolicyKind, Verdict};
 use simkit::engine::EventContext;
 use simkit::time::serialization_ns;
 use simkit::SimTime;
@@ -25,35 +30,77 @@ pub type NodeId = usize;
 /// Port index within a node.
 pub type PortId = usize;
 
-/// Per-port queue capacities, bytes per priority level.
+/// Per-port queue capacities and queueing policy.
 ///
-/// The paper's Opera configuration uses 12 KB data queues with an
-/// equal-sized header queue (§4.2.1) — see [`QueueConfig::opera_default`].
+/// Built with [`QueueConfig::builder`]; the default matches the paper's
+/// Opera configuration — 12 KB data queues with an equal-sized header
+/// queue (§4.2.1) and NDP trimming.
 #[derive(Debug, Clone, Copy)]
 pub struct QueueConfig {
     /// Capacity in bytes for each priority level's queue.
     pub cap_bytes: [u64; PRIORITY_LEVELS],
-    /// Trim over-capacity low-latency data to headers instead of dropping
-    /// (NDP behavior).
-    pub trim: bool,
+    /// The queueing decision at this port (trim / drop / mark / pause).
+    pub policy: SwitchPolicyKind,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig::builder().build()
+    }
 }
 
 impl QueueConfig {
-    /// Opera defaults: 12 KB header queue, 12 KB low-latency data queue
-    /// (8 full packets), 24 KB bulk staging queue.
-    pub fn opera_default() -> Self {
-        QueueConfig {
-            cap_bytes: [12_000, 12_000, 24_000],
-            trim: true,
+    /// Start from the paper's defaults: 12 KB header queue, 12 KB
+    /// low-latency data queue (8 full packets), 24 KB bulk staging queue,
+    /// NDP trimming.
+    pub fn builder() -> QueueConfigBuilder {
+        QueueConfigBuilder {
+            cfg: QueueConfig {
+                cap_bytes: [12_000, 12_000, 24_000],
+                policy: SwitchPolicyKind::default(),
+            },
         }
     }
+}
 
-    /// Effectively unbounded queues (host NIC staging, debugging).
-    pub fn unbounded() -> Self {
-        QueueConfig {
-            cap_bytes: [u64::MAX; PRIORITY_LEVELS],
-            trim: false,
-        }
+/// Builder for [`QueueConfig`] — capacities compose with a
+/// [`SwitchPolicy`](crate::policy::SwitchPolicy) implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfigBuilder {
+    cfg: QueueConfig,
+}
+
+impl QueueConfigBuilder {
+    /// Set all three per-priority capacities, bytes.
+    pub fn caps(mut self, cap_bytes: [u64; PRIORITY_LEVELS]) -> Self {
+        self.cfg.cap_bytes = cap_bytes;
+        self
+    }
+
+    /// Set one priority level's capacity, bytes.
+    pub fn cap(mut self, prio: Priority, bytes: u64) -> Self {
+        self.cfg.cap_bytes[prio as usize] = bytes;
+        self
+    }
+
+    /// Effectively unbounded lossless queues (host NIC staging,
+    /// debugging): every capacity maxed, plain drop-tail (which can then
+    /// never fire).
+    pub fn unbounded(mut self) -> Self {
+        self.cfg.cap_bytes = [u64::MAX; PRIORITY_LEVELS];
+        self.cfg.policy = SwitchPolicyKind::DropTail(crate::policy::DropTail);
+        self
+    }
+
+    /// Select the queueing policy.
+    pub fn policy(mut self, policy: impl Into<SwitchPolicyKind>) -> Self {
+        self.cfg.policy = policy.into();
+        self
+    }
+
+    /// Finish the config.
+    pub fn build(self) -> QueueConfig {
+        self.cfg
     }
 }
 
@@ -84,7 +131,7 @@ impl LinkSpec {
 /// Result of [`Fabric::send`], so callers can react to loss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendOutcome {
-    /// Packet queued (or already transmitting).
+    /// Packet queued (or already transmitting), possibly ECN-marked.
     Queued,
     /// Data queue was full; packet trimmed to a header and queued at
     /// control priority.
@@ -104,6 +151,11 @@ struct Port {
     peer: Option<(NodeId, PortId)>,
     busy: bool,
     failed: bool,
+    /// A downstream peer sent a PFC pause frame: no dequeues until resume.
+    paused: bool,
+    /// This port's queues crossed its policy's pause threshold and count
+    /// toward the owning node's congested-port total.
+    congesting: bool,
 }
 
 impl Port {
@@ -116,11 +168,20 @@ impl Port {
             peer: None,
             busy: false,
             failed: false,
+            paused: false,
+            congesting: false,
         }
     }
 
     fn total_queued(&self) -> u64 {
         self.queued_bytes.iter().sum()
+    }
+
+    fn view(&self) -> QueueView<'_> {
+        QueueView {
+            queued_bytes: &self.queued_bytes,
+            cap_bytes: &self.cfg.cap_bytes,
+        }
     }
 }
 
@@ -139,6 +200,10 @@ pub struct FabricCounters {
     pub failed_drops: u64,
     /// Packets fully delivered to a peer node.
     pub delivered: u64,
+    /// Data packets ECN-marked at enqueue ([`crate::policy::EcnMark`]).
+    pub ecn_marked: u64,
+    /// PFC pause frames sent to upstream peers ([`crate::policy::Pfc`]).
+    pub pause_frames: u64,
 }
 
 /// Events routed through the simulator for the fabric/logic pair.
@@ -160,6 +225,17 @@ pub enum NetEvent {
         /// The now-idle port.
         port: PortId,
     },
+    /// A PFC pause or resume frame reached `node`'s `port` (sent by the
+    /// port's downstream peer; modeled out-of-band so pause frames cannot
+    /// be stuck behind the very queues they exist to relieve).
+    PauseChange {
+        /// Node whose port is being paused/resumed.
+        node: NodeId,
+        /// The paused/resumed port.
+        port: PortId,
+        /// True to pause, false to resume.
+        paused: bool,
+    },
     /// Logic-defined timer.
     Timer {
         /// Opaque token chosen by the logic when scheduling.
@@ -171,6 +247,9 @@ pub enum NetEvent {
 #[derive(Debug, Default)]
 pub struct Fabric {
     nodes: Vec<Vec<Port>>,
+    /// Per-node count of ports currently above their pause threshold;
+    /// pause frames go out on 0→1, resumes on 1→0.
+    congested: Vec<u32>,
     /// Slab backing every queued packet; slots recycle through a free
     /// list, so steady-state forwarding allocates nothing per packet.
     arena: PacketArena,
@@ -192,6 +271,7 @@ impl Fabric {
         let id = self.nodes.len();
         self.nodes
             .push((0..ports).map(|_| Port::new(cfg, link)).collect());
+        self.congested.push(0);
         id
     }
 
@@ -217,13 +297,19 @@ impl Fabric {
         assert!(self.nodes[b][pb].peer.is_none(), "port {b}.{pb} wired");
         self.nodes[a][pa].peer = Some((b, pb));
         self.nodes[b][pb].peer = Some((a, pa));
+        // A pause frame from a previous wiring no longer binds.
+        self.nodes[a][pa].paused = false;
+        self.nodes[b][pb].paused = false;
     }
 
     /// Disconnect a port pair (both directions). No-op if unwired.
+    /// Unplugging clears any PFC pause on either end.
     pub fn disconnect(&mut self, a: NodeId, pa: PortId) {
         if let Some((b, pb)) = self.nodes[a][pa].peer.take() {
             self.nodes[b][pb].peer = None;
+            self.nodes[b][pb].paused = false;
         }
+        self.nodes[a][pa].paused = false;
     }
 
     /// Atomically repoint `a.pa ↔ b.pb`, detaching any previous peers —
@@ -273,14 +359,21 @@ impl Fabric {
         self.nodes[node][port].busy
     }
 
+    /// True while the port is paused by a downstream PFC pause frame.
+    pub fn is_paused(&self, node: NodeId, port: PortId) -> bool {
+        self.nodes[node][port].paused
+    }
+
     /// The link spec of a port.
     pub fn link(&self, node: NodeId, port: PortId) -> LinkSpec {
         self.nodes[node][port].link
     }
 
     /// Enqueue `packet` for transmission out of `node.port`, starting
-    /// transmission immediately if the port is idle. Applies the port's
-    /// queue policy (trim / drop).
+    /// transmission immediately if the port is idle and unpaused. The
+    /// port's [`SwitchPolicy`](crate::policy::SwitchPolicy) decides the
+    /// packet's fate (enqueue / mark / trim / drop) and whether upstream
+    /// peers must be paused.
     pub fn send(
         &mut self,
         ctx: &mut EventContext<'_, NetEvent>,
@@ -288,25 +381,20 @@ impl Fabric {
         port: PortId,
         packet: Packet,
     ) -> SendOutcome {
-        let p = &mut self.nodes[node][port];
-        let lvl = packet.prio as usize;
-        let fits = p.queued_bytes[lvl] + packet.size as u64 <= p.cfg.cap_bytes[lvl];
-
-        let (packet, outcome) = if fits {
-            (packet, SendOutcome::Queued)
-        } else if p.cfg.trim && packet.prio == Priority::LowLatency && packet.payload() > 0 {
-            // NDP: cut the payload, keep the header at control priority.
-            let trimmed = packet.trim();
-            let clvl = trimmed.prio as usize;
-            if p.queued_bytes[clvl] + trimmed.size as u64 <= p.cfg.cap_bytes[clvl] {
-                (trimmed, SendOutcome::Trimmed)
-            } else {
+        let p = &self.nodes[node][port];
+        let (packet, outcome) = match p.cfg.policy.as_dyn().admit(p.view(), &packet) {
+            Verdict::Enqueue => (packet, SendOutcome::Queued),
+            Verdict::Mark => {
+                let mut marked = packet;
+                marked.ecn_ce = true;
+                self.counters.ecn_marked += 1;
+                (marked, SendOutcome::Queued)
+            }
+            Verdict::Trim => (packet.trim(), SendOutcome::Trimmed),
+            Verdict::Drop => {
                 self.counters.dropped += 1;
                 return SendOutcome::Dropped;
             }
-        } else {
-            self.counters.dropped += 1;
-            return SendOutcome::Dropped;
         };
 
         let lvl = packet.prio as usize;
@@ -315,27 +403,25 @@ impl Fabric {
         let p = &mut self.nodes[node][port];
         p.queues[lvl].push_back(r);
         p.queued_bytes[lvl] += size;
-        let busy = p.busy;
+        let idle = !p.busy && !p.paused;
         match outcome {
             SendOutcome::Trimmed => self.counters.trimmed += 1,
             _ => self.counters.queued += 1,
         }
-        if !busy {
+        if idle {
             self.start_tx(ctx, node, port);
         }
+        self.check_pause(ctx, node, port);
         outcome
     }
 
     /// Dequeue the highest-priority packet and put it on the wire.
     fn start_tx(&mut self, ctx: &mut EventContext<'_, NetEvent>, node: NodeId, port: PortId) {
         let Fabric {
-            nodes,
-            arena,
-            counters: _,
-            loss,
+            nodes, arena, loss, ..
         } = self;
         let p = &mut nodes[node][port];
-        debug_assert!(!p.busy);
+        debug_assert!(!p.busy && !p.paused);
         let Some(lvl) = (0..PRIORITY_LEVELS).find(|&l| !p.queues[l].is_empty()) else {
             return;
         };
@@ -368,6 +454,7 @@ impl Fabric {
             Some(_) => self.counters.failed_drops += 1,
             None => self.counters.dark_drops += 1,
         }
+        self.check_resume(ctx, node, port);
     }
 
     /// Handle a [`NetEvent::PortFree`]: mark idle and continue draining.
@@ -380,13 +467,83 @@ impl Fabric {
         let p = &mut self.nodes[node][port];
         debug_assert!(p.busy);
         p.busy = false;
-        if p.queues.iter().any(|q| !q.is_empty()) {
+        if !p.paused && p.queues.iter().any(|q| !q.is_empty()) {
             self.start_tx(ctx, node, port);
+        }
+    }
+
+    /// Handle a [`NetEvent::PauseChange`]: a downstream PFC pause/resume
+    /// frame arrived at `node.port`.
+    pub fn on_pause_change(
+        &mut self,
+        ctx: &mut EventContext<'_, NetEvent>,
+        node: NodeId,
+        port: PortId,
+        paused: bool,
+    ) {
+        let p = &mut self.nodes[node][port];
+        p.paused = paused;
+        if !paused && !p.busy && p.queues.iter().any(|q| !q.is_empty()) {
+            self.start_tx(ctx, node, port);
+        }
+    }
+
+    /// After an enqueue: latch the port as congesting when its policy asks
+    /// to pause, and pause every upstream peer of the node on the first
+    /// congested port (frames arrive after one propagation delay).
+    fn check_pause(&mut self, ctx: &mut EventContext<'_, NetEvent>, node: NodeId, port: PortId) {
+        let p = &self.nodes[node][port];
+        if p.congesting || !p.cfg.policy.as_dyn().should_pause(p.view()) {
+            return;
+        }
+        self.nodes[node][port].congesting = true;
+        self.congested[node] += 1;
+        if self.congested[node] == 1 {
+            self.signal_peers(ctx, node, true);
+        }
+    }
+
+    /// After a dequeue: un-latch a congesting port once its policy allows
+    /// resumption, and resume upstream peers when the node's last
+    /// congested port clears.
+    fn check_resume(&mut self, ctx: &mut EventContext<'_, NetEvent>, node: NodeId, port: PortId) {
+        let p = &self.nodes[node][port];
+        if !p.congesting || !p.cfg.policy.as_dyn().should_resume(p.view()) {
+            return;
+        }
+        self.nodes[node][port].congesting = false;
+        self.congested[node] -= 1;
+        if self.congested[node] == 0 {
+            self.signal_peers(ctx, node, false);
+        }
+    }
+
+    /// Send a pause (or resume) frame to the peer of every wired port of
+    /// `node`.
+    fn signal_peers(&mut self, ctx: &mut EventContext<'_, NetEvent>, node: NodeId, paused: bool) {
+        for q in &self.nodes[node] {
+            if let Some((pn, pp)) = q.peer {
+                if paused {
+                    self.counters.pause_frames += 1;
+                }
+                ctx.schedule_in(
+                    q.link.delay,
+                    NetEvent::PauseChange {
+                        node: pn,
+                        port: pp,
+                        paused,
+                    },
+                );
+            }
         }
     }
 
     /// Drop every queued bulk packet at a port, returning them — used by
     /// the RotorLB NACK path when a transmission window closes (§4.2.2).
+    ///
+    /// Note: this path does not emit PFC resumes (it has no event
+    /// context); [`crate::policy::Pfc`] is intended for the low-latency
+    /// datapath, not RotorLB bulk staging.
     pub fn drain_bulk(&mut self, node: NodeId, port: PortId) -> Vec<Packet> {
         let Fabric { nodes, arena, .. } = self;
         let p = &mut nodes[node][port];
@@ -406,6 +563,7 @@ impl Fabric {
 mod tests {
     use super::*;
     use crate::packet::{PacketKind, HEADER_SIZE, MTU};
+    use crate::policy::{DropTail, EcnMark, Pfc};
     use simkit::engine::{EventHandler, Simulator};
 
     /// World capturing arrivals for fabric unit tests.
@@ -423,6 +581,9 @@ mod tests {
                 }
                 NetEvent::PortFree { node, port } => {
                     self.fabric.on_port_free(ctx, node, port);
+                }
+                NetEvent::PauseChange { node, port, paused } => {
+                    self.fabric.on_pause_change(ctx, node, port, paused);
                 }
                 NetEvent::Timer { .. } => {}
             }
@@ -443,7 +604,7 @@ mod tests {
     #[test]
     fn single_packet_timing() {
         let sim = run_burst(
-            QueueConfig::opera_default(),
+            QueueConfig::builder().build(),
             vec![Packet::data(0, 0, 1, 0, MTU)],
         );
         let arr = &sim.world.inner.arrivals;
@@ -490,7 +651,7 @@ mod tests {
             Packet::data(0, 0, 1, 1, MTU),
             Packet::control(0, 0, 1, PacketKind::Pull { count: 1 }),
         ];
-        let sim = run_burst(QueueConfig::opera_default(), burst);
+        let sim = run_burst(QueueConfig::builder().build(), burst);
         let kinds: Vec<PacketKind> = sim
             .world
             .inner
@@ -510,7 +671,7 @@ mod tests {
         // Queue capacity: 8 full packets (12KB). Send 1 (serializing) + 8
         // (queued) + 1 (trimmed).
         let burst: Vec<Packet> = (0..10).map(|s| Packet::data(0, 0, 1, s, MTU)).collect();
-        let sim = run_burst(QueueConfig::opera_default(), burst);
+        let sim = run_burst(QueueConfig::builder().build(), burst);
         let arr = &sim.world.inner.arrivals;
         assert_eq!(arr.len(), 10);
         let trimmed: Vec<u32> = arr
@@ -530,15 +691,117 @@ mod tests {
 
     #[test]
     fn drop_when_no_trim() {
-        let cfg = QueueConfig {
-            cap_bytes: [HEADER_SIZE as u64, MTU as u64, 0],
-            trim: false,
-        };
+        let cfg = QueueConfig::builder()
+            .caps([HEADER_SIZE as u64, MTU as u64, 0])
+            .policy(DropTail)
+            .build();
         let burst: Vec<Packet> = (0..3).map(|s| Packet::data(0, 0, 1, s, MTU)).collect();
         let sim = run_burst(cfg, burst);
         // 1 serializing + 1 queued + 1 dropped.
         assert_eq!(sim.world.inner.arrivals.len(), 2);
         assert_eq!(sim.world.inner.fabric.counters.dropped, 1);
+    }
+
+    #[test]
+    fn ecn_marks_standing_queue() {
+        // Mark threshold of one MTU: the first packet goes out unmarked
+        // (nothing standing), the second enqueues onto <1 MTU (the first
+        // is serializing, queue empty again), later ones onto >=1 MTU.
+        let cfg = QueueConfig::builder()
+            .caps([12_000, 12_000, 24_000])
+            .policy(EcnMark {
+                mark_bytes: MTU as u64,
+            })
+            .build();
+        let burst: Vec<Packet> = (0..4).map(|s| Packet::data(0, 0, 1, s, MTU)).collect();
+        let sim = run_burst(cfg, burst);
+        let marks: Vec<bool> = sim
+            .world
+            .inner
+            .arrivals
+            .iter()
+            .map(|&(_, _, p)| p.ecn_ce)
+            .collect();
+        assert_eq!(marks, vec![false, false, true, true]);
+        assert_eq!(sim.world.inner.fabric.counters.ecn_marked, 2);
+        assert_eq!(sim.world.inner.fabric.counters.dropped, 0);
+    }
+
+    #[test]
+    fn pfc_pauses_and_resumes_upstream() {
+        // Host 0 → switch 1 → sink 2, with a slow egress link at the
+        // switch so its queue builds. PFC must pause the host before the
+        // switch queue grows past pause_bytes + in-flight headroom, drop
+        // nothing, and deliver everything after resumes.
+        let pfc = QueueConfig::builder()
+            .caps([12_000, 12_000, 24_000])
+            .policy(Pfc {
+                pause_bytes: 6_000,
+                resume_bytes: 3_000,
+            })
+            .build();
+        let mut fabric = Fabric::new();
+        let host = fabric.add_node(1, pfc, LinkSpec::paper_default());
+        let sw = fabric.add_node(
+            2,
+            pfc,
+            LinkSpec {
+                gbps: 1.0, // 10x slower egress: congestion by construction
+                delay: SimTime::from_ns(500),
+            },
+        );
+        let sink = fabric.add_node(1, pfc, LinkSpec::paper_default());
+        fabric.connect(host, 0, sw, 0);
+        fabric.connect(sw, 1, sink, 0);
+
+        struct PfcWorld {
+            fabric: Fabric,
+            arrivals: usize,
+            host_paused_seen: bool,
+        }
+        impl EventHandler for PfcWorld {
+            type Event = NetEvent;
+            fn handle_event(&mut self, ev: NetEvent, ctx: &mut EventContext<'_, NetEvent>) {
+                match ev {
+                    NetEvent::Timer { .. } => {
+                        for s in 0..40 {
+                            self.fabric.send(ctx, 0, 0, Packet::data(0, 0, 2, s, MTU));
+                        }
+                    }
+                    NetEvent::Arrive { node, packet, .. } => {
+                        if node == 1 {
+                            // Switch: forward to the sink out the slow port.
+                            self.fabric.send(ctx, 1, 1, packet);
+                        } else {
+                            self.arrivals += 1;
+                        }
+                    }
+                    NetEvent::PortFree { node, port } => {
+                        self.fabric.on_port_free(ctx, node, port);
+                        if self.fabric.is_paused(0, 0) {
+                            self.host_paused_seen = true;
+                        }
+                    }
+                    NetEvent::PauseChange { node, port, paused } => {
+                        self.fabric.on_pause_change(ctx, node, port, paused);
+                    }
+                }
+            }
+        }
+        let mut sim = Simulator::new(PfcWorld {
+            fabric,
+            arrivals: 0,
+            host_paused_seen: false,
+        });
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
+        sim.run();
+        let w = &sim.world;
+        assert_eq!(w.arrivals, 40, "lossless: every packet delivered");
+        assert_eq!(w.fabric.counters.dropped, 0);
+        assert_eq!(w.fabric.counters.trimmed, 0);
+        assert!(w.host_paused_seen, "backpressure never reached the host");
+        assert!(w.fabric.counters.pause_frames > 0);
+        assert!(!w.fabric.is_paused(0, 0), "resume frees the host at drain");
     }
 
     #[test]
@@ -556,11 +819,12 @@ mod tests {
                     }
                     NetEvent::PortFree { node, port } => self.fabric.on_port_free(ctx, node, port),
                     NetEvent::Arrive { .. } => panic!("nothing should arrive"),
+                    NetEvent::PauseChange { .. } => {}
                 }
             }
         }
         let mut fabric = Fabric::new();
-        fabric.add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
+        fabric.add_node(1, QueueConfig::builder().build(), LinkSpec::paper_default());
         let mut sim = Simulator::new(DarkWorld { fabric });
         sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
         sim.run();
@@ -596,10 +860,10 @@ mod tests {
                 }
             }
         }
-        let mut inner = two_nodes(QueueConfig::opera_default());
+        let mut inner = two_nodes(QueueConfig::builder().build());
         inner
             .fabric
-            .add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
+            .add_node(1, QueueConfig::builder().build(), LinkSpec::paper_default());
         let mut sim = Simulator::new(RewireWorld { inner, phase: 0 });
         sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
         sim.schedule_at(SimTime::from_us(10), NetEvent::Timer { token: 1 });
@@ -614,7 +878,7 @@ mod tests {
 
     #[test]
     fn failed_link_loses_packets() {
-        let mut w = two_nodes(QueueConfig::opera_default());
+        let mut w = two_nodes(QueueConfig::builder().build());
         w.fabric.set_failed(0, 0, true);
         struct FailWorld {
             inner: TestWorld,
@@ -640,7 +904,7 @@ mod tests {
     #[test]
     fn back_to_back_serialization() {
         let burst: Vec<Packet> = (0..3).map(|s| Packet::data(0, 0, 1, s, MTU)).collect();
-        let sim = run_burst(QueueConfig::opera_default(), burst);
+        let sim = run_burst(QueueConfig::builder().build(), burst);
         let times: Vec<u64> = sim.world.inner.arrivals.iter().map(|a| a.0).collect();
         // 1200ns serialization each, 500ns prop: arrivals at 1700, 2900, 4100.
         assert_eq!(times, vec![1700, 2900, 4100]);
@@ -648,7 +912,7 @@ mod tests {
 
     #[test]
     fn random_loss_drops_roughly_p() {
-        let mut w = two_nodes(QueueConfig::unbounded());
+        let mut w = two_nodes(QueueConfig::builder().unbounded().build());
         w.fabric.set_random_loss(0.25, 7);
         struct LossWorld {
             inner: TestWorld,
@@ -684,8 +948,9 @@ mod tests {
     #[test]
     fn drain_bulk_returns_packets() {
         let mut fabric = Fabric::new();
-        let a = fabric.add_node(1, QueueConfig::unbounded(), LinkSpec::paper_default());
-        let b = fabric.add_node(1, QueueConfig::unbounded(), LinkSpec::paper_default());
+        let cfg = QueueConfig::builder().unbounded().build();
+        let a = fabric.add_node(1, cfg, LinkSpec::paper_default());
+        let b = fabric.add_node(1, cfg, LinkSpec::paper_default());
         fabric.connect(a, 0, b, 0);
         struct DrainWorld {
             fabric: Fabric,

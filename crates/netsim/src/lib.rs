@@ -14,6 +14,8 @@
 //! * [`packet`] — the packet model (semantic headers, no payload bytes),
 //! * [`fabric`] — nodes, ports, queues, links, wiring (including live
 //!   rewiring for circuit switches), counters, fault injection,
+//! * [`policy`] — the [`policy::SwitchPolicy`] trait and the shipped
+//!   queueing policies (drop-tail, NDP trim, PFC, ECN marking),
 //! * [`logic`] — the [`logic::NetLogic`] trait and the
 //!   [`logic::NetWorld`] event-loop adapter,
 //! * [`flows`] — flow registry and FCT accounting.
@@ -22,8 +24,10 @@ pub mod fabric;
 pub mod flows;
 pub mod logic;
 pub mod packet;
+pub mod policy;
 
 pub use fabric::{Fabric, LinkSpec, NetEvent, NodeId, PortId, QueueConfig, SendOutcome};
 pub use flows::{FlowClass, FlowId, FlowRecord, FlowTracker};
 pub use logic::{NetLogic, NetWorld};
 pub use packet::{Packet, PacketArena, PacketKind, PacketRef, Priority, HEADER_SIZE, MTU};
+pub use policy::{DropTail, EcnMark, NdpTrim, Pfc, SwitchPolicy, SwitchPolicyKind};

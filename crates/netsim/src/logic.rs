@@ -61,6 +61,9 @@ impl<L: NetLogic> EventHandler for NetWorld<L> {
             NetEvent::PortFree { node, port } => {
                 self.fabric.on_port_free(ctx, node, port);
             }
+            NetEvent::PauseChange { node, port, paused } => {
+                self.fabric.on_pause_change(ctx, node, port, paused);
+            }
             NetEvent::Timer { token } => {
                 self.logic.on_timer(&mut self.fabric, ctx, token);
             }
@@ -111,8 +114,8 @@ mod tests {
     #[test]
     fn echo_roundtrip() {
         let mut fabric = Fabric::new();
-        let a = fabric.add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
-        let b = fabric.add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
+        let a = fabric.add_node(1, QueueConfig::builder().build(), LinkSpec::paper_default());
+        let b = fabric.add_node(1, QueueConfig::builder().build(), LinkSpec::paper_default());
         fabric.connect(a, 0, b, 0);
         let mut sim = NetWorld::new(fabric, Echo { got_at_0: vec![] }).into_sim();
         sim.run();

@@ -161,6 +161,10 @@ pub struct Packet {
     /// ToR-to-ToR hops taken so far (for path-length accounting and loop
     /// suppression).
     pub hops: u8,
+    /// ECN congestion-experienced: set by an
+    /// [`EcnMark`](crate::policy::EcnMark) switch on enqueue, echoed by
+    /// DCTCP receivers on the matching ACK.
+    pub ecn_ce: bool,
 }
 
 impl Packet {
@@ -178,6 +182,7 @@ impl Packet {
                 trimmed: false,
             },
             hops: 0,
+            ecn_ce: false,
         }
     }
 
@@ -191,6 +196,7 @@ impl Packet {
             prio: Priority::Bulk,
             kind: PacketKind::BulkData { seq, relay: None },
             hops: 0,
+            ecn_ce: false,
         }
     }
 
@@ -204,6 +210,7 @@ impl Packet {
             prio: Priority::Control,
             kind,
             hops: 0,
+            ecn_ce: false,
         }
     }
 

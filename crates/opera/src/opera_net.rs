@@ -27,13 +27,13 @@
 
 use crate::tables::{BulkTables, LowLatencyTables};
 use crate::timing::SliceTiming;
-use crate::tokens::{decode, encode, Token};
+use crate::tokens::{decode, encode, schedule_actions, Token};
 use netsim::fabric::{Fabric, LinkSpec, NetEvent, QueueConfig, SendOutcome};
 use netsim::{FlowClass, FlowTracker, NetLogic, NetWorld, Packet, PacketKind, Priority, MTU};
 use simkit::engine::EventContext;
 use simkit::{SimRng, SimTime, Simulator};
 use topo::opera::{OperaParams, OperaTopology};
-use transport::{NdpHost, NdpParams, RackBulk, RotorLbParams};
+use transport::{RackBulk, RotorLbParams, Transport, TransportKind};
 use workloads::FlowSpec;
 
 /// Which system the rotor fabric emulates.
@@ -59,8 +59,8 @@ pub struct OperaNetConfig {
     pub link: LinkSpec,
     /// Queue configuration for every port.
     pub queues: QueueConfig,
-    /// NDP transport parameters.
-    pub ndp: NdpParams,
+    /// Low-latency transport (sender kind + parameters).
+    pub transport: TransportKind,
     /// RotorLB parameters.
     pub rotorlb: RotorLbParams,
     /// Flows of at least this many bytes are bulk (§4.1; ignored by the
@@ -88,8 +88,8 @@ impl OperaNetConfig {
             },
             timing: SliceTiming::fast_sim(),
             link: LinkSpec::paper_default(),
-            queues: QueueConfig::opera_default(),
-            ndp: NdpParams::paper_default(),
+            queues: QueueConfig::builder().build(),
+            transport: TransportKind::paper_default(),
             rotorlb: RotorLbParams::paper_default(),
             bulk_threshold: 500_000,
             mode: RotorMode::Opera,
@@ -104,8 +104,8 @@ impl OperaNetConfig {
             params: OperaParams::example_648(),
             timing: SliceTiming::paper_default(),
             link: LinkSpec::paper_default(),
-            queues: QueueConfig::opera_default(),
-            ndp: NdpParams::paper_default(),
+            queues: QueueConfig::builder().build(),
+            transport: TransportKind::paper_default(),
             rotorlb: RotorLbParams::paper_default(),
             bulk_threshold: 15_000_000,
             mode: RotorMode::Opera,
@@ -155,7 +155,7 @@ pub struct OperaLogic {
     topo: OperaTopology,
     ll_tables: LowLatencyTables,
     bulk_tables: BulkTables,
-    hosts: Vec<NdpHost>,
+    hosts: Vec<Box<dyn Transport>>,
     bulk: Vec<RackBulk>,
     tracker: FlowTracker,
     rng: SimRng,
@@ -625,14 +625,7 @@ impl OperaLogic {
             }
             _ => {
                 let actions = self.hosts[host].on_packet(fabric, ctx, &mut self.tracker, packet);
-                for (at, which) in actions.timers {
-                    ctx.schedule_at(
-                        at,
-                        NetEvent::Timer {
-                            token: encode(Token::Ndp(host, which)),
-                        },
-                    );
-                }
+                schedule_actions(ctx, host, actions);
             }
         }
     }
@@ -777,31 +770,18 @@ impl OperaLogic {
                 FlowClass::LowLatency => {
                     let actions =
                         self.hosts[spec.src].start_flow(fabric, ctx, id, spec.dst, spec.size);
-                    for (at, which) in actions.timers {
-                        ctx.schedule_at(
-                            at,
-                            NetEvent::Timer {
-                                token: encode(Token::Ndp(spec.src, which)),
-                            },
-                        );
-                    }
+                    schedule_actions(ctx, spec.src, actions);
                 }
                 FlowClass::Bulk => {
                     let rack = self.rack_of(spec.src);
                     let dst_rack = self.rack_of(spec.dst);
                     if dst_rack == rack {
-                        // Rack-local bulk: hand straight to NDP (one hop
-                        // through the ToR, no circuits involved).
+                        // Rack-local bulk: hand straight to the low-latency
+                        // transport (one hop through the ToR, no circuits
+                        // involved).
                         let actions =
                             self.hosts[spec.src].start_flow(fabric, ctx, id, spec.dst, spec.size);
-                        for (at, which) in actions.timers {
-                            ctx.schedule_at(
-                                at,
-                                NetEvent::Timer {
-                                    token: encode(Token::Ndp(spec.src, which)),
-                                },
-                            );
-                        }
+                        schedule_actions(ctx, spec.src, actions);
                     } else {
                         self.bulk[rack].enqueue(transport::BulkChunk {
                             flow: id,
@@ -854,16 +834,9 @@ impl NetLogic for OperaLogic {
         }
         match decode(token) {
             Token::FlowArrival => self.inject_due_flows(fabric, ctx),
-            Token::Ndp(host, which) => {
+            Token::Transport(host, which) => {
                 let actions = self.hosts[host].on_timer(fabric, ctx, which);
-                for (at, w) in actions.timers {
-                    ctx.schedule_at(
-                        at,
-                        NetEvent::Timer {
-                            token: encode(Token::Ndp(host, w)),
-                        },
-                    );
-                }
+                schedule_actions(ctx, host, actions);
             }
             Token::SliceBoundary => self.on_slice_boundary(fabric, ctx),
             Token::Dark => self.on_dark(fabric, ctx),
@@ -925,9 +898,7 @@ pub fn build(cfg: OperaNetConfig, mut flows: Vec<FlowSpec>) -> OperaNet {
     }
 
     let logic = OperaLogic {
-        hosts: (0..hosts_total)
-            .map(|h| NdpHost::new(h, 0, cfg.ndp))
-            .collect(),
+        hosts: (0..hosts_total).map(|h| cfg.transport.make(h, 0)).collect(),
         bulk: (0..cfg.params.racks)
             .map(|r| RackBulk::new(r, cfg.params.racks, cfg.rotorlb))
             .collect(),

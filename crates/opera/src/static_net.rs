@@ -7,7 +7,7 @@
 //! switch node with `d` attached hosts maps to adjacency-list entry
 //! `p − d` of its graph vertex, so routing tables store adjacency indices.
 
-use crate::tokens::{decode, encode, Token};
+use crate::tokens::{decode, encode, schedule_actions, Token};
 use netsim::fabric::{Fabric, LinkSpec, NetEvent, QueueConfig};
 use netsim::{FlowClass, FlowTracker, NetLogic, NetWorld, Packet, PacketKind};
 use simkit::engine::EventContext;
@@ -15,7 +15,7 @@ use simkit::{SimRng, Simulator};
 use topo::clos::{ClosParams, ClosTopology};
 use topo::expander::{ExpanderParams, ExpanderTopology};
 use topo::graph::Graph;
-use transport::{NdpHost, NdpParams};
+use transport::{Transport, TransportKind};
 use workloads::FlowSpec;
 
 /// Which static topology to build.
@@ -36,8 +36,8 @@ pub struct StaticNetConfig {
     pub link: LinkSpec,
     /// Queue configuration (trimming on).
     pub queues: QueueConfig,
-    /// NDP parameters.
-    pub ndp: NdpParams,
+    /// Low-latency transport (sender kind + parameters).
+    pub transport: TransportKind,
     /// Seed for topology + routing randomness.
     pub seed: u64,
 }
@@ -52,8 +52,8 @@ impl StaticNetConfig {
                 hosts_per_rack: 4,
             }),
             link: LinkSpec::paper_default(),
-            queues: QueueConfig::opera_default(),
-            ndp: NdpParams::paper_default(),
+            queues: QueueConfig::builder().build(),
+            transport: TransportKind::paper_default(),
             seed: 1,
         }
     }
@@ -63,8 +63,8 @@ impl StaticNetConfig {
         StaticNetConfig {
             kind: StaticTopologyKind::Expander(ExpanderParams::example_650()),
             link: LinkSpec::paper_default(),
-            queues: QueueConfig::opera_default(),
-            ndp: NdpParams::paper_default(),
+            queues: QueueConfig::builder().build(),
+            transport: TransportKind::paper_default(),
             seed: 1,
         }
     }
@@ -74,8 +74,8 @@ impl StaticNetConfig {
         StaticNetConfig {
             kind: StaticTopologyKind::FoldedClos(ClosParams::example_648()),
             link: LinkSpec::paper_default(),
-            queues: QueueConfig::opera_default(),
-            ndp: NdpParams::paper_default(),
+            queues: QueueConfig::builder().build(),
+            transport: TransportKind::paper_default(),
             seed: 1,
         }
     }
@@ -91,7 +91,7 @@ pub struct StaticLogic {
     /// Hosts per ToR and ToR count (ToRs are graph nodes `0..tors`).
     hosts_per_tor: usize,
     tors: usize,
-    hosts: Vec<NdpHost>,
+    hosts: Vec<Box<dyn Transport>>,
     tracker: FlowTracker,
     rng: SimRng,
     /// `next_hop[dst_tor * graph.len() + node]` → adjacency indices on
@@ -150,14 +150,7 @@ impl StaticLogic {
                 ctx.now(),
             );
             let actions = self.hosts[spec.src].start_flow(fabric, ctx, id, spec.dst, spec.size);
-            for (at, which) in actions.timers {
-                ctx.schedule_at(
-                    at,
-                    NetEvent::Timer {
-                        token: encode(Token::Ndp(spec.src, which)),
-                    },
-                );
-            }
+            schedule_actions(ctx, spec.src, actions);
         }
         if self.next_flow < self.pending.len() {
             ctx.schedule_at(
@@ -180,17 +173,10 @@ impl NetLogic for StaticLogic {
         packet: Packet,
     ) {
         if node < self.hosts_total() {
-            // Host: hand to NDP (bulk data never exists here).
+            // Host: hand to the transport (bulk data never exists here).
             debug_assert!(!matches!(packet.kind, PacketKind::BulkData { .. }));
             let actions = self.hosts[node].on_packet(fabric, ctx, &mut self.tracker, packet);
-            for (at, which) in actions.timers {
-                ctx.schedule_at(
-                    at,
-                    NetEvent::Timer {
-                        token: encode(Token::Ndp(node, which)),
-                    },
-                );
-            }
+            schedule_actions(ctx, node, actions);
             return;
         }
         let vertex = node - self.hosts_total();
@@ -217,16 +203,9 @@ impl NetLogic for StaticLogic {
         }
         match decode(token) {
             Token::FlowArrival => self.inject_due_flows(fabric, ctx),
-            Token::Ndp(host, which) => {
+            Token::Transport(host, which) => {
                 let actions = self.hosts[host].on_timer(fabric, ctx, which);
-                for (at, w) in actions.timers {
-                    ctx.schedule_at(
-                        at,
-                        NetEvent::Timer {
-                            token: encode(Token::Ndp(host, w)),
-                        },
-                    );
-                }
+                schedule_actions(ctx, host, actions);
             }
             other => panic!("unexpected timer {other:?} in static network"),
         }
@@ -308,9 +287,7 @@ pub fn build(cfg: StaticNetConfig, mut flows: Vec<FlowSpec>) -> StaticNet {
     }
 
     let logic = StaticLogic {
-        hosts: (0..hosts_total)
-            .map(|h| NdpHost::new(h, 0, cfg.ndp))
-            .collect(),
+        hosts: (0..hosts_total).map(|h| cfg.transport.make(h, 0)).collect(),
         tracker: FlowTracker::new(),
         rng: SimRng::new(cfg.seed.wrapping_add(77)),
         graph,

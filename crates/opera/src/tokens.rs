@@ -4,15 +4,17 @@
 //! multiplex many logical timers onto it. Layout: kind in the top byte,
 //! kind-specific payload below.
 
-use transport::NdpTimer;
+use netsim::fabric::NetEvent;
+use simkit::engine::EventContext;
+use transport::{Actions, TransportTimer};
 
 /// Decoded timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Token {
     /// Inject flows that have reached their arrival time.
     FlowArrival,
-    /// An [`NdpTimer`] for the host with this index.
-    Ndp(usize, NdpTimer),
+    /// A [`TransportTimer`] for the host with this index.
+    Transport(usize, TransportTimer),
     /// A topology-slice boundary (Opera/RotorNet).
     SliceBoundary,
     /// Take the reconfiguring switch group dark (fires ε after the slice
@@ -30,8 +32,8 @@ pub enum Token {
 }
 
 const K_ARRIVAL: u64 = 1;
-const K_NDP_PACER: u64 = 2;
-const K_NDP_RTO: u64 = 3;
+const K_PACER: u64 = 2;
+const K_RTO: u64 = 3;
 const K_SLICE: u64 = 4;
 const K_RECONNECT: u64 = 5;
 const K_FEEDER: u64 = 6;
@@ -43,9 +45,9 @@ const K_HELLO: u64 = 9;
 pub fn encode(t: Token) -> u64 {
     match t {
         Token::FlowArrival => K_ARRIVAL << 56,
-        Token::Ndp(host, NdpTimer::PullPacer) => (K_NDP_PACER << 56) | (host as u64),
-        Token::Ndp(host, NdpTimer::Rto(flow)) => {
-            (K_NDP_RTO << 56) | ((host as u64) << 32) | flow as u64
+        Token::Transport(host, TransportTimer::PullPacer) => (K_PACER << 56) | (host as u64),
+        Token::Transport(host, TransportTimer::Rto(flow)) => {
+            (K_RTO << 56) | ((host as u64) << 32) | flow as u64
         }
         Token::SliceBoundary => K_SLICE << 56,
         Token::Dark => K_RECONNECT << 56,
@@ -64,10 +66,10 @@ pub fn decode(raw: u64) -> Token {
     let low = raw & ((1 << 56) - 1);
     match kind {
         K_ARRIVAL => Token::FlowArrival,
-        K_NDP_PACER => Token::Ndp(low as usize, NdpTimer::PullPacer),
-        K_NDP_RTO => Token::Ndp(
+        K_PACER => Token::Transport(low as usize, TransportTimer::PullPacer),
+        K_RTO => Token::Transport(
             (low >> 32) as usize,
-            NdpTimer::Rto((low & 0xFFFF_FFFF) as u32),
+            TransportTimer::Rto((low & 0xFFFF_FFFF) as u32),
         ),
         K_SLICE => Token::SliceBoundary,
         K_RECONNECT => Token::Dark,
@@ -79,6 +81,20 @@ pub fn decode(raw: u64) -> Token {
     }
 }
 
+/// Schedule every timer a transport host asked for, encoded for `host`.
+/// The single dispatch point between [`transport::Transport`] hosts and
+/// the timer wheel — all network models route through here.
+pub fn schedule_actions(ctx: &mut EventContext<'_, NetEvent>, host: usize, actions: Actions) {
+    for (at, which) in actions.timers {
+        ctx.schedule_at(
+            at,
+            NetEvent::Timer {
+                token: encode(Token::Transport(host, which)),
+            },
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,8 +103,8 @@ mod tests {
     fn roundtrip_all_kinds() {
         let tokens = [
             Token::FlowArrival,
-            Token::Ndp(12345, NdpTimer::PullPacer),
-            Token::Ndp(7, NdpTimer::Rto(99_000)),
+            Token::Transport(12345, TransportTimer::PullPacer),
+            Token::Transport(7, TransportTimer::Rto(99_000)),
             Token::SliceBoundary,
             Token::Dark,
             Token::Feeder(1023, 11),

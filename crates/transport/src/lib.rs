@@ -1,23 +1,184 @@
 //! `transport` — end-host transport protocols for the Opera reproduction.
 //!
-//! Two protocols carry all traffic in the paper (§4.2):
+//! Low-latency traffic can be carried by any [`Transport`] implementation;
+//! three ship, matched to the switch policies in `netsim::policy`:
 //!
-//! * [`ndp`] — NDP \[Handley et al., SIGCOMM 2017\] for low-latency
-//!   traffic: receiver-driven pull pacing, packet trimming at shallow
-//!   switch queues, per-packet ACK/NACK, zero-RTT start.
-//! * [`rotorlb`] — RotorLB \[RotorNet, SIGCOMM 2017\] for bulk traffic:
-//!   buffer at the edge until a direct circuit to the destination rack is
-//!   up; under skew, opportunistically spend spare circuit bandwidth on
-//!   two-hop Valiant paths; NACK-and-requeue for bytes that miss their
-//!   transmission window (§4.2.2).
+//! * [`ndp`] — NDP \[Handley et al., SIGCOMM 2017\], the paper's choice
+//!   (§4.2): receiver-driven pull pacing, packet trimming at shallow
+//!   switch queues, per-packet ACK/NACK, zero-RTT start. Pairs with
+//!   `NdpTrim` switches.
+//! * [`dctcp`] — DCTCP-style sender: per-packet ACKs echo the ECN
+//!   congestion-experienced bit and the sender reduces its window in
+//!   proportion to the marked fraction. Pairs with `EcnMark` switches.
+//! * [`go_back_n`] — plain go-back-N: cumulative ACKs, in-order delivery
+//!   only, timeout retransmission of the whole window. The baseline for
+//!   lossy `DropTail` switches (and trivially correct under lossless
+//!   `Pfc`).
 //!
-//! Both are deliberately *topology-free*: they speak in terms of host NICs,
-//! rack indices, and packets. The `opera` crate wires them to concrete
-//! networks.
+//! Bulk traffic keeps its own machinery ([`rotorlb`] — RotorLB \[RotorNet,
+//! SIGCOMM 2017\]: buffer at the edge until a direct circuit is up, spill
+//! onto two-hop Valiant paths under skew).
+//!
+//! All hosts are deliberately *topology-free*: they speak in terms of host
+//! NICs and packets, and they cannot schedule timers directly — timer
+//! token encoding is owned by the enclosing network model, so every entry
+//! point returns [`Actions`] for the caller to schedule. The `opera` crate
+//! wires hosts to concrete networks through one generic dispatch path.
 
+pub mod dctcp;
+pub mod go_back_n;
 pub mod ndp;
 pub mod rotorlb;
 
-pub use ndp::{NdpActions, NdpTimer};
+use netsim::fabric::{Fabric, NetEvent};
+use netsim::packet::HEADER_SIZE;
+use netsim::{FlowId, FlowTracker, Packet};
+use simkit::engine::EventContext;
+use simkit::SimTime;
+
+pub use dctcp::{DctcpHost, DctcpParams};
+pub use go_back_n::{GoBackNHost, GoBackNParams};
 pub use ndp::{NdpHost, NdpParams};
 pub use rotorlb::{BulkChunk, RackBulk, RotorLbParams};
+
+/// Timer purposes a [`Transport`] asks its environment to schedule.
+///
+/// The set is shared across transports so the enclosing network model can
+/// use one token encoding for all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportTimer {
+    /// A pacer should release the next credit (NDP's pull pacer).
+    PullPacer,
+    /// Retransmission-timeout check for `flow`.
+    Rto(FlowId),
+}
+
+/// What a host asks its environment to do after handling an event.
+/// Timers cannot be scheduled directly because token encoding is owned by
+/// the enclosing network model.
+#[derive(Debug, Default)]
+pub struct Actions {
+    /// Timers to schedule: (fire time, purpose).
+    pub timers: Vec<(SimTime, TransportTimer)>,
+}
+
+/// An end-host sender/receiver for low-latency flows.
+///
+/// The contract mirrors the event loop: the network model calls
+/// [`Transport::start_flow`] when a flow's start time is due,
+/// [`Transport::on_packet`] for every packet that reaches the host's NIC,
+/// and [`Transport::on_timer`] when a timer it scheduled on the host's
+/// behalf fires. Every call may emit packets into the fabric and returns
+/// the timers to arm.
+pub trait Transport: std::fmt::Debug {
+    /// The host's NIC node id in the fabric.
+    fn nic(&self) -> usize;
+
+    /// The NIC port packets leave through (0 for single-homed hosts).
+    fn nic_port(&self) -> usize;
+
+    /// Start sending `flow` (`size` payload bytes) to `dst` (a NIC node
+    /// id).
+    fn start_flow(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        flow: FlowId,
+        dst: usize,
+        size: u64,
+    ) -> Actions;
+
+    /// Handle a packet addressed to this host. `tracker` records payload
+    /// delivery and completion.
+    fn on_packet(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        tracker: &mut FlowTracker,
+        pkt: Packet,
+    ) -> Actions;
+
+    /// A timer scheduled via [`Actions`] fired.
+    fn on_timer(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        which: TransportTimer,
+    ) -> Actions;
+
+    /// Number of flows currently being sent.
+    fn active_sends(&self) -> usize;
+}
+
+/// Which [`Transport`] a network model should instantiate for its hosts,
+/// with the transport's parameters. `Copy` so experiment configs that
+/// embed it stay `Copy`.
+#[derive(Debug, Clone, Copy)]
+pub enum TransportKind {
+    /// NDP (the paper's transport). Pairs with `NdpTrim` switches.
+    Ndp(NdpParams),
+    /// DCTCP-style ECN-echo sender. Pairs with `EcnMark` switches.
+    Dctcp(DctcpParams),
+    /// Go-back-N. Baseline for lossy `DropTail` / lossless `Pfc` switches.
+    GoBackN(GoBackNParams),
+}
+
+impl TransportKind {
+    /// The paper's configuration: NDP with default parameters.
+    pub fn paper_default() -> Self {
+        TransportKind::Ndp(NdpParams::paper_default())
+    }
+
+    /// Instantiate a host of this kind on NIC `nic`, port `nic_port`.
+    pub fn make(&self, nic: usize, nic_port: usize) -> Box<dyn Transport> {
+        match *self {
+            TransportKind::Ndp(p) => Box::new(NdpHost::new(nic, nic_port, p)),
+            TransportKind::Dctcp(p) => Box::new(DctcpHost::new(nic, nic_port, p)),
+            TransportKind::GoBackN(p) => Box::new(GoBackNHost::new(nic, nic_port, p)),
+        }
+    }
+}
+
+/// Payload bytes carried by a full packet of `mtu` wire bytes.
+pub(crate) fn payload_per_packet(mtu: u32) -> u32 {
+    mtu - HEADER_SIZE
+}
+
+/// Number of packets a flow of `size` payload bytes needs at `mtu`.
+pub(crate) fn packets_for(mtu: u32, size: u64) -> u32 {
+    size.div_ceil(payload_per_packet(mtu) as u64).max(1) as u32
+}
+
+/// Wire size of segment `seq` of a flow with `size` payload bytes.
+pub(crate) fn wire_size(mtu: u32, size: u64, seq: u32) -> u32 {
+    let per = payload_per_packet(mtu) as u64;
+    let sent = seq as u64 * per;
+    let remaining = size.saturating_sub(sent).min(per) as u32;
+    HEADER_SIZE + remaining
+}
+
+/// Per-flow receive bitmap shared by the sequence-number transports:
+/// dedupes retransmissions so payload is delivered exactly once.
+#[derive(Debug)]
+pub(crate) struct RecvBitmap {
+    seen: Vec<u64>,
+    /// All payload delivered; further data is stale retransmission.
+    pub complete: bool,
+}
+
+impl RecvBitmap {
+    pub fn new(total: u32) -> Self {
+        RecvBitmap {
+            seen: vec![0; (total as usize).div_ceil(64)],
+            complete: false,
+        }
+    }
+
+    /// True when `seq` had not been seen before (and marks it seen).
+    pub fn test_and_set(&mut self, seq: u32) -> bool {
+        let (w, b) = (seq as usize / 64, seq as usize % 64);
+        let was = self.seen[w] >> b & 1 == 1;
+        self.seen[w] |= 1 << b;
+        !was
+    }
+}

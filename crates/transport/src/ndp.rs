@@ -17,11 +17,12 @@
 //!   queues are large and drops counted).
 //!
 //! The host object is topology-free: it emits packets out of its NIC and
-//! reacts to packets handed to it. Routing between NICs is the enclosing
-//! network model's job.
+//! reacts to packets handed to it via the [`Transport`] trait. Routing
+//! between NICs is the enclosing network model's job.
 
+use crate::{Actions, RecvBitmap, Transport, TransportTimer};
 use netsim::fabric::{Fabric, NetEvent};
-use netsim::{FlowId, FlowTracker, Packet, PacketKind, HEADER_SIZE, MTU};
+use netsim::{FlowId, FlowTracker, Packet, PacketKind, MTU};
 use simkit::engine::EventContext;
 use simkit::SimTime;
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -54,20 +55,17 @@ impl NdpParams {
 
     /// Payload bytes carried by a full packet.
     pub fn payload_per_packet(&self) -> u32 {
-        self.mtu - HEADER_SIZE
+        crate::payload_per_packet(self.mtu)
     }
 
     /// Number of packets a flow of `size` payload bytes needs.
     pub fn packets_for(&self, size: u64) -> u32 {
-        size.div_ceil(self.payload_per_packet() as u64).max(1) as u32
+        crate::packets_for(self.mtu, size)
     }
 
     /// Wire size of segment `seq` of a flow with `size` payload bytes.
     pub fn wire_size(&self, size: u64, seq: u32) -> u32 {
-        let per = self.payload_per_packet() as u64;
-        let sent = seq as u64 * per;
-        let remaining = size.saturating_sub(sent).min(per) as u32;
-        HEADER_SIZE + remaining
+        crate::wire_size(self.mtu, size, seq)
     }
 }
 
@@ -95,38 +93,6 @@ impl SendFlow {
     }
 }
 
-/// Receiver-side per-flow state.
-#[derive(Debug)]
-struct RecvFlow {
-    /// Segments already delivered (dedupe for RTO retransmissions).
-    seen: Vec<u64>,
-    complete: bool,
-}
-
-impl RecvFlow {
-    fn new(total: u32) -> Self {
-        RecvFlow {
-            seen: vec![0; (total as usize).div_ceil(64)],
-            complete: false,
-        }
-    }
-    fn test_and_set(&mut self, seq: u32) -> bool {
-        let (w, b) = (seq as usize / 64, seq as usize % 64);
-        let was = self.seen[w] >> b & 1 == 1;
-        self.seen[w] |= 1 << b;
-        !was
-    }
-}
-
-/// Timer purposes an [`NdpHost`] asks its environment to schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NdpTimer {
-    /// The pull pacer should release the next pull.
-    PullPacer,
-    /// RTO check for `flow`.
-    Rto(FlowId),
-}
-
 /// All NDP state for one host (its NIC node id + port).
 #[derive(Debug)]
 pub struct NdpHost {
@@ -136,22 +102,13 @@ pub struct NdpHost {
     pub nic_port: usize,
     params: NdpParams,
     sending: HashMap<FlowId, SendFlow>,
-    receiving: HashMap<FlowId, RecvFlow>,
+    receiving: HashMap<FlowId, RecvBitmap>,
     /// FIFO of pulls awaiting pacing: (flow, sender host NIC).
     pull_queue: VecDeque<(FlowId, usize)>,
     /// Earliest time the pacer may release the next pull.
     pacer_free_at: SimTime,
     /// True when a pacer timer is outstanding.
     pacer_armed: bool,
-}
-
-/// What the host asks its environment to do after handling an event.
-/// Timers cannot be scheduled directly because token encoding is owned by
-/// the enclosing network model.
-#[derive(Debug, Default)]
-pub struct NdpActions {
-    /// Timers to schedule: (fire time, purpose).
-    pub timers: Vec<(SimTime, NdpTimer)>,
 }
 
 impl NdpHost {
@@ -172,45 +129,6 @@ impl NdpHost {
     /// Tuning parameters.
     pub fn params(&self) -> &NdpParams {
         &self.params
-    }
-
-    /// Number of flows currently being sent.
-    pub fn active_sends(&self) -> usize {
-        self.sending.len()
-    }
-
-    /// Start sending `flow` (`size` payload bytes) to `dst` (a NIC node
-    /// id): transmit the initial window immediately.
-    pub fn start_flow(
-        &mut self,
-        fabric: &mut Fabric,
-        ctx: &mut EventContext<'_, NetEvent>,
-        flow: FlowId,
-        dst: usize,
-        size: u64,
-    ) -> NdpActions {
-        let total = self.params.packets_for(size);
-        let mut st = SendFlow {
-            flow,
-            src: self.nic,
-            dst,
-            size,
-            total,
-            next_new: 0,
-            rtx: VecDeque::new(),
-            unacked: BTreeSet::new(),
-            last_activity: ctx.now(),
-        };
-        let burst = total.min(self.params.initial_window);
-        for _ in 0..burst {
-            Self::emit_next(&self.params, &mut st, fabric, ctx, self.nic, self.nic_port);
-        }
-        let mut actions = NdpActions::default();
-        actions
-            .timers
-            .push((ctx.now() + self.params.rto, NdpTimer::Rto(flow)));
-        self.sending.insert(flow, st);
-        actions
     }
 
     /// Send the next pending segment (retransmission first, then new).
@@ -238,16 +156,123 @@ impl NdpHost {
         fabric.send(ctx, nic, nic_port, pkt);
     }
 
-    /// Handle a packet addressed to this host. `tracker` records payload
-    /// delivery and completion.
-    pub fn on_packet(
+    #[allow(clippy::too_many_arguments)]
+    fn on_data(
         &mut self,
         fabric: &mut Fabric,
         ctx: &mut EventContext<'_, NetEvent>,
         tracker: &mut FlowTracker,
         pkt: Packet,
-    ) -> NdpActions {
-        let mut actions = NdpActions::default();
+        seq: u32,
+        trimmed: bool,
+        actions: &mut Actions,
+    ) {
+        let flow = pkt.flow;
+        let sender = pkt.src;
+        let total = self.params.packets_for(tracker.get(flow).size);
+        let st = self
+            .receiving
+            .entry(flow)
+            .or_insert_with(|| RecvBitmap::new(total));
+        if st.complete {
+            // Stale retransmission: ack so the sender retires it.
+            let ack = Packet::control(flow, self.nic, sender, PacketKind::Ack { seq });
+            fabric.send(ctx, self.nic, self.nic_port, ack);
+            return;
+        }
+        if trimmed {
+            // Ask for a retransmission, and clock the sender with a pull.
+            let nack = Packet::control(flow, self.nic, sender, PacketKind::Nack { seq });
+            fabric.send(ctx, self.nic, self.nic_port, nack);
+            self.enqueue_pull(ctx, flow, sender, actions);
+            return;
+        }
+        // Full data packet.
+        let ack = Packet::control(flow, self.nic, sender, PacketKind::Ack { seq });
+        fabric.send(ctx, self.nic, self.nic_port, ack);
+        if st.test_and_set(seq) {
+            let done = tracker.deliver(flow, pkt.payload() as u64, ctx.now());
+            if done {
+                st.complete = true;
+                // Drop queued pulls for this flow: the sender needs no
+                // more credit.
+                self.pull_queue.retain(|&(f, _)| f != flow);
+                return;
+            }
+        }
+        self.enqueue_pull(ctx, flow, sender, actions);
+    }
+
+    fn enqueue_pull(
+        &mut self,
+        ctx: &mut EventContext<'_, NetEvent>,
+        flow: FlowId,
+        sender: usize,
+        actions: &mut Actions,
+    ) {
+        self.pull_queue.push_back((flow, sender));
+        if !self.pacer_armed {
+            let at = ctx.now().max(self.pacer_free_at);
+            self.pacer_armed = true;
+            actions.timers.push((at, TransportTimer::PullPacer));
+        }
+    }
+}
+
+impl Transport for NdpHost {
+    fn nic(&self) -> usize {
+        self.nic
+    }
+
+    fn nic_port(&self) -> usize {
+        self.nic_port
+    }
+
+    fn active_sends(&self) -> usize {
+        self.sending.len()
+    }
+
+    /// Start sending: transmit the initial window immediately (zero-RTT).
+    fn start_flow(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        flow: FlowId,
+        dst: usize,
+        size: u64,
+    ) -> Actions {
+        let total = self.params.packets_for(size);
+        let mut st = SendFlow {
+            flow,
+            src: self.nic,
+            dst,
+            size,
+            total,
+            next_new: 0,
+            rtx: VecDeque::new(),
+            unacked: BTreeSet::new(),
+            last_activity: ctx.now(),
+        };
+        let burst = total.min(self.params.initial_window);
+        for _ in 0..burst {
+            Self::emit_next(&self.params, &mut st, fabric, ctx, self.nic, self.nic_port);
+        }
+        let mut actions = Actions::default();
+        actions
+            .timers
+            .push((ctx.now() + self.params.rto, TransportTimer::Rto(flow)));
+        self.sending.insert(flow, st);
+        actions
+    }
+
+    fn on_packet(
+        &mut self,
+        fabric: &mut Fabric,
+        ctx: &mut EventContext<'_, NetEvent>,
+        tracker: &mut FlowTracker,
+        pkt: Packet,
+    ) -> Actions {
+        let mut actions = Actions::default();
         match pkt.kind {
             PacketKind::Data { seq, trimmed } => {
                 self.on_data(fabric, ctx, tracker, pkt, seq, trimmed, &mut actions);
@@ -283,78 +308,15 @@ impl NdpHost {
         actions
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn on_data(
+    fn on_timer(
         &mut self,
         fabric: &mut Fabric,
         ctx: &mut EventContext<'_, NetEvent>,
-        tracker: &mut FlowTracker,
-        pkt: Packet,
-        seq: u32,
-        trimmed: bool,
-        actions: &mut NdpActions,
-    ) {
-        let flow = pkt.flow;
-        let sender = pkt.src;
-        let total = self.params.packets_for(tracker.get(flow).size);
-        let st = self
-            .receiving
-            .entry(flow)
-            .or_insert_with(|| RecvFlow::new(total));
-        if st.complete {
-            // Stale retransmission: ack so the sender retires it.
-            let ack = Packet::control(flow, self.nic, sender, PacketKind::Ack { seq });
-            fabric.send(ctx, self.nic, self.nic_port, ack);
-            return;
-        }
-        if trimmed {
-            // Ask for a retransmission, and clock the sender with a pull.
-            let nack = Packet::control(flow, self.nic, sender, PacketKind::Nack { seq });
-            fabric.send(ctx, self.nic, self.nic_port, nack);
-            self.enqueue_pull(ctx, flow, sender, actions);
-            return;
-        }
-        // Full data packet.
-        let ack = Packet::control(flow, self.nic, sender, PacketKind::Ack { seq });
-        fabric.send(ctx, self.nic, self.nic_port, ack);
-        if st.test_and_set(seq) {
-            let done = tracker.deliver(flow, pkt.payload() as u64, ctx.now());
-            if done {
-                st.complete = true;
-                // Drop queued pulls for this flow: the sender needs no
-                // more credit.
-                self.pull_queue.retain(|&(f, _)| f != flow);
-                return;
-            }
-        }
-        self.enqueue_pull(ctx, flow, sender, actions);
-    }
-
-    fn enqueue_pull(
-        &mut self,
-        ctx: &mut EventContext<'_, NetEvent>,
-        flow: FlowId,
-        sender: usize,
-        actions: &mut NdpActions,
-    ) {
-        self.pull_queue.push_back((flow, sender));
-        if !self.pacer_armed {
-            let at = ctx.now().max(self.pacer_free_at);
-            self.pacer_armed = true;
-            actions.timers.push((at, NdpTimer::PullPacer));
-        }
-    }
-
-    /// A timer scheduled via [`NdpActions`] fired.
-    pub fn on_timer(
-        &mut self,
-        fabric: &mut Fabric,
-        ctx: &mut EventContext<'_, NetEvent>,
-        which: NdpTimer,
-    ) -> NdpActions {
-        let mut actions = NdpActions::default();
+        which: TransportTimer,
+    ) -> Actions {
+        let mut actions = Actions::default();
         match which {
-            NdpTimer::PullPacer => {
+            TransportTimer::PullPacer => {
                 self.pacer_armed = false;
                 if let Some((flow, sender)) = self.pull_queue.pop_front() {
                     let pull =
@@ -365,11 +327,11 @@ impl NdpHost {
                         self.pacer_armed = true;
                         actions
                             .timers
-                            .push((self.pacer_free_at, NdpTimer::PullPacer));
+                            .push((self.pacer_free_at, TransportTimer::PullPacer));
                     }
                 }
             }
-            NdpTimer::Rto(flow) => {
+            TransportTimer::Rto(flow) => {
                 if let Some(st) = self.sending.get_mut(&flow) {
                     let deadline = st.last_activity + self.params.rto;
                     if ctx.now() >= deadline {
@@ -382,9 +344,9 @@ impl NdpHost {
                         }
                         actions
                             .timers
-                            .push((ctx.now() + self.params.rto, NdpTimer::Rto(flow)));
+                            .push((ctx.now() + self.params.rto, TransportTimer::Rto(flow)));
                     } else {
-                        actions.timers.push((deadline, NdpTimer::Rto(flow)));
+                        actions.timers.push((deadline, TransportTimer::Rto(flow)));
                     }
                 }
             }
@@ -397,6 +359,7 @@ impl NdpHost {
 mod tests {
     use super::*;
     use netsim::fabric::{LinkSpec, QueueConfig};
+    use netsim::packet::HEADER_SIZE;
     use netsim::{NetLogic, NetWorld};
     use simkit::Simulator;
 
@@ -409,12 +372,7 @@ mod tests {
     }
 
     impl TwoHostLogic {
-        fn apply(
-            &mut self,
-            host: usize,
-            actions: NdpActions,
-            ctx: &mut EventContext<'_, NetEvent>,
-        ) {
+        fn apply(&mut self, host: usize, actions: Actions, ctx: &mut EventContext<'_, NetEvent>) {
             for (at, which) in actions.timers {
                 let token = encode(host, which);
                 ctx.schedule_at(at, NetEvent::Timer { token });
@@ -422,18 +380,18 @@ mod tests {
         }
     }
 
-    fn encode(host: usize, t: NdpTimer) -> u64 {
+    fn encode(host: usize, t: TransportTimer) -> u64 {
         match t {
-            NdpTimer::PullPacer => (host as u64) << 32,
-            NdpTimer::Rto(f) => 1 << 60 | (host as u64) << 32 | f as u64,
+            TransportTimer::PullPacer => (host as u64) << 32,
+            TransportTimer::Rto(f) => 1 << 60 | (host as u64) << 32 | f as u64,
         }
     }
-    fn decode(token: u64) -> (usize, NdpTimer) {
+    fn decode(token: u64) -> (usize, TransportTimer) {
         let host = (token >> 32 & 0xFFF_FFFF) as usize;
         if token >> 60 == 1 {
-            (host, NdpTimer::Rto((token & 0xFFFF_FFFF) as u32))
+            (host, TransportTimer::Rto((token & 0xFFFF_FFFF) as u32))
         } else {
-            (host, NdpTimer::PullPacer)
+            (host, TransportTimer::PullPacer)
         }
     }
 
@@ -501,7 +459,7 @@ mod tests {
     fn small_flow_completes_in_one_burst() {
         // 1000 bytes: single packet, should complete in ~1 serialization +
         // propagation.
-        let sim = run_two_host(1000, QueueConfig::opera_default());
+        let sim = run_two_host(1000, QueueConfig::builder().build());
         let t = &sim.world.logic.tracker;
         assert!(t.all_done());
         let fct = t.get(0).fct().unwrap();
@@ -512,7 +470,7 @@ mod tests {
     #[test]
     fn large_flow_completes_at_line_rate() {
         let size = 1_000_000u64; // 1 MB
-        let sim = run_two_host(size, QueueConfig::opera_default());
+        let sim = run_two_host(size, QueueConfig::builder().build());
         let t = &sim.world.logic.tracker;
         assert!(t.all_done(), "flow incomplete: {:?}", t.get(0));
         let fct = t.get(0).fct().unwrap().as_secs_f64();
@@ -525,7 +483,7 @@ mod tests {
 
     #[test]
     fn sender_state_retired_after_completion() {
-        let sim = run_two_host(100_000, QueueConfig::opera_default());
+        let sim = run_two_host(100_000, QueueConfig::builder().build());
         assert_eq!(sim.world.logic.hosts[0].active_sends(), 0);
     }
 
@@ -547,7 +505,7 @@ mod tests {
         // through a 4-port hub switch (node 0). NDP's pull pacer must
         // share the receiver's line rate and trimming must bound queues.
         let mut fabric = Fabric::new();
-        let cfg = QueueConfig::opera_default();
+        let cfg = QueueConfig::builder().build();
         let hub = fabric.add_node(4, cfg, LinkSpec::paper_default());
         let mut hosts = vec![NdpHost::new(hub, 0, NdpParams::paper_default())]; // placeholder for node 0
         for i in 0..4 {
@@ -565,7 +523,7 @@ mod tests {
             fn apply(
                 &mut self,
                 host: usize,
-                actions: NdpActions,
+                actions: Actions,
                 ctx: &mut EventContext<'_, NetEvent>,
             ) {
                 for (at, which) in actions.timers {

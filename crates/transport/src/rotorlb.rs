@@ -164,6 +164,7 @@ impl RackBulk {
             prio: netsim::Priority::Bulk,
             kind: PacketKind::BulkData { seq, relay },
             hops: 0,
+            ecn_ce: false,
         }
     }
 

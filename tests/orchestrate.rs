@@ -19,7 +19,7 @@ fn quick_args() -> ExptArgs {
 
 /// The acceptance bar from the issue: `opera_orchestrate --drivers all
 /// --shards 4 --quick` produces CSVs byte-identical to unsharded
-/// `--threads 1` runs for all 19 drivers.
+/// `--threads 1` runs for all 20 drivers.
 #[test]
 fn orchestrated_4_shard_quick_run_matches_unsharded_threads_1() {
     let drivers: Vec<String> = figures::all()
@@ -34,7 +34,7 @@ fn orchestrated_4_shard_quick_run_matches_unsharded_threads_1() {
             retries: 0,
         })
         .expect("orchestrated quick run succeeds");
-    assert_eq!(report.drivers.len(), 19);
+    assert_eq!(report.drivers.len(), 20);
 
     let serial = Ctx::new(ExptArgs {
         threads: 1,

@@ -118,7 +118,7 @@ proptest! {
         use netsim::{NetLogic, NetWorld, FlowTracker, Packet};
         use simkit::engine::EventContext;
         use simkit::{SimTime, Simulator};
-        use transport::{NdpHost, NdpParams, NdpTimer};
+        use transport::{NdpHost, NdpParams, Transport, TransportTimer};
 
         struct Pair {
             hosts: Vec<NdpHost>,
@@ -127,12 +127,12 @@ proptest! {
             started: bool,
         }
         impl Pair {
-            fn apply(&mut self, host: usize, actions: transport::NdpActions,
+            fn apply(&mut self, host: usize, actions: transport::Actions,
                      ctx: &mut EventContext<'_, netsim::NetEvent>) {
                 for (at, which) in actions.timers {
                     let token = match which {
-                        NdpTimer::PullPacer => (host as u64) << 32,
-                        NdpTimer::Rto(f) => 1 << 60 | (host as u64) << 32 | f as u64,
+                        TransportTimer::PullPacer => (host as u64) << 32,
+                        TransportTimer::Rto(f) => 1 << 60 | (host as u64) << 32 | f as u64,
                     };
                     ctx.schedule_at(at, netsim::NetEvent::Timer { token });
                 }
@@ -159,9 +159,9 @@ proptest! {
                 }
                 let host = (token >> 32 & 0xFFF_FFFF) as usize;
                 let which = if token >> 60 == 1 {
-                    NdpTimer::Rto((token & 0xFFFF_FFFF) as u32)
+                    TransportTimer::Rto((token & 0xFFFF_FFFF) as u32)
                 } else {
-                    NdpTimer::PullPacer
+                    TransportTimer::PullPacer
                 };
                 let a = self.hosts[host].on_timer(fabric, ctx, which);
                 self.apply(host, a, ctx);
@@ -169,8 +169,8 @@ proptest! {
         }
 
         let mut fabric = Fabric::new();
-        let a = fabric.add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
-        let b = fabric.add_node(1, QueueConfig::opera_default(), LinkSpec::paper_default());
+        let a = fabric.add_node(1, QueueConfig::builder().build(), LinkSpec::paper_default());
+        let b = fabric.add_node(1, QueueConfig::builder().build(), LinkSpec::paper_default());
         fabric.connect(a, 0, b, 0);
         let _ = seed;
         let logic = Pair {
@@ -187,6 +187,88 @@ proptest! {
         sim.run_until(SimTime::from_ms(50));
         prop_assert!(sim.world.logic.tracker.all_done());
         prop_assert!(sim.world.logic.tracker.get(0).received >= size);
+    }
+
+    /// PFC switches are lossless by construction: a randomized incast
+    /// blasted through one switch with shallow pause thresholds loses no
+    /// packet to any queue — every offered payload byte reaches the sink
+    /// (byte conservation), with zero drops and zero trims.
+    #[test]
+    fn pfc_never_drops_under_incast(
+        senders in 2usize..8,
+        per_sender in 1u32..32,
+        payload in 200u32..1400,
+        seed in 0u64..1000,
+    ) {
+        use netsim::fabric::{Fabric, LinkSpec, QueueConfig};
+        use netsim::policy::Pfc;
+        use netsim::{NetLogic, NetWorld, Packet};
+        use simkit::engine::EventContext;
+        use simkit::SimTime;
+
+        struct Incast {
+            senders: usize,
+            per_sender: u32,
+            payload: u32,
+            switch: usize,
+            sink: usize,
+            received: u64,
+        }
+        impl NetLogic for Incast {
+            fn on_arrive(&mut self, fabric: &mut Fabric,
+                         ctx: &mut EventContext<'_, netsim::NetEvent>,
+                         node: usize, _port: usize, packet: Packet) {
+                if node == self.switch {
+                    // One downlink: the last port faces the sink.
+                    fabric.send(ctx, self.switch, self.senders, packet);
+                } else {
+                    assert_eq!(node, self.sink);
+                    self.received += packet.payload() as u64;
+                }
+            }
+            fn on_timer(&mut self, fabric: &mut Fabric,
+                        ctx: &mut EventContext<'_, netsim::NetEvent>, token: u64) {
+                if token != 0 {
+                    return;
+                }
+                for s in 0..self.senders {
+                    for seq in 0..self.per_sender {
+                        let size = netsim::HEADER_SIZE + self.payload;
+                        let pkt = Packet::data(s as u32, s, self.sink, seq, size);
+                        fabric.send(ctx, s, 0, pkt);
+                    }
+                }
+            }
+        }
+
+        // Shallow queues + shallow pause threshold: incast pressure far
+        // exceeds what any single queue could absorb without pausing.
+        let cfg = QueueConfig::builder()
+            .caps([12_000, 12_000, 24_000])
+            .policy(Pfc { pause_bytes: 6_000, resume_bytes: 3_000 })
+            .build();
+        let mut fabric = Fabric::new();
+        for _ in 0..senders {
+            fabric.add_node(1, cfg, LinkSpec::paper_default());
+        }
+        let switch = fabric.add_node(senders + 1, cfg, LinkSpec::paper_default());
+        let sink = fabric.add_node(1, cfg, LinkSpec::paper_default());
+        for s in 0..senders {
+            fabric.connect(s, 0, switch, s);
+        }
+        fabric.connect(switch, senders, sink, 0);
+        let _ = seed;
+        let logic = Incast { senders, per_sender, payload, switch, sink, received: 0 };
+        let mut sim = NetWorld::new(fabric, logic).into_sim();
+        sim.run_until(SimTime::from_ms(100));
+
+        let offered = senders as u64 * per_sender as u64 * payload as u64;
+        prop_assert_eq!(sim.world.logic.received, offered,
+            "byte conservation violated");
+        let c = &sim.world.fabric.counters;
+        prop_assert_eq!(c.dropped, 0);
+        prop_assert_eq!(c.trimmed, 0);
+        prop_assert_eq!(c.dark_drops, 0);
     }
 }
 
@@ -230,33 +312,6 @@ proptest! {
         let flat: Vec<u64> = one.into_iter().flatten().collect();
         let distinct: std::collections::HashSet<u64> = flat.iter().copied().collect();
         prop_assert_eq!(distinct.len(), flat.len());
-    }
-
-    /// Sharding a sweep and merging the per-shard CSVs reproduces the
-    /// unsharded rendering byte-for-byte, for any shard count
-    /// (one-row-per-point tables only — the legacy merge's domain).
-    #[test]
-    fn legacy_csv_shard_merge_round_trips(n in 1usize..30, shards in 1usize..6, seed in 0u64..500) {
-        let sweep = expt::Sweep::from_points((0..n).collect::<Vec<_>>());
-        let build = |runner: expt::Runner| {
-            let mut t = expt::Table::new("points", &["i", "seed", "draw"]);
-            t.extend(runner.run(&sweep, |&p, ctx| {
-                let mut rng = ctx.rng();
-                vec![
-                    expt::Cell::from(p),
-                    expt::Cell::from(ctx.seed),
-                    expt::Cell::from(rng.next_u64()),
-                ]
-            }));
-            t.to_csv()
-        };
-        let unsharded = build(expt::Runner::new(2, seed));
-        let parts: Vec<String> = (0..shards)
-            .map(|i| build(expt::Runner::new(2, seed).with_shard(Some((i, shards)))))
-            .collect();
-        #[allow(deprecated)]
-        let merged = expt::output::merge_sharded_csv(&parts, n).unwrap();
-        prop_assert_eq!(merged, unsharded);
     }
 
     /// The JSON shard merge reproduces the unsharded rendering
