@@ -1,16 +1,25 @@
-//! The in-process orchestrator backend: runs one driver shard on a
-//! local thread and returns its table documents.
+//! Orchestrator backends: in-process threads ([`LocalBackend`]) and
+//! child processes ([`SubprocessBackend`]).
 //!
-//! This is the `local threads` half of the [`expt::orchestrate`] design
-//! — the [`Backend`] trait is the seam where a multi-machine runner
-//! (ssh, jobs queue, ...) slots in later; anything that can run
-//! `"<driver> --shard i/n"` somewhere and ship back the JSON table
-//! documents is a valid implementation.
+//! The [`Backend`] trait is the seam where execution substrates slot
+//! in: anything that can run `"<driver> --shard i/n"` somewhere and
+//! ship back the JSON table documents is a valid implementation.
+//! `LocalBackend` calls the driver registry directly on the worker
+//! thread — cheapest, but a crashing driver shares the orchestrator's
+//! address space. `SubprocessBackend` spawns the driver *binary* per
+//! job, so a segfaulting or aborting driver is just a non-zero exit
+//! status consuming retry budget — the process-isolation robustness win
+//! — and the same spawn recipe extends to a remote (ssh / job queue)
+//! runner later. Both backends pin drivers to `--threads 1` and pass
+//! identical flags, so their merged output is byte-identical.
 
 use crate::figures;
 use expt::orchestrate::{Backend, ShardJob};
 use expt::output::{table_json, RunMeta};
-use expt::{Ctx, ExptArgs};
+use expt::{Ctx, ExptArgs, Scale};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
 
 /// Runs shard jobs in-process through the [`crate::figures`] registry.
 ///
@@ -59,6 +68,218 @@ impl Backend for LocalBackend {
     }
 }
 
+/// Runs each shard job as a child process: spawns
+/// `<bin_dir>/<driver> --quick/--full --threads 1 --seed S --shard i/n
+/// --out <scratch>` and collects the shard documents the child wrote.
+///
+/// Failure mapping — all per-job `Err`s, so the orchestrator's retry
+/// budget applies and a dying child never takes the sweep down:
+/// * spawn failure (missing binary) → named error,
+/// * non-zero exit → exit status plus the child's stderr tail,
+/// * signal death (segfault, abort, OOM kill) → the signal number,
+/// * a child that exits 0 without writing documents → named error
+///   (the orchestrator separately validates that documents parse and
+///   match the job).
+///
+/// The child's environment is pinned: `OPERA_SCALE` is removed and the
+/// scale passed explicitly, so a subprocess run reproduces the local
+/// run bit-for-bit regardless of the orchestrator's own environment.
+#[derive(Debug, Clone)]
+pub struct SubprocessBackend {
+    /// Run configuration (scale / seed / replicates / k); shard and
+    /// threads are set per job.
+    pub args: ExptArgs,
+    /// Directory holding the driver binaries (normally
+    /// `target/release`).
+    pub bin_dir: PathBuf,
+    /// Scratch root for per-job `--out` directories; each job cleans
+    /// its own subdirectory up after collecting the documents.
+    scratch: PathBuf,
+}
+
+impl SubprocessBackend {
+    /// Backend spawning `<bin_dir>/<driver>` per job under `args`.
+    pub fn new(args: ExptArgs, bin_dir: PathBuf) -> Self {
+        let scratch = std::env::temp_dir().join(format!("opera-orch-{}", std::process::id()));
+        SubprocessBackend {
+            args,
+            bin_dir,
+            scratch,
+        }
+    }
+
+    /// Override the scratch root (tests isolate theirs).
+    pub fn with_scratch(mut self, scratch: PathBuf) -> Self {
+        self.scratch = scratch;
+        self
+    }
+}
+
+impl Backend for SubprocessBackend {
+    fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+        let exe = self
+            .bin_dir
+            .join(format!("{}{}", job.driver, std::env::consts::EXE_SUFFIX));
+        let jobdir = self.scratch.join(format!(
+            "{}.shard{}of{}",
+            job.driver, job.shard.0, job.shard.1
+        ));
+        // A leftover dir from a killed earlier attempt must not leak
+        // stale documents into this one.
+        let _ = fs::remove_dir_all(&jobdir);
+        fs::create_dir_all(&jobdir).map_err(|e| format!("{}: {e}", jobdir.display()))?;
+
+        let mut cmd = Command::new(&exe);
+        match self.args.scale {
+            Scale::Quick => {
+                cmd.arg("--quick");
+            }
+            Scale::Full => {
+                cmd.arg("--full");
+            }
+            Scale::Default => {}
+        }
+        cmd.arg("--threads")
+            .arg("1")
+            .arg("--seed")
+            .arg(self.args.seed.to_string())
+            .arg("--replicates")
+            .arg(self.args.replicates.to_string())
+            .arg("--shard")
+            .arg(format!("{}/{}", job.shard.0, job.shard.1))
+            .arg("--out")
+            .arg(&jobdir);
+        if let Some(k) = self.args.k {
+            cmd.arg("--k").arg(k.to_string());
+        }
+        cmd.env_remove("OPERA_SCALE")
+            .stdin(Stdio::null())
+            // The child prints its whole CSV to stdout; discard it —
+            // the shard documents on disk are the channel.
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        let output = cmd
+            .output()
+            .map_err(|e| format!("failed to spawn {}: {e}", exe.display()))?;
+        if !output.status.success() {
+            return Err(exit_error(&job.driver, &output.status, &output.stderr));
+        }
+
+        let sdir = jobdir.join(&job.driver).join(expt::output::SHARD_DIR);
+        let mut files: Vec<PathBuf> = fs::read_dir(&sdir)
+            .map_err(|e| {
+                format!(
+                    "{} wrote no shard documents ({}: {e})",
+                    job.driver,
+                    sdir.display()
+                )
+            })?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        files.sort();
+        let mut docs = Vec::with_capacity(files.len());
+        for f in &files {
+            docs.push(fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?);
+        }
+        if docs.is_empty() {
+            return Err(format!(
+                "{} exited successfully but wrote no shard documents under {}",
+                job.driver,
+                sdir.display()
+            ));
+        }
+        let _ = fs::remove_dir_all(&jobdir);
+        Ok(docs)
+    }
+}
+
+/// Describe a failed child exit: the signal that killed it on Unix,
+/// the exit status otherwise, plus a tail of its stderr.
+fn exit_error(driver: &str, status: &std::process::ExitStatus, stderr: &[u8]) -> String {
+    let stderr = String::from_utf8_lossy(stderr);
+    let lines: Vec<&str> = stderr.lines().collect();
+    let tail = if lines.is_empty() {
+        String::new()
+    } else {
+        let keep = &lines[lines.len().saturating_sub(5)..];
+        format!(": {}", keep.join(" | "))
+    };
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return format!("{driver} killed by signal {sig}{tail}");
+        }
+    }
+    format!("{driver} {status}{tail}")
+}
+
+/// The backend registry behind the orchestrate CLI's `--backend` flag
+/// and a manifest's recorded backend name: one enum so callers avoid
+/// generics at the binary boundary.
+#[derive(Debug, Clone)]
+pub enum AnyBackend {
+    /// In-process thread execution ([`LocalBackend`]).
+    Local(LocalBackend),
+    /// Child-process execution ([`SubprocessBackend`]).
+    Subprocess(SubprocessBackend),
+}
+
+impl AnyBackend {
+    /// Build a backend by name (`local` / `subprocess`). `bin_dir`
+    /// overrides where the subprocess backend looks for driver
+    /// binaries; by default it is the running binary's own directory
+    /// (the driver binaries are its siblings under `target/release`).
+    pub fn from_name(
+        name: &str,
+        args: ExptArgs,
+        bin_dir: Option<PathBuf>,
+    ) -> Result<AnyBackend, String> {
+        match name {
+            "local" => Ok(AnyBackend::Local(LocalBackend::new(args))),
+            "subprocess" => {
+                let bin_dir = match bin_dir {
+                    Some(d) => d,
+                    None => default_bin_dir()?,
+                };
+                Ok(AnyBackend::Subprocess(SubprocessBackend::new(
+                    args, bin_dir,
+                )))
+            }
+            other => Err(format!(
+                "unknown backend {other:?} (want local or subprocess)"
+            )),
+        }
+    }
+
+    /// The name [`AnyBackend::from_name`] resolves — what the run
+    /// manifest records so `resume` re-runs with the same substrate.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyBackend::Local(_) => "local",
+            AnyBackend::Subprocess(_) => "subprocess",
+        }
+    }
+}
+
+impl Backend for AnyBackend {
+    fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+        match self {
+            AnyBackend::Local(b) => b.run_shard(job),
+            AnyBackend::Subprocess(b) => b.run_shard(job),
+        }
+    }
+}
+
+/// The directory of the currently running binary.
+fn default_bin_dir() -> Result<PathBuf, String> {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(Path::to_path_buf))
+        .ok_or_else(|| "cannot determine the running binary's directory; pass --bin-dir".into())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +292,37 @@ mod tests {
             no_write: true,
             ..ExptArgs::default()
         }
+    }
+
+    #[test]
+    fn backend_registry_resolves_names() {
+        let b = AnyBackend::from_name("local", quick_args(), None).unwrap();
+        assert_eq!(b.name(), "local");
+        let b = AnyBackend::from_name(
+            "subprocess",
+            quick_args(),
+            Some(PathBuf::from("/nonexistent")),
+        )
+        .unwrap();
+        assert_eq!(b.name(), "subprocess");
+        assert!(AnyBackend::from_name("ssh", quick_args(), None)
+            .unwrap_err()
+            .contains("unknown backend"));
+    }
+
+    #[test]
+    fn missing_binary_is_a_spawn_error() {
+        let b = SubprocessBackend::new(quick_args(), PathBuf::from("/nonexistent-bin-dir"))
+            .with_scratch(
+                std::env::temp_dir().join(format!("orch-missing-{}", std::process::id())),
+            );
+        let err = b
+            .run_shard(&ShardJob {
+                driver: "fig14_cycle_time_scaling".into(),
+                shard: (0, 1),
+            })
+            .unwrap_err();
+        assert!(err.contains("failed to spawn"), "{err}");
     }
 
     #[test]
@@ -110,7 +362,10 @@ mod tests {
             .unwrap();
         let merged = &report.drivers[0].merged;
         assert_eq!(merged.len(), unsharded.len());
-        for (m, u) in merged.iter().zip(&unsharded) {
+        // Merged tables are in canonical sorted-by-name order; the raw
+        // run_shard docs are in driver emission order. Match by name.
+        for m in merged {
+            let u = unsharded.iter().find(|u| u.table == m.table).unwrap();
             assert_eq!(m.to_csv(), u.to_csv());
         }
         // The grouped merge helper agrees with the orchestrator.

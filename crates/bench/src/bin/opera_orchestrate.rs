@@ -1,42 +1,59 @@
 //! Driver-level sweep orchestrator: schedule `driver × shard` jobs over
-//! a worker pool, retry failures, and merge the per-shard JSON table
-//! documents with full point-index validation.
+//! a worker pool (in-process threads or child processes), retry
+//! failures, persist every shard as it completes, and merge with full
+//! point-index validation.
 //!
 //! ```text
 //! opera_orchestrate [--drivers all|A,B,...] [--shards N] [--workers W]
 //!                   [--retries K] [--quick|--full] [--seed S]
-//!                   [--replicates R] [--out DIR] [--plan FILE] [--no-write]
+//!                   [--replicates R] [--backend local|subprocess]
+//!                   [--bin-dir DIR] [--out DIR] [--plan FILE] [--no-write]
+//! opera_orchestrate resume [DIR] [--backend local|subprocess]
+//!                   [--bin-dir DIR] [--workers W]
 //! opera_orchestrate validate [--out DIR]
 //! ```
 //!
-//! The run mode writes, per driver, the shard documents under
-//! `<out>/<driver>/shards/` and the validated merged tables as
-//! `<out>/<driver>/<table>.{csv,json}` — the merged CSV is
-//! byte-identical to an unsharded `--threads 1` run of the same driver
-//! (asserted by `tests/orchestrate.rs`). `validate` re-merges the shard
-//! documents on disk and fails, naming the exact invariant, on any
-//! missing or duplicated point index, mismatched schema/flags, or a
-//! merged CSV that no longer matches its shards (the CI
-//! merge-validation step).
+//! The run mode writes a `run.json` manifest up front, then persists
+//! each job's shard documents under `<out>/<driver>/shards/` *the
+//! moment the job completes* (atomic tmp-file + rename, manifest
+//! updated per job), and finally the validated merged tables as
+//! `<out>/<driver>/<table>.{csv,json}` — byte-identical to an unsharded
+//! `--threads 1` run of the same driver (asserted by
+//! `tests/orchestrate.rs`). A killed or failed run therefore keeps
+//! everything that finished: `resume` re-reads the manifest, reuses
+//! every surviving valid shard document, and re-runs only the missing,
+//! corrupt, or failed jobs before re-merging.
+//!
+//! `--backend subprocess` spawns `target/release/<driver> --shard i/n`
+//! per job instead of calling the driver in-process: a segfaulting
+//! driver becomes a retryable per-job failure instead of taking the
+//! orchestrator down. `validate` re-merges the shard documents on disk
+//! and fails, naming the exact invariant, on any missing or duplicated
+//! point index, mismatched schema/flags, or a merged CSV that no longer
+//! matches its shards (the CI merge-validation step).
 //!
 //! A `--plan` file is JSON overriding the defaults; explicit CLI flags
 //! win over the plan:
 //!
 //! ```json
 //! {"drivers": ["fig08_shuffle_throughput"], "shards": 4, "retries": 1,
-//!  "workers": 2, "scale": "quick", "seed": 0, "replicates": 3}
+//!  "workers": 2, "scale": "quick", "seed": 0, "replicates": 3,
+//!  "backend": "subprocess"}
 //! ```
 
-use bench::backend::LocalBackend;
+use bench::backend::AnyBackend;
 use bench::figures;
-use expt::orchestrate::{validate_dir, Orchestrator, Plan, PlanFile};
-use expt::{ExptArgs, Scale};
+use expt::orchestrate::{validate_dir, Orchestrator, Plan, PlanFile, RunReport};
+use expt::runfile::{resume_run, RunManifest, RunWriter, RUN_FILE};
+use expt::{ExptArgs, Scale, TableDoc};
 use std::path::PathBuf;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("validate") {
-        return validate(&argv[1..]);
+    match argv.first().map(String::as_str) {
+        Some("validate") => return validate(&argv[1..]),
+        Some("resume") => return resume(&argv[1..]),
+        _ => {}
     }
 
     let mut drivers_arg: Option<String> = None;
@@ -46,6 +63,8 @@ fn main() {
     let mut scale: Option<Scale> = None;
     let mut seed: Option<u64> = None;
     let mut replicates: Option<usize> = None;
+    let mut backend_arg: Option<String> = None;
+    let mut bin_dir: Option<PathBuf> = None;
     let mut out = PathBuf::from("results");
     let mut no_write = false;
     let mut plan_file = PlanFile::default();
@@ -65,6 +84,8 @@ fn main() {
             "--full" => scale = Some(Scale::Full),
             "--seed" => seed = Some(parse(&value_for("--seed"), "--seed")),
             "--replicates" => replicates = Some(parse(&value_for("--replicates"), "--replicates")),
+            "--backend" => backend_arg = Some(value_for("--backend")),
+            "--bin-dir" => bin_dir = Some(PathBuf::from(value_for("--bin-dir"))),
             "--out" => out = PathBuf::from(value_for("--out")),
             "--no-write" => no_write = true,
             "--plan" => {
@@ -101,28 +122,84 @@ fn main() {
         replicates: replicates.or(plan_file.replicates).unwrap_or(3),
         ..ExptArgs::default()
     };
+    let backend_name = backend_arg
+        .or(plan_file.backend.clone())
+        .unwrap_or_else(|| "local".to_string());
+    let backend =
+        AnyBackend::from_name(&backend_name, args.clone(), bin_dir).unwrap_or_else(|e| usage(&e));
 
     println!(
-        "# orchestrating {} driver(s) x {shards} shard(s), scale={}, seed={}, replicates={}, \
-         retries={retries}",
+        "# orchestrating {} driver(s) x {shards} shard(s), backend={}, scale={}, seed={}, \
+         replicates={}, retries={retries}",
         drivers.len(),
+        backend.name(),
         args.scale,
         args.seed,
         args.replicates
     );
-    let orch = Orchestrator::new(LocalBackend::new(args), workers);
     let plan = Plan {
         drivers,
         shards,
         retries,
     };
-    let report = match orch.run(&plan) {
-        Ok(r) => r,
+    let orch = Orchestrator::new(backend, workers);
+
+    if no_write {
+        // No persistence requested: plain run, report only.
+        match orch.run(&plan) {
+            Ok(report) => print_report(&report),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Durable run: manifest first, every shard persisted as its job
+    // completes, merged CSVs at the end.
+    let manifest = RunManifest::new(&plan, backend_name.as_str(), &args);
+    let writer = match RunWriter::create(&out, manifest) {
+        Ok(w) => w,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     };
+    match orch.run_observed(&plan, &writer) {
+        Ok(report) => {
+            print_report(&report);
+            let merged: Vec<(String, Vec<TableDoc>)> = report
+                .drivers
+                .iter()
+                .map(|r| (r.driver.clone(), r.merged.clone()))
+                .collect();
+            match writer.finish(&merged) {
+                Ok(csvs) => {
+                    for p in csvs {
+                        println!("# wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "# completed shards are persisted under {}; after fixing the cause, \
+                 re-run only the rest with: opera_orchestrate resume {}",
+                out.display(),
+                out.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_report(report: &RunReport) {
     for run in &report.drivers {
         let retried = if run.retried > 0 {
             format!(" ({} retried attempt(s))", run.retried)
@@ -141,17 +218,77 @@ fn main() {
         report.attempts,
         report.drivers.len()
     );
-    if !no_write {
-        match expt::orchestrate::write_run(&out, &report) {
-            Ok(csvs) => {
-                for p in csvs {
-                    println!("# wrote {}", p.display());
-                }
+}
+
+/// `opera_orchestrate resume [DIR]`: re-read the run manifest, reuse
+/// every valid persisted shard document, re-run the rest.
+fn resume(rest: &[String]) {
+    let mut dir: Option<PathBuf> = None;
+    let mut backend_arg: Option<String> = None;
+    let mut bin_dir: Option<PathBuf> = None;
+    let mut workers: usize = 0;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--backend" => backend_arg = Some(value_for("--backend").clone()),
+            "--bin-dir" => bin_dir = Some(PathBuf::from(value_for("--bin-dir"))),
+            "--workers" => workers = parse(value_for("--workers"), "--workers"),
+            "--help" | "-h" => usage(""),
+            flag if flag.starts_with("--") => usage(&format!("unknown argument: {flag}")),
+            path if dir.is_none() => dir = Some(PathBuf::from(path)),
+            other => usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| PathBuf::from("results"));
+    let manifest = match RunManifest::read(&dir.join(RUN_FILE)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Default to the backend the original run used.
+    let backend_name = backend_arg.unwrap_or_else(|| manifest.backend.clone());
+    let backend = AnyBackend::from_name(&backend_name, manifest.expt_args(), bin_dir)
+        .unwrap_or_else(|e| usage(&e));
+    println!(
+        "# resuming {} ({} driver(s) x {} shard(s), backend={}, scale={}, seed={})",
+        dir.display(),
+        manifest.drivers.len(),
+        manifest.shards,
+        backend.name(),
+        manifest.scale,
+        manifest.seed
+    );
+    match resume_run(&dir, backend, workers) {
+        Ok(report) => {
+            for r in &report.rerun {
+                println!(
+                    "rerun  {} shard {}/{}: {}",
+                    r.job.driver, r.job.shard.0, r.job.shard.1, r.reason
+                );
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+            println!(
+                "# {} job(s) reused, {} re-run ({} attempt(s)); every merge validated",
+                report.reused,
+                report.rerun.len(),
+                report.attempts
+            );
+            for p in &report.csvs {
+                println!("# wrote {}", p.display());
             }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "# run state under {} is preserved; resume again once the cause is fixed",
+                dir.display()
+            );
+            std::process::exit(1);
         }
     }
 }
@@ -203,7 +340,10 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: opera_orchestrate [--drivers all|A,B,...] [--shards N] [--workers W]\n\
          \x20                        [--retries K] [--quick|--full] [--seed S]\n\
-         \x20                        [--replicates R] [--out DIR] [--plan FILE] [--no-write]\n\
+         \x20                        [--replicates R] [--backend local|subprocess]\n\
+         \x20                        [--bin-dir DIR] [--out DIR] [--plan FILE] [--no-write]\n\
+         \x20      opera_orchestrate resume [DIR] [--backend local|subprocess]\n\
+         \x20                        [--bin-dir DIR] [--workers W]\n\
          \x20      opera_orchestrate validate [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

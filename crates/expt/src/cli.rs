@@ -42,6 +42,19 @@ impl fmt::Display for Scale {
     }
 }
 
+impl Scale {
+    /// Parse the name [`Scale`] renders to (`quick` / `default` /
+    /// `full`) — the form plan files and run manifests store.
+    pub fn from_name(name: &str) -> Result<Scale, String> {
+        match name {
+            "quick" => Ok(Scale::Quick),
+            "default" => Ok(Scale::Default),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale {other:?} (want quick/default/full)")),
+        }
+    }
+}
+
 /// Parsed arguments for one driver invocation.
 #[derive(Debug, Clone)]
 pub struct ExptArgs {

@@ -28,6 +28,11 @@
 //!   `opera_orchestrate`: fans `driver × shard` jobs over a worker pool
 //!   (pluggable [`orchestrate::Backend`]), retries failures, and merges
 //!   shard documents with point-index validation,
+//! * [`runfile`] — durable run state: the `run.json` manifest, the
+//!   incremental [`runfile::RunWriter`] that persists each shard
+//!   document the moment its job completes (atomic tmp-file + rename),
+//!   and [`runfile::resume_run`], which re-runs only the missing or
+//!   corrupt shards of an interrupted run,
 //! * [`json`] — the minimal offline JSON reader the two modules above
 //!   share,
 //! * [`cli::ExptArgs`] — the `--quick` / `--threads` / `--out` /
@@ -46,6 +51,7 @@ pub mod json;
 pub mod orchestrate;
 pub mod output;
 pub mod replicate;
+pub mod runfile;
 pub mod runner;
 pub mod summary;
 pub mod sweep;

@@ -17,12 +17,20 @@
 //!   retries, then merges each driver's shard documents through
 //!   [`crate::output::merge_shard_docs`], so every result set is
 //!   *validated* — every point index present exactly once, schema and
-//!   flags matching — before a merged CSV is rendered,
+//!   flags matching — before a merged CSV is rendered. Each job attempt
+//!   is isolated: a panicking backend, or one returning unparseable or
+//!   misattributed documents, is a failed *attempt* consuming retry
+//!   budget, never a dead worker thread taking the sweep down,
+//! * a [`RunObserver`] hears each job's final outcome as it completes,
+//!   from the worker thread that ran it — the seam
+//!   [`crate::runfile::RunWriter`] uses to persist every shard document
+//!   the moment its job finishes instead of once at the end of the run,
 //! * [`write_run`] persists a run under `results/` (shard documents
-//!   under `shards/`, merged CSV + JSON beside them), and
-//!   [`validate_dir`] re-validates such a directory from disk — the CI
-//!   merge-validation step, and the hook tests use to prove a dropped
-//!   shard fails with a named [`MergeError::MissingPointIndex`].
+//!   under `shards/`, merged CSV + JSON beside them, plus the
+//!   [`crate::runfile::RunManifest`]), and [`validate_dir`]
+//!   re-validates such a directory from disk — the CI merge-validation
+//!   step, and the hook tests use to prove a dropped shard fails with a
+//!   named [`MergeError::MissingPointIndex`].
 
 use crate::json::Json;
 use crate::output::{self, merge_shard_docs, MergeError, TableDoc};
@@ -52,6 +60,12 @@ pub trait Backend: Sync {
     fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String>;
 }
 
+impl<B: Backend + ?Sized> Backend for &B {
+    fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+        (**self).run_shard(job)
+    }
+}
+
 /// What to run: the resolved driver list plus sharding and retry knobs.
 #[derive(Debug, Clone)]
 pub struct Plan {
@@ -65,7 +79,8 @@ pub struct Plan {
 
 /// Plan-file overrides (JSON): any subset of
 /// `{"drivers": [...], "shards": N, "retries": N, "workers": N,
-/// "scale": "quick", "seed": S, "replicates": R}`.
+/// "scale": "quick", "seed": S, "replicates": R,
+/// "backend": "local"}`.
 /// Omitted fields keep their CLI/default values; `drivers` omitted (or
 /// `"all"`) means every registered driver.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -84,6 +99,9 @@ pub struct PlanFile {
     pub seed: Option<u64>,
     /// Replicates per sweep point.
     pub replicates: Option<usize>,
+    /// Backend name (`local` / `subprocess`) — interpreted by the
+    /// orchestrate CLI, which owns the backend registry.
+    pub backend: Option<String>,
 }
 
 impl PlanFile {
@@ -118,10 +136,8 @@ impl PlanFile {
         };
         let scale = match j.get("scale").map(|v| v.as_str()) {
             None => None,
-            Some(Some("quick")) => Some(Scale::Quick),
-            Some(Some("default")) => Some(Scale::Default),
-            Some(Some("full")) => Some(Scale::Full),
-            Some(_) => return Err("plan: \"scale\" must be quick/default/full".into()),
+            Some(Some(name)) => Some(Scale::from_name(name).map_err(|e| format!("plan: {e}"))?),
+            Some(None) => return Err("plan: \"scale\" must be quick/default/full".into()),
         };
         Ok(PlanFile {
             drivers,
@@ -138,6 +154,14 @@ impl PlanFile {
                 }
             },
             replicates: uint("replicates")?,
+            backend: match j.get("backend") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "plan: \"backend\" must be a string".to_string())?,
+                ),
+            },
         })
     }
 }
@@ -201,6 +225,13 @@ pub enum OrchestrateError {
         /// What disagreed.
         detail: String,
     },
+    /// A `run.json` manifest is missing, unreadable, or inconsistent.
+    Manifest {
+        /// Manifest path involved.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for OrchestrateError {
@@ -222,11 +253,56 @@ impl fmt::Display for OrchestrateError {
             OrchestrateError::Stale { path, detail } => {
                 write!(f, "{}: {detail}", path.display())
             }
+            OrchestrateError::Manifest { path, detail } => {
+                write!(f, "{}: {detail}", path.display())
+            }
         }
     }
 }
 
 impl std::error::Error for OrchestrateError {}
+
+/// Hears each job's final outcome the moment it completes, from the
+/// worker thread that ran it. Implementations persist state
+/// incrementally — [`crate::runfile::RunWriter`] writes the shard
+/// documents and updates `run.json` per completion — or do nothing
+/// ([`NoObserver`]). Completion order is scheduling-dependent; anything
+/// derived from it must be keyed by job, not by arrival order.
+pub trait RunObserver: Sync {
+    /// Called exactly once per job with its final outcome (after the
+    /// retry budget is spent or the job succeeds).
+    fn job_done(&self, job: &ShardJob, attempts: usize, outcome: &Result<Vec<TableDoc>, String>);
+}
+
+/// Observer that ignores every completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl RunObserver for NoObserver {
+    fn job_done(&self, _: &ShardJob, _: usize, _: &Result<Vec<TableDoc>, String>) {}
+}
+
+/// Final outcome of one shard job after retries.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Attempts made (1 + retries consumed).
+    pub attempts: usize,
+    /// Parsed table documents on success, the last error otherwise.
+    pub result: Result<Vec<TableDoc>, String>,
+}
+
+/// The `driver × shard` job list of a plan, driver-major in plan order.
+pub fn plan_jobs(plan: &Plan) -> Vec<ShardJob> {
+    plan.drivers
+        .iter()
+        .flat_map(|d| {
+            (0..plan.shards).map(move |i| ShardJob {
+                driver: d.clone(),
+                shard: (i, plan.shards),
+            })
+        })
+        .collect()
+}
 
 /// Schedules shard jobs over a worker pool and merges the results.
 #[derive(Debug)]
@@ -256,79 +332,46 @@ impl<B: Backend> Orchestrator<B> {
     /// the report — like everything in this harness — is independent of
     /// worker count.
     pub fn run(&self, plan: &Plan) -> Result<RunReport, OrchestrateError> {
-        assert!(plan.shards >= 1, "plan needs at least one shard");
-        let jobs: Vec<ShardJob> = plan
-            .drivers
-            .iter()
-            .flat_map(|d| {
-                (0..plan.shards).map(move |i| ShardJob {
-                    driver: d.clone(),
-                    shard: (i, plan.shards),
-                })
-            })
-            .collect();
+        self.run_observed(plan, &NoObserver)
+    }
 
-        // Claim loop over jobs; each worker retries its claimed job
-        // in-place before reporting.
-        type JobOutcome = Result<(usize, Vec<String>), (usize, String)>; // attempts
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<JobOutcome>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        let workers = self.workers.min(jobs.len()).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    if slot >= jobs.len() {
-                        break;
-                    }
-                    let job = &jobs[slot];
-                    let mut outcome: JobOutcome = Err((0, "never attempted".into()));
-                    for attempt in 1..=plan.retries + 1 {
-                        match self.backend.run_shard(job) {
-                            Ok(docs) => {
-                                outcome = Ok((attempt, docs));
-                                break;
-                            }
-                            Err(e) => outcome = Err((attempt, e)),
-                        }
-                    }
-                    *results[slot].lock().unwrap() = Some(outcome);
-                });
-            }
-        });
+    /// [`Orchestrator::run`] with a per-job completion observer: every
+    /// job's final outcome is delivered to `observer` as it completes,
+    /// before the end-of-run merge — the hook that lets
+    /// [`crate::runfile::RunWriter`] persist each shard document the
+    /// moment it exists, so a killed run keeps everything that
+    /// finished.
+    pub fn run_observed(
+        &self,
+        plan: &Plan,
+        observer: &dyn RunObserver,
+    ) -> Result<RunReport, OrchestrateError> {
+        assert!(plan.shards >= 1, "plan needs at least one shard");
+        let jobs = plan_jobs(plan);
+        let outcomes = self.execute_jobs(&jobs, plan.retries, observer);
 
         let mut report = RunReport {
             drivers: Vec::with_capacity(plan.drivers.len()),
             shards: plan.shards,
             attempts: 0,
         };
-        let mut outcomes = results.into_iter().map(|m| {
-            m.into_inner()
-                .unwrap()
-                .expect("every job slot is claimed exactly once")
-        });
+        let mut outcomes = outcomes.into_iter();
         for (di, driver) in plan.drivers.iter().enumerate() {
             let mut shard_docs: Vec<Vec<TableDoc>> = Vec::with_capacity(plan.shards);
             let mut retried = 0usize;
             for shard in 0..plan.shards {
                 let job = &jobs[di * plan.shards + shard];
-                match outcomes.next().expect("one outcome per job") {
-                    Ok((attempts, docs)) => {
-                        report.attempts += attempts;
-                        retried += attempts - 1;
-                        let parsed: Result<Vec<TableDoc>, MergeError> =
-                            docs.iter().map(|d| TableDoc::parse(d)).collect();
-                        shard_docs.push(parsed.map_err(|error| OrchestrateError::Merge {
-                            driver: driver.clone(),
-                            error,
-                        })?);
+                let outcome = outcomes.next().expect("one outcome per job");
+                report.attempts += outcome.attempts;
+                match outcome.result {
+                    Ok(docs) => {
+                        retried += outcome.attempts - 1;
+                        shard_docs.push(docs);
                     }
-                    Err((attempts, error)) => {
-                        report.attempts += attempts;
+                    Err(error) => {
                         return Err(OrchestrateError::Job {
                             job: job.clone(),
-                            attempts,
+                            attempts: outcome.attempts,
                             error,
                         });
                     }
@@ -343,6 +386,105 @@ impl<B: Backend> Orchestrator<B> {
             });
         }
         Ok(report)
+    }
+
+    /// The claim-loop core shared by fresh runs and
+    /// [`crate::runfile::resume_run`]: run every job in `jobs` with up
+    /// to `1 + retries` attempts each, delivering each job's final
+    /// outcome to `observer` from the worker that ran it. Job failures
+    /// are *recorded*, not propagated — every job runs regardless of
+    /// how the others fare, so one permanently broken shard cannot stop
+    /// the rest of a sweep from completing (and being persisted).
+    /// Returns one outcome per job, in job order.
+    pub fn execute_jobs(
+        &self,
+        jobs: &[ShardJob],
+        retries: usize,
+        observer: &dyn RunObserver,
+    ) -> Vec<JobOutcome> {
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<JobOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(jobs.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[slot];
+                    let mut outcome = JobOutcome {
+                        attempts: 0,
+                        result: Err("never attempted".into()),
+                    };
+                    for attempt in 1..=retries + 1 {
+                        outcome = JobOutcome {
+                            attempts: attempt,
+                            result: self.attempt(job),
+                        };
+                        if outcome.result.is_ok() {
+                            break;
+                        }
+                    }
+                    observer.job_done(job, outcome.attempts, &outcome.result);
+                    *results[slot].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every job slot is claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// One attempt of one job. The backend call is isolated behind
+    /// `catch_unwind`, so a panicking backend (or driver) becomes a
+    /// failed attempt consuming retry budget instead of a dead worker
+    /// thread aborting the whole sweep; the returned documents are
+    /// parsed and checked against the job, so unparseable or
+    /// misattributed output — a crashed child's half of a handshake —
+    /// is likewise a retryable per-job failure.
+    fn attempt(&self, job: &ShardJob) -> Result<Vec<TableDoc>, String> {
+        let raw =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.backend.run_shard(job)))
+                .map_err(|payload| {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("no panic message");
+                    format!("backend panicked: {msg}")
+                })??;
+        let mut docs = Vec::with_capacity(raw.len());
+        for text in &raw {
+            let doc =
+                TableDoc::parse(text).map_err(|e| format!("unparseable table document: {e}"))?;
+            if doc.driver != job.driver {
+                return Err(format!(
+                    "document for driver {:?} returned for a {:?} job",
+                    doc.driver, job.driver
+                ));
+            }
+            if doc.shard != Some(job.shard) {
+                return Err(format!(
+                    "document for shard {:?} returned for shard ({}, {})",
+                    doc.shard, job.shard.0, job.shard.1
+                ));
+            }
+            docs.push(doc);
+        }
+        // Canonicalize table order. The in-process backend sees the
+        // driver's emission order but a subprocess backend reads shard
+        // documents back from the filesystem, which cannot preserve it;
+        // sorting by table name here makes every substrate merge — and
+        // every manifest record — byte-identically.
+        docs.sort_by(|a, b| a.table.cmp(&b.table));
+        Ok(docs)
     }
 }
 
@@ -405,53 +547,37 @@ pub fn merge_driver_docs(
 }
 
 /// Persist a completed run under `out`: each driver's shard documents
-/// under `<out>/<driver>/shards/`, and the validated merged tables as
-/// `<out>/<driver>/<table>.csv` + `.json`. The driver directory is
-/// pruned first — stale shard documents from a previous run with a
-/// different shard count, and merged files of tables the driver no
-/// longer produces, would otherwise poison a later [`validate_dir`]
-/// (or resurrect dropped tables as "ok"). Returns the merged CSV
-/// paths.
+/// under `<out>/<driver>/shards/`, the validated merged tables as
+/// `<out>/<driver>/<table>.csv` + `.json`, and a
+/// [`crate::runfile::RunManifest`] (`run.json`) recording the plan and
+/// per-job status. Each driver directory is pruned first — stale shard
+/// documents from a previous run with a different shard count, and
+/// merged files of tables the driver no longer produces, would
+/// otherwise poison a later [`validate_dir`] (or resurrect dropped
+/// tables as "ok"). All writes are atomic (tmp file + rename). Returns
+/// the merged CSV paths.
+///
+/// This is the end-of-run convenience over [`crate::runfile::RunWriter`],
+/// which the orchestrate CLI uses directly to persist each shard as its
+/// job completes.
 pub fn write_run(out: &Path, report: &RunReport) -> Result<Vec<PathBuf>, OrchestrateError> {
-    let io_err = |path: &Path, e: std::io::Error| OrchestrateError::Io {
-        path: path.to_path_buf(),
-        error: e.to_string(),
-    };
-    let mut csvs = Vec::new();
+    let manifest = crate::runfile::RunManifest::from_report(report);
+    let writer = crate::runfile::RunWriter::create(out, manifest)?;
     for run in &report.drivers {
-        let dir = out.join(&run.driver);
-        let sdir = dir.join(output::SHARD_DIR);
-        match fs::remove_dir_all(&sdir) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(io_err(&sdir, e)),
-        }
-        fs::create_dir_all(&sdir).map_err(|e| io_err(&sdir, e))?;
-        for docs in &run.shard_docs {
-            for doc in docs {
-                let shard = doc.shard.expect("shard docs are sharded");
-                let path = sdir.join(output::shard_file_name(&doc.table, shard));
-                fs::write(&path, doc.render()).map_err(|e| io_err(&path, e))?;
-            }
-        }
-        let mut keep = Vec::with_capacity(run.merged.len() * 2);
-        for doc in &run.merged {
-            let csv = dir.join(format!("{}.csv", doc.table));
-            fs::write(&csv, doc.to_csv()).map_err(|e| io_err(&csv, e))?;
-            let json = dir.join(format!("{}.json", doc.table));
-            fs::write(&json, doc.render()).map_err(|e| io_err(&json, e))?;
-            keep.push(csv.clone());
-            keep.push(json);
-            csvs.push(csv);
-        }
-        for entry in fs::read_dir(&dir).map_err(|e| io_err(&dir, e))? {
-            let path = entry.map_err(|e| io_err(&dir, e))?.path();
-            if path.is_file() && !keep.contains(&path) {
-                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
-            }
+        for (shard, docs) in run.shard_docs.iter().enumerate() {
+            let job = ShardJob {
+                driver: run.driver.clone(),
+                shard: (shard, report.shards),
+            };
+            writer.job_done(&job, 1, &Ok(docs.clone()));
         }
     }
-    Ok(csvs)
+    let merged: Vec<(String, Vec<TableDoc>)> = report
+        .drivers
+        .iter()
+        .map(|r| (r.driver.clone(), r.merged.clone()))
+        .collect();
+    writer.finish(&merged)
 }
 
 /// One validated `(driver, table)` pair from [`validate_dir`].
@@ -759,11 +885,178 @@ mod tests {
         fs::remove_dir_all(&out).unwrap();
     }
 
+    /// Panics on the first `panic_first` attempts of every job of the
+    /// driver named `"panicky"`; everything else succeeds immediately.
+    /// The call counter lock is released before panicking so the test
+    /// exercises the orchestrator's isolation, not a poisoned test
+    /// fixture.
+    struct PanickyBackend {
+        panic_first: usize,
+        calls: std::sync::Mutex<std::collections::HashMap<String, usize>>,
+    }
+
+    impl Backend for PanickyBackend {
+        fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+            let n = {
+                let mut calls = self.calls.lock().unwrap();
+                let entry = calls
+                    .entry(format!("{}:{}", job.driver, job.shard.0))
+                    .or_insert(0);
+                *entry += 1;
+                *entry
+            };
+            if job.driver == "panicky" && n <= self.panic_first {
+                panic!("deliberate panic on attempt {n}");
+            }
+            Ok(fake_docs(&job.driver, job.shard, 0))
+        }
+    }
+
+    #[test]
+    fn backend_panics_are_retryable_per_job_failures() {
+        // A panic consumes one attempt; the retry recovers the job.
+        let orch = Orchestrator::new(
+            PanickyBackend {
+                panic_first: 1,
+                calls: Default::default(),
+            },
+            2,
+        );
+        let report = orch.run(&plan(&["panicky"], 2, 1)).unwrap();
+        assert_eq!(report.drivers[0].retried, 2);
+        assert_eq!(report.attempts, 4);
+    }
+
+    #[test]
+    fn backend_panic_does_not_take_down_other_jobs() {
+        // Regression: a panicking worker used to propagate through the
+        // thread scope and abort the entire sweep. Now the panic is a
+        // per-job failure and every other job still completes.
+        let orch = Orchestrator::new(
+            PanickyBackend {
+                panic_first: usize::MAX,
+                calls: Default::default(),
+            },
+            2,
+        );
+        let p = plan(&["panicky", "ok"], 2, 0);
+        let outcomes = orch.execute_jobs(&plan_jobs(&p), p.retries, &NoObserver);
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes[..2] {
+            let err = o.result.as_ref().unwrap_err();
+            assert!(err.contains("backend panicked: deliberate panic"), "{err}");
+        }
+        for o in &outcomes[2..] {
+            assert!(o.result.is_ok());
+        }
+        // run() reports the panicking job as a named Job error.
+        match orch.run(&p).unwrap_err() {
+            OrchestrateError::Job { job, error, .. } => {
+                assert_eq!(job.driver, "panicky");
+                assert!(error.contains("backend panicked"));
+            }
+            other => panic!("expected Job error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unparseable_documents_consume_retry_budget() {
+        struct GarbageBackend;
+        impl Backend for GarbageBackend {
+            fn run_shard(&self, _: &ShardJob) -> Result<Vec<String>, String> {
+                Ok(vec!["{ not json".into()])
+            }
+        }
+        let orch = Orchestrator::new(GarbageBackend, 1);
+        match orch.run(&plan(&["a"], 1, 2)).unwrap_err() {
+            OrchestrateError::Job {
+                attempts, error, ..
+            } => {
+                assert_eq!(attempts, 3);
+                assert!(error.contains("unparseable table document"), "{error}");
+            }
+            other => panic!("expected Job error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn misattributed_documents_are_job_failures() {
+        // A backend shipping back some *other* job's documents (wrong
+        // driver or wrong shard) must fail that job, not poison the
+        // merge.
+        struct WrongDriver;
+        impl Backend for WrongDriver {
+            fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+                Ok(fake_docs("impostor", job.shard, 0))
+            }
+        }
+        let orch = Orchestrator::new(WrongDriver, 1);
+        match orch.run(&plan(&["a"], 1, 0)).unwrap_err() {
+            OrchestrateError::Job { error, .. } => assert!(error.contains("impostor"), "{error}"),
+            other => panic!("expected Job error, got {other}"),
+        }
+
+        struct WrongShard;
+        impl Backend for WrongShard {
+            fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+                Ok(fake_docs(&job.driver, (job.shard.0, job.shard.1 + 1), 0))
+            }
+        }
+        let orch = Orchestrator::new(WrongShard, 1);
+        match orch.run(&plan(&["a"], 2, 0)).unwrap_err() {
+            OrchestrateError::Job { error, .. } => {
+                assert!(error.contains("shard"), "{error}")
+            }
+            other => panic!("expected Job error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn observer_hears_every_job_outcome() {
+        struct Collect(Mutex<Vec<(String, usize, bool)>>);
+        impl RunObserver for Collect {
+            fn job_done(
+                &self,
+                job: &ShardJob,
+                attempts: usize,
+                outcome: &Result<Vec<TableDoc>, String>,
+            ) {
+                self.0.lock().unwrap().push((
+                    format!("{}:{}", job.driver, job.shard.0),
+                    attempts,
+                    outcome.is_ok(),
+                ));
+            }
+        }
+        let orch = Orchestrator::new(
+            FakeBackend {
+                fail_first: 1,
+                calls: Default::default(),
+            },
+            2,
+        );
+        let collect = Collect(Mutex::new(Vec::new()));
+        let report = orch
+            .run_observed(&plan(&["a"], 3, 1), &collect)
+            .expect("retries recover");
+        assert_eq!(report.drivers[0].retried, 3);
+        let mut seen = collect.0.into_inner().unwrap();
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                ("a:0".to_string(), 2, true),
+                ("a:1".to_string(), 2, true),
+                ("a:2".to_string(), 2, true),
+            ]
+        );
+    }
+
     #[test]
     fn plan_file_parsing() {
         let p = PlanFile::parse(
             r#"{"drivers": ["fig08"], "shards": 4, "retries": 1, "workers": 2,
-                "scale": "quick", "seed": 7, "replicates": 2}"#,
+                "scale": "quick", "seed": 7, "replicates": 2, "backend": "subprocess"}"#,
         )
         .unwrap();
         assert_eq!(p.drivers.as_deref(), Some(&["fig08".to_string()][..]));
@@ -773,6 +1066,8 @@ mod tests {
         assert_eq!(p.scale, Some(Scale::Quick));
         assert_eq!(p.seed, Some(7));
         assert_eq!(p.replicates, Some(2));
+        assert_eq!(p.backend.as_deref(), Some("subprocess"));
+        assert!(PlanFile::parse(r#"{"backend": 3}"#).is_err());
         assert_eq!(
             PlanFile::parse(r#"{"drivers": "all"}"#).unwrap().drivers,
             None

@@ -756,12 +756,28 @@ pub fn shard_file_name(name: &str, shard: (usize, usize)) -> String {
     format!("{name}.shard{}of{}.json", shard.0, shard.1)
 }
 
+/// Write `contents` to `path` atomically: write `<path>.tmp` in full,
+/// then rename over `path`. A reader (or a resumed run) therefore never
+/// sees a half-written file — it sees the old contents, the new
+/// contents, or no file at all. The `.tmp` suffix is *appended* (not an
+/// extension swap) so a leftover temp file from a killed process never
+/// matches the `.json` / `.csv` filters of
+/// [`crate::orchestrate::validate_dir`] and resume scans.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
 /// Write every table's result files under `dir`, creating directories
 /// as needed. Unsharded runs write `<table>.csv` plus the `<table>.json`
 /// table document; sharded runs write only
 /// `shards/<table>.shard<i>of<n>.json`, ready for [`merge_shard_docs`].
-/// Returns the written paths in table order. Existing files are
-/// overwritten so re-runs are idempotent.
+/// Returns the written paths in table order. Every file is written
+/// atomically ([`write_atomic`]), so re-runs are idempotent and a
+/// killed run never leaves a half-written document behind.
 pub fn write_tables(dir: &Path, tables: &[Table], meta: &RunMeta) -> io::Result<Vec<PathBuf>> {
     let mut paths = Vec::with_capacity(tables.len() * 2);
     match meta.shard {
@@ -770,7 +786,7 @@ pub fn write_tables(dir: &Path, tables: &[Table], meta: &RunMeta) -> io::Result<
             fs::create_dir_all(&sdir)?;
             for t in tables {
                 let json = sdir.join(shard_file_name(&t.name, shard));
-                fs::write(&json, table_json(t, meta))?;
+                write_atomic(&json, &table_json(t, meta))?;
                 paths.push(json);
             }
         }
@@ -778,10 +794,10 @@ pub fn write_tables(dir: &Path, tables: &[Table], meta: &RunMeta) -> io::Result<
             fs::create_dir_all(dir)?;
             for t in tables {
                 let csv = dir.join(format!("{}.csv", t.name));
-                fs::write(&csv, t.to_csv())?;
+                write_atomic(&csv, &t.to_csv())?;
                 paths.push(csv);
                 let json = dir.join(format!("{}.json", t.name));
-                fs::write(&json, table_json(t, meta))?;
+                write_atomic(&json, &table_json(t, meta))?;
                 paths.push(json);
             }
         }

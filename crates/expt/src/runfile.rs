@@ -1,0 +1,1091 @@
+//! Durable run state: the `run.json` manifest and incremental writers
+//! that make an orchestrated sweep survivable.
+//!
+//! The original orchestrator wrote results *once, at the very end* of a
+//! run — a killed `--full` sweep (paper-scale points take minutes each)
+//! lost every completed shard. This module closes that gap:
+//!
+//! * [`RunManifest`] — the plan, run flags, and per-job status
+//!   (pending / ok / failed, attempts, persisted tables), serialized as
+//!   `run.json` in the run directory and rewritten atomically after
+//!   every job completion,
+//! * [`RunWriter`] — a [`RunObserver`] that persists each job's shard
+//!   documents to `<out>/<driver>/shards/` *the moment the job
+//!   completes*, via [`crate::output::write_atomic`] (tmp file +
+//!   rename), then updates the manifest — so at any kill point the disk
+//!   holds only complete documents plus an accurate account of what
+//!   finished,
+//! * [`resume_run`] — reloads a manifest, re-validates every surviving
+//!   shard document (parse + provenance against the manifest), and
+//!   re-runs *only* the missing, corrupt, or never-completed jobs
+//!   before re-merging. Because per-point seeds derive from the plan
+//!   and not the attempt, the resumed merge is byte-identical to an
+//!   uninterrupted run.
+
+use crate::json::Json;
+use crate::orchestrate::{
+    merge_driver_docs, plan_jobs, Backend, OrchestrateError, Orchestrator, Plan, RunObserver,
+    RunReport, ShardJob,
+};
+use crate::output::{self, TableDoc};
+use crate::{ExptArgs, Scale};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Manifest filename inside a run directory.
+pub const RUN_FILE: &str = "run.json";
+
+/// Format tag written into every manifest.
+const MANIFEST_FORMAT: u64 = 1;
+
+/// Lifecycle state of one shard job within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Not yet completed (never ran, or the run was killed mid-job).
+    Pending,
+    /// Completed; its shard documents are on disk.
+    Ok,
+    /// Failed after exhausting the retry budget.
+    Failed,
+}
+
+impl JobStatus {
+    fn name(self) -> &'static str {
+        match self {
+            JobStatus::Pending => "pending",
+            JobStatus::Ok => "ok",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    fn from_name(name: &str) -> Result<JobStatus, String> {
+        match name {
+            "pending" => Ok(JobStatus::Pending),
+            "ok" => Ok(JobStatus::Ok),
+            "failed" => Ok(JobStatus::Failed),
+            other => Err(format!(
+                "unknown job status {other:?} (want pending/ok/failed)"
+            )),
+        }
+    }
+}
+
+/// One shard job's entry in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEntry {
+    /// Driver name.
+    pub driver: String,
+    /// The `(i, n)` shard.
+    pub shard: (usize, usize),
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Attempts made so far (0 while pending).
+    pub attempts: usize,
+    /// Last error, for failed jobs.
+    pub error: Option<String>,
+    /// Table names whose shard documents this job persisted — the
+    /// exact files [`resume_run`] must find (and re-validate) to reuse
+    /// the job.
+    pub tables: Vec<String>,
+}
+
+impl JobEntry {
+    /// The job this entry describes.
+    pub fn job(&self) -> ShardJob {
+        ShardJob {
+            driver: self.driver.clone(),
+            shard: self.shard,
+        }
+    }
+}
+
+/// The durable description of one orchestrated run: plan, run flags,
+/// backend, and per-job status. Serialized as `run.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Drivers in plan order.
+    pub drivers: Vec<String>,
+    /// Shards per driver.
+    pub shards: usize,
+    /// Retry budget per shard job.
+    pub retries: usize,
+    /// Backend name the run used (`local` / `subprocess` / ...) — what
+    /// `resume` re-runs with unless overridden.
+    pub backend: String,
+    /// Run scale.
+    pub scale: Scale,
+    /// Base seed.
+    pub seed: u64,
+    /// Replicates per sweep point.
+    pub replicates: usize,
+    /// Optional `--k` ToR-radix override.
+    pub k: Option<usize>,
+    /// True once the run merged and wrote final CSVs.
+    pub complete: bool,
+    /// One entry per `driver × shard` job.
+    pub jobs: Vec<JobEntry>,
+}
+
+impl RunManifest {
+    /// A fresh manifest for `plan` run under `backend` with `args`:
+    /// every job pending.
+    pub fn new(plan: &Plan, backend: &str, args: &ExptArgs) -> RunManifest {
+        RunManifest {
+            drivers: plan.drivers.clone(),
+            shards: plan.shards,
+            retries: plan.retries,
+            backend: backend.to_string(),
+            scale: args.scale,
+            seed: args.seed,
+            replicates: args.replicates,
+            k: args.k,
+            complete: false,
+            jobs: plan_jobs(plan)
+                .into_iter()
+                .map(|j| JobEntry {
+                    driver: j.driver,
+                    shard: j.shard,
+                    status: JobStatus::Pending,
+                    attempts: 0,
+                    error: None,
+                    tables: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// A manifest describing an already-completed in-memory report
+    /// (the [`crate::orchestrate::write_run`] path). Run flags are
+    /// recovered from the report's own documents; the backend is
+    /// recorded as `local` since the report was produced in-process.
+    pub fn from_report(report: &RunReport) -> RunManifest {
+        let probe = report.drivers.iter().flat_map(|d| d.merged.first()).next();
+        let (scale, seed, replicates, k) = match probe {
+            Some(doc) => (
+                Scale::from_name(&doc.scale).unwrap_or(Scale::Default),
+                doc.seed,
+                doc.replicates,
+                doc.k,
+            ),
+            None => (Scale::Default, 0, 1, None),
+        };
+        let plan = Plan {
+            drivers: report.drivers.iter().map(|d| d.driver.clone()).collect(),
+            shards: report.shards,
+            retries: 0,
+        };
+        RunManifest::new(
+            &plan,
+            "local",
+            &ExptArgs {
+                scale,
+                seed,
+                replicates,
+                k,
+                ..ExptArgs::default()
+            },
+        )
+    }
+
+    /// The plan this manifest records.
+    pub fn plan(&self) -> Plan {
+        Plan {
+            drivers: self.drivers.clone(),
+            shards: self.shards,
+            retries: self.retries,
+        }
+    }
+
+    /// The driver flags this run used, as [`ExptArgs`] — what a
+    /// resuming backend must pass to reproduce the run bit-for-bit
+    /// (scale / seed / replicates / k; everything else keeps its
+    /// default).
+    pub fn expt_args(&self) -> ExptArgs {
+        ExptArgs {
+            scale: self.scale,
+            seed: self.seed,
+            replicates: self.replicates,
+            k: self.k,
+            ..ExptArgs::default()
+        }
+    }
+
+    /// Update (or add) the entry for `job`.
+    fn set_job(
+        &mut self,
+        job: &ShardJob,
+        status: JobStatus,
+        attempts: usize,
+        error: Option<String>,
+        tables: Vec<String>,
+    ) {
+        match self
+            .jobs
+            .iter_mut()
+            .find(|e| e.driver == job.driver && e.shard == job.shard)
+        {
+            Some(e) => {
+                e.status = status;
+                e.attempts = attempts;
+                e.error = error;
+                e.tables = tables;
+            }
+            None => self.jobs.push(JobEntry {
+                driver: job.driver.clone(),
+                shard: job.shard,
+                status,
+                attempts,
+                error,
+                tables,
+            }),
+        }
+    }
+
+    /// Render as `run.json` text.
+    pub fn render(&self) -> String {
+        let num = |n: usize| Json::Num(n.to_string());
+        let mut m = BTreeMap::new();
+        m.insert("format".to_string(), Json::Num(MANIFEST_FORMAT.to_string()));
+        m.insert("backend".to_string(), Json::Str(self.backend.clone()));
+        m.insert(
+            "drivers".to_string(),
+            Json::Arr(self.drivers.iter().cloned().map(Json::Str).collect()),
+        );
+        m.insert("shards".to_string(), num(self.shards));
+        m.insert("retries".to_string(), num(self.retries));
+        m.insert("scale".to_string(), Json::Str(self.scale.to_string()));
+        m.insert("seed".to_string(), Json::Num(self.seed.to_string()));
+        m.insert("replicates".to_string(), num(self.replicates));
+        m.insert(
+            "k".to_string(),
+            match self.k {
+                Some(k) => num(k),
+                None => Json::Null,
+            },
+        );
+        m.insert("complete".to_string(), Json::Bool(self.complete));
+        m.insert(
+            "jobs".to_string(),
+            Json::Arr(
+                self.jobs
+                    .iter()
+                    .map(|e| {
+                        let mut j = BTreeMap::new();
+                        j.insert("driver".to_string(), Json::Str(e.driver.clone()));
+                        j.insert(
+                            "shard".to_string(),
+                            Json::Arr(vec![num(e.shard.0), num(e.shard.1)]),
+                        );
+                        j.insert("status".to_string(), Json::Str(e.status.name().to_string()));
+                        j.insert("attempts".to_string(), num(e.attempts));
+                        j.insert(
+                            "error".to_string(),
+                            match &e.error {
+                                Some(err) => Json::Str(err.clone()),
+                                None => Json::Null,
+                            },
+                        );
+                        j.insert(
+                            "tables".to_string(),
+                            Json::Arr(e.tables.iter().cloned().map(Json::Str).collect()),
+                        );
+                        Json::Obj(j)
+                    })
+                    .collect(),
+            ),
+        );
+        let mut s = Json::Obj(m).render();
+        s.push('\n');
+        s
+    }
+
+    /// Parse and validate `run.json` text. Beyond shape, this checks
+    /// the job list covers exactly `drivers × shards` — a manifest
+    /// whose jobs disagree with its own plan cannot be resumed.
+    pub fn parse(text: &str) -> Result<RunManifest, String> {
+        let j = Json::parse(text).map_err(|e| format!("run manifest: {e}"))?;
+        if !matches!(j, Json::Obj(_)) {
+            return Err("run manifest: expected a JSON object".into());
+        }
+        match j.get("format").and_then(Json::as_u64) {
+            Some(MANIFEST_FORMAT) => {}
+            Some(other) => {
+                return Err(format!(
+                    "run manifest: unsupported format {other} \
+                     (this build reads format {MANIFEST_FORMAT})"
+                ))
+            }
+            None => return Err("run manifest: missing or non-integer \"format\"".into()),
+        }
+        let str_field = |v: &Json, what: &str| -> Result<String, String> {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("run manifest: bad {what}"))
+        };
+        let uint = |k: &str| -> Result<usize, String> {
+            j.get(k)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("run manifest: missing or non-integer {k:?}"))
+        };
+        let drivers = j
+            .get("drivers")
+            .and_then(Json::as_arr)
+            .ok_or("run manifest: missing \"drivers\" array")?
+            .iter()
+            .map(|v| str_field(v, "\"drivers\" entry"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shards = uint("shards")?;
+        if shards == 0 {
+            return Err("run manifest: \"shards\" must be at least 1".into());
+        }
+        let scale = Scale::from_name(
+            j.get("scale")
+                .and_then(Json::as_str)
+                .ok_or("run manifest: missing \"scale\"")?,
+        )
+        .map_err(|e| format!("run manifest: {e}"))?;
+        let jobs = j
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or("run manifest: missing \"jobs\" array")?
+            .iter()
+            .map(|v| -> Result<JobEntry, String> {
+                let shard = match v.get("shard").and_then(Json::as_arr) {
+                    Some([i, n]) => (
+                        i.as_usize().ok_or("run manifest: bad job \"shard\"")?,
+                        n.as_usize().ok_or("run manifest: bad job \"shard\"")?,
+                    ),
+                    _ => return Err("run manifest: bad job \"shard\"".into()),
+                };
+                Ok(JobEntry {
+                    driver: str_field(
+                        v.get("driver")
+                            .ok_or("run manifest: job missing \"driver\"")?,
+                        "job \"driver\"",
+                    )?,
+                    shard,
+                    status: JobStatus::from_name(
+                        v.get("status")
+                            .and_then(Json::as_str)
+                            .ok_or("run manifest: job missing \"status\"")?,
+                    )
+                    .map_err(|e| format!("run manifest: {e}"))?,
+                    attempts: v
+                        .get("attempts")
+                        .and_then(Json::as_usize)
+                        .ok_or("run manifest: job missing \"attempts\"")?,
+                    error: match v.get("error") {
+                        None | Some(Json::Null) => None,
+                        Some(e) => Some(str_field(e, "job \"error\"")?),
+                    },
+                    tables: v
+                        .get("tables")
+                        .and_then(Json::as_arr)
+                        .ok_or("run manifest: job missing \"tables\"")?
+                        .iter()
+                        .map(|t| str_field(t, "job \"tables\" entry"))
+                        .collect::<Result<Vec<_>, _>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // The job list must cover exactly drivers × shards.
+        let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+        for e in &jobs {
+            if !drivers.contains(&e.driver) {
+                return Err(format!(
+                    "run manifest: job for unplanned driver {:?}",
+                    e.driver
+                ));
+            }
+            if e.shard.1 != shards || e.shard.0 >= shards {
+                return Err(format!(
+                    "run manifest: job shard ({}, {}) inconsistent with {shards}-way plan",
+                    e.shard.0, e.shard.1
+                ));
+            }
+            if !seen.insert((e.driver.clone(), e.shard.0)) {
+                return Err(format!(
+                    "run manifest: duplicate job for driver {:?} shard {}",
+                    e.driver, e.shard.0
+                ));
+            }
+        }
+        if seen.len() != drivers.len() * shards {
+            return Err(format!(
+                "run manifest: {} job(s) do not cover {} driver(s) × {shards} shard(s)",
+                jobs.len(),
+                drivers.len()
+            ));
+        }
+        Ok(RunManifest {
+            drivers,
+            shards,
+            retries: uint("retries")?,
+            backend: str_field(
+                j.get("backend")
+                    .ok_or("run manifest: missing \"backend\"")?,
+                "\"backend\"",
+            )?,
+            scale,
+            seed: j
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("run manifest: missing or non-integer \"seed\"")?,
+            replicates: uint("replicates")?,
+            k: match j.get("k") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_usize().ok_or("run manifest: bad \"k\"")?),
+            },
+            complete: j
+                .get("complete")
+                .and_then(Json::as_bool)
+                .ok_or("run manifest: missing or non-boolean \"complete\"")?,
+            jobs,
+        })
+    }
+
+    /// Read and validate a `run.json` file.
+    pub fn read(path: &Path) -> Result<RunManifest, OrchestrateError> {
+        let manifest_err = |detail: String| OrchestrateError::Manifest {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let text = fs::read_to_string(path).map_err(|e| manifest_err(e.to_string()))?;
+        RunManifest::parse(&text).map_err(manifest_err)
+    }
+}
+
+/// Persists a run incrementally: implements [`RunObserver`] by writing
+/// each completed job's shard documents (atomic tmp-file + rename) and
+/// rewriting `run.json`, then [`RunWriter::finish`] writes the merged
+/// CSVs and marks the run complete. Safe to share across the
+/// orchestrator's worker threads.
+#[derive(Debug)]
+pub struct RunWriter {
+    out: PathBuf,
+    state: Mutex<WriterState>,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    manifest: RunManifest,
+    /// First persistence failure, surfaced by `finish` — `job_done`
+    /// cannot return errors through the observer interface.
+    error: Option<OrchestrateError>,
+}
+
+impl RunWriter {
+    /// Start a *fresh* run under `out`: every planned driver directory
+    /// is pruned (stale shard documents from a previous run with a
+    /// different shard count would poison a later validation), shard
+    /// directories are created, and the all-pending manifest is
+    /// written.
+    pub fn create(out: &Path, manifest: RunManifest) -> Result<RunWriter, OrchestrateError> {
+        let io_err = |path: &Path, e: std::io::Error| OrchestrateError::Io {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        };
+        fs::create_dir_all(out).map_err(|e| io_err(out, e))?;
+        for driver in &manifest.drivers {
+            let dir = out.join(driver);
+            if dir.exists() {
+                fs::remove_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+            }
+            let sdir = dir.join(output::SHARD_DIR);
+            fs::create_dir_all(&sdir).map_err(|e| io_err(&sdir, e))?;
+        }
+        RunWriter::init(out, manifest)
+    }
+
+    /// Continue an *existing* run under `out`: nothing is pruned — the
+    /// surviving shard documents are the whole point — and the manifest
+    /// (with `complete` reset, since the merge must re-run) is written
+    /// back.
+    pub fn resume(out: &Path, mut manifest: RunManifest) -> Result<RunWriter, OrchestrateError> {
+        let io_err = |path: &Path, e: std::io::Error| OrchestrateError::Io {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        };
+        for driver in &manifest.drivers {
+            let sdir = out.join(driver).join(output::SHARD_DIR);
+            fs::create_dir_all(&sdir).map_err(|e| io_err(&sdir, e))?;
+        }
+        manifest.complete = false;
+        RunWriter::init(out, manifest)
+    }
+
+    fn init(out: &Path, manifest: RunManifest) -> Result<RunWriter, OrchestrateError> {
+        let writer = RunWriter {
+            out: out.to_path_buf(),
+            state: Mutex::new(WriterState {
+                manifest,
+                error: None,
+            }),
+        };
+        let st = writer.state.lock().unwrap();
+        writer.flush_manifest(&st.manifest)?;
+        drop(st);
+        Ok(writer)
+    }
+
+    fn flush_manifest(&self, manifest: &RunManifest) -> Result<(), OrchestrateError> {
+        let path = self.out.join(RUN_FILE);
+        output::write_atomic(&path, &manifest.render()).map_err(|e| OrchestrateError::Io {
+            path,
+            error: e.to_string(),
+        })
+    }
+
+    /// Persist one job completion: shard documents first (each written
+    /// atomically), then the manifest update — so the manifest never
+    /// claims a document that is not already safely on disk.
+    fn record(
+        &self,
+        st: &mut WriterState,
+        job: &ShardJob,
+        attempts: usize,
+        outcome: &Result<Vec<TableDoc>, String>,
+    ) -> Result<(), OrchestrateError> {
+        let (status, error, tables) = match outcome {
+            Ok(docs) => {
+                let sdir = self.out.join(&job.driver).join(output::SHARD_DIR);
+                for doc in docs {
+                    let path = sdir.join(output::shard_file_name(&doc.table, job.shard));
+                    output::write_atomic(&path, &doc.render()).map_err(|e| {
+                        OrchestrateError::Io {
+                            path: path.clone(),
+                            error: e.to_string(),
+                        }
+                    })?;
+                }
+                (
+                    JobStatus::Ok,
+                    None,
+                    docs.iter().map(|d| d.table.clone()).collect(),
+                )
+            }
+            Err(e) => (JobStatus::Failed, Some(e.clone()), Vec::new()),
+        };
+        st.manifest.set_job(job, status, attempts, error, tables);
+        self.flush_manifest(&st.manifest)
+    }
+
+    /// Finish the run: write each driver's merged tables
+    /// (`<table>.csv` + unsharded `<table>.json`, atomically), mark the
+    /// manifest complete, and return the merged CSV paths. Surfaces the
+    /// first persistence error any earlier [`RunObserver::job_done`]
+    /// call swallowed.
+    pub fn finish(
+        &self,
+        merged: &[(String, Vec<TableDoc>)],
+    ) -> Result<Vec<PathBuf>, OrchestrateError> {
+        let mut st = self.state.lock().unwrap();
+        if let Some(e) = st.error.take() {
+            return Err(e);
+        }
+        let mut csvs = Vec::new();
+        for (driver, docs) in merged {
+            let dir = self.out.join(driver);
+            for doc in docs {
+                let io_err = |path: PathBuf, e: std::io::Error| OrchestrateError::Io {
+                    path,
+                    error: e.to_string(),
+                };
+                let csv = dir.join(format!("{}.csv", doc.table));
+                output::write_atomic(&csv, &doc.to_csv()).map_err(|e| io_err(csv.clone(), e))?;
+                let json = dir.join(format!("{}.json", doc.table));
+                output::write_atomic(&json, &doc.render()).map_err(|e| io_err(json, e))?;
+                csvs.push(csv);
+            }
+        }
+        st.manifest.complete = true;
+        self.flush_manifest(&st.manifest)?;
+        Ok(csvs)
+    }
+}
+
+impl RunObserver for RunWriter {
+    fn job_done(&self, job: &ShardJob, attempts: usize, outcome: &Result<Vec<TableDoc>, String>) {
+        let mut st = self.state.lock().unwrap();
+        if let Err(e) = self.record(&mut st, job, attempts, outcome) {
+            // Keep the first failure; finish() will surface it.
+            st.error.get_or_insert(e);
+        }
+    }
+}
+
+/// Why [`resume_run`] decided to re-run one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumedJob {
+    /// The job being re-run.
+    pub job: ShardJob,
+    /// Human-readable reason (never completed / failed / missing or
+    /// corrupt shard document / provenance mismatch).
+    pub reason: String,
+}
+
+/// What a resumed run did.
+#[derive(Debug)]
+pub struct ResumeReport {
+    /// Jobs whose persisted shard documents were reused as-is.
+    pub reused: usize,
+    /// Jobs that were re-run, with reasons, in plan order.
+    pub rerun: Vec<ResumedJob>,
+    /// Shard-job attempts the resume made (0 if everything was reused).
+    pub attempts: usize,
+    /// Merged CSV paths, re-written either way.
+    pub csvs: Vec<PathBuf>,
+}
+
+/// Resume an interrupted (or failed) run in `dir`: read `run.json`,
+/// re-validate every completed job's shard documents on disk (a
+/// half-written file fails to parse; a document from a different run
+/// configuration fails the provenance check), re-run only the jobs that
+/// cannot be reused, then re-merge and re-write the final CSVs.
+/// Determinism makes this safe: a re-run job produces byte-identical
+/// documents to the ones the interrupted run lost.
+pub fn resume_run<B: Backend>(
+    dir: &Path,
+    backend: B,
+    workers: usize,
+) -> Result<ResumeReport, OrchestrateError> {
+    let manifest = RunManifest::read(&dir.join(RUN_FILE))?;
+    let mut docs_by_job: BTreeMap<(String, usize), Vec<TableDoc>> = BTreeMap::new();
+    let mut rerun: Vec<ResumedJob> = Vec::new();
+    for entry in &manifest.jobs {
+        let reason = match entry.status {
+            JobStatus::Ok => match load_job_docs(dir, &manifest, entry) {
+                Ok(docs) => {
+                    docs_by_job.insert((entry.driver.clone(), entry.shard.0), docs);
+                    continue;
+                }
+                Err(reason) => reason,
+            },
+            JobStatus::Pending => "job never completed".to_string(),
+            JobStatus::Failed => format!(
+                "job failed: {}",
+                entry.error.as_deref().unwrap_or("no error recorded")
+            ),
+        };
+        rerun.push(ResumedJob {
+            job: entry.job(),
+            reason,
+        });
+    }
+    let reused = docs_by_job.len();
+
+    let writer = RunWriter::resume(dir, manifest.clone())?;
+    let jobs: Vec<ShardJob> = rerun.iter().map(|r| r.job.clone()).collect();
+    let orch = Orchestrator::new(backend, workers);
+    let outcomes = orch.execute_jobs(&jobs, manifest.retries, &writer);
+    let mut attempts = 0;
+    for (r, outcome) in rerun.iter().zip(outcomes) {
+        attempts += outcome.attempts;
+        match outcome.result {
+            Ok(docs) => {
+                docs_by_job.insert((r.job.driver.clone(), r.job.shard.0), docs);
+            }
+            Err(error) => {
+                return Err(OrchestrateError::Job {
+                    job: r.job.clone(),
+                    attempts: outcome.attempts,
+                    error,
+                });
+            }
+        }
+    }
+
+    let mut merged = Vec::with_capacity(manifest.drivers.len());
+    for driver in &manifest.drivers {
+        let shard_docs: Vec<Vec<TableDoc>> = (0..manifest.shards)
+            .map(|i| {
+                docs_by_job
+                    .remove(&(driver.clone(), i))
+                    .expect("manifest job coverage validated on read")
+            })
+            .collect();
+        merged.push((driver.clone(), merge_driver_docs(driver, &shard_docs)?));
+    }
+    let csvs = writer.finish(&merged)?;
+    Ok(ResumeReport {
+        reused,
+        rerun,
+        attempts,
+        csvs,
+    })
+}
+
+/// Load and re-validate one completed job's persisted shard documents.
+/// Any failure (missing file, parse error, provenance drift against
+/// the manifest) is a reason to re-run the job, not a fatal error —
+/// determinism makes re-running always safe.
+fn load_job_docs(
+    dir: &Path,
+    manifest: &RunManifest,
+    entry: &JobEntry,
+) -> Result<Vec<TableDoc>, String> {
+    if entry.tables.is_empty() {
+        return Err("no tables recorded for the job".to_string());
+    }
+    let sdir = dir.join(&entry.driver).join(output::SHARD_DIR);
+    let mut docs = Vec::with_capacity(entry.tables.len());
+    for table in &entry.tables {
+        let path = sdir.join(output::shard_file_name(table, entry.shard));
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("missing shard document {}: {e}", path.display()))?;
+        let doc = TableDoc::parse(&text)
+            .map_err(|e| format!("corrupt shard document {}: {e}", path.display()))?;
+        let provenance_ok = doc.driver == entry.driver
+            && doc.shard == Some(entry.shard)
+            && doc.table == *table
+            && doc.scale == manifest.scale.to_string()
+            && doc.seed == manifest.seed
+            && doc.replicates == manifest.replicates
+            && doc.k == manifest.k;
+        if !provenance_ok {
+            return Err(format!(
+                "shard document {} does not match the run manifest's configuration",
+                path.display()
+            ));
+        }
+        docs.push(doc);
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrate::validate_dir;
+    use crate::output::RunMeta;
+    use crate::sweep::SweepRef;
+    use crate::table::{Cell, Table};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("runfile-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Same deterministic fake driver the orchestrate tests use: a
+    /// 6-point sweep, 2 rows per point, one constant row.
+    fn fake_docs(driver: &str, shard: (usize, usize)) -> Vec<TableDoc> {
+        let points = 6usize;
+        let owned: Vec<usize> = (0..points).filter(|p| p % shard.1 == shard.0).collect();
+        let sweep = SweepRef {
+            points,
+            owned: owned.clone(),
+        };
+        let mut t = Table::new("data", &["point", "sub"]).for_sweep(&sweep);
+        t.push(vec![Cell::from("const"), Cell::from(0u64)]);
+        for &p in &owned {
+            for sub in 0..2usize {
+                t.push_indexed(p, vec![Cell::from(p), Cell::from(sub)]);
+            }
+        }
+        let meta = RunMeta {
+            driver: driver.to_string(),
+            scale: "quick".into(),
+            seed: 0,
+            replicates: 1,
+            k: None,
+            shard: Some(shard),
+        };
+        vec![TableDoc::from_table(&t, &meta)]
+    }
+
+    /// Backend producing [`fake_docs`], counting calls per job.
+    struct CountingBackend {
+        calls: Mutex<BTreeMap<String, usize>>,
+    }
+
+    impl CountingBackend {
+        fn new() -> Self {
+            CountingBackend {
+                calls: Mutex::new(BTreeMap::new()),
+            }
+        }
+    }
+
+    impl Backend for CountingBackend {
+        fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+            *self
+                .calls
+                .lock()
+                .unwrap()
+                .entry(format!("{}:{}", job.driver, job.shard.0))
+                .or_insert(0) += 1;
+            Ok(fake_docs(&job.driver, job.shard)
+                .iter()
+                .map(TableDoc::render)
+                .collect())
+        }
+    }
+
+    fn quick_args() -> ExptArgs {
+        ExptArgs {
+            scale: Scale::Quick,
+            seed: 0,
+            replicates: 1,
+            ..ExptArgs::default()
+        }
+    }
+
+    fn two_shard_plan(drivers: &[&str]) -> Plan {
+        Plan {
+            drivers: drivers.iter().map(|s| s.to_string()).collect(),
+            shards: 2,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_validates() {
+        let mut m = RunManifest::new(&two_shard_plan(&["a", "b"]), "subprocess", &quick_args());
+        m.set_job(
+            &ShardJob {
+                driver: "a".into(),
+                shard: (1, 2),
+            },
+            JobStatus::Ok,
+            2,
+            None,
+            vec!["data".into()],
+        );
+        m.set_job(
+            &ShardJob {
+                driver: "b".into(),
+                shard: (0, 2),
+            },
+            JobStatus::Failed,
+            3,
+            Some("exit status 1".into()),
+            Vec::new(),
+        );
+        let parsed = RunManifest::parse(&m.render()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.plan().drivers, vec!["a", "b"]);
+        assert_eq!(parsed.expt_args().scale, Scale::Quick);
+
+        // Named rejections.
+        assert!(RunManifest::parse("{").is_err());
+        assert!(RunManifest::parse("{}").is_err());
+        let garbage = m.render().replace("\"format\": 1", "\"format\": 99");
+        assert!(RunManifest::parse(&garbage)
+            .unwrap_err()
+            .contains("unsupported format"));
+        // Dropping a job breaks drivers × shards coverage.
+        let mut short = m.clone();
+        short.jobs.pop();
+        assert!(RunManifest::parse(&short.render())
+            .unwrap_err()
+            .contains("do not cover"));
+        // Duplicating one is named too.
+        let mut dup = m.clone();
+        let copy = dup.jobs[0].clone();
+        dup.jobs.push(copy);
+        assert!(RunManifest::parse(&dup.render())
+            .unwrap_err()
+            .contains("duplicate job"));
+    }
+
+    #[test]
+    fn writer_persists_each_job_as_it_completes() {
+        let out = tmp_dir("incremental");
+        let plan = two_shard_plan(&["a"]);
+        let manifest = RunManifest::new(&plan, "local", &quick_args());
+        let writer = RunWriter::create(&out, manifest).unwrap();
+
+        // Before any job completes: manifest on disk, all pending.
+        let m = RunManifest::read(&out.join(RUN_FILE)).unwrap();
+        assert!(!m.complete);
+        assert!(m.jobs.iter().all(|e| e.status == JobStatus::Pending));
+
+        // First job completes: its document is on disk *now*, and the
+        // manifest already records it — the kill-safety invariant.
+        let job0 = ShardJob {
+            driver: "a".into(),
+            shard: (0, 2),
+        };
+        writer.job_done(&job0, 1, &Ok(fake_docs("a", (0, 2))));
+        assert!(out.join("a/shards/data.shard0of2.json").is_file());
+        assert!(!out.join("a/shards/data.shard1of2.json").exists());
+        let m = RunManifest::read(&out.join(RUN_FILE)).unwrap();
+        let e0 = &m.jobs[0];
+        assert_eq!(e0.status, JobStatus::Ok);
+        assert_eq!(e0.tables, vec!["data".to_string()]);
+        assert_eq!(m.jobs[1].status, JobStatus::Pending);
+
+        // A failure is recorded with its error, consuming no documents.
+        let job1 = ShardJob {
+            driver: "a".into(),
+            shard: (1, 2),
+        };
+        writer.job_done(&job1, 2, &Err("child crashed".into()));
+        let m = RunManifest::read(&out.join(RUN_FILE)).unwrap();
+        assert_eq!(m.jobs[1].status, JobStatus::Failed);
+        assert_eq!(m.jobs[1].attempts, 2);
+        assert_eq!(m.jobs[1].error.as_deref(), Some("child crashed"));
+
+        // Second attempt path: the job later succeeds; finish merges.
+        writer.job_done(&job1, 3, &Ok(fake_docs("a", (1, 2))));
+        let shard_docs = vec![fake_docs("a", (0, 2)), fake_docs("a", (1, 2))];
+        let merged = merge_driver_docs("a", &shard_docs).unwrap();
+        let csvs = writer.finish(&[("a".into(), merged)]).unwrap();
+        assert_eq!(csvs.len(), 1);
+        assert!(RunManifest::read(&out.join(RUN_FILE)).unwrap().complete);
+        assert_eq!(validate_dir(&out).unwrap().len(), 1);
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    /// Run `drivers` through a [`CountingBackend`]-style full run,
+    /// returning the run dir.
+    fn full_run(tag: &str, drivers: &[&str]) -> PathBuf {
+        let out = tmp_dir(tag);
+        let plan = two_shard_plan(drivers);
+        let writer =
+            RunWriter::create(&out, RunManifest::new(&plan, "local", &quick_args())).unwrap();
+        let orch = Orchestrator::new(CountingBackend::new(), 2);
+        let report = orch.run_observed(&plan, &writer).unwrap();
+        let merged: Vec<(String, Vec<TableDoc>)> = report
+            .drivers
+            .iter()
+            .map(|d| (d.driver.clone(), d.merged.clone()))
+            .collect();
+        writer.finish(&merged).unwrap();
+        out
+    }
+
+    #[test]
+    fn resume_reruns_only_missing_and_corrupt_shards() {
+        let out = full_run("resume", &["a", "b"]);
+        let reference = fs::read_to_string(out.join("a/data.csv")).unwrap();
+
+        // Delete one shard document and truncate (corrupt) another.
+        fs::remove_file(out.join("a/shards/data.shard1of2.json")).unwrap();
+        let corrupt = out.join("b/shards/data.shard0of2.json");
+        let text = fs::read_to_string(&corrupt).unwrap();
+        fs::write(&corrupt, &text[..text.len() / 2]).unwrap();
+
+        let backend = CountingBackend::new();
+        let report = resume_run(&out, backend, 2).unwrap();
+        assert_eq!(report.reused, 2);
+        let rerun: Vec<String> = report
+            .rerun
+            .iter()
+            .map(|r| format!("{}:{}", r.job.driver, r.job.shard.0))
+            .collect();
+        assert_eq!(rerun, vec!["a:1".to_string(), "b:0".to_string()]);
+        assert!(report.rerun[0].reason.contains("missing shard document"));
+        assert!(report.rerun[1].reason.contains("corrupt shard document"));
+        assert_eq!(report.attempts, 2);
+
+        // The resumed merge is byte-identical and fully valid.
+        assert_eq!(
+            fs::read_to_string(out.join("a/data.csv")).unwrap(),
+            reference
+        );
+        assert_eq!(validate_dir(&out).unwrap().len(), 2);
+        assert!(RunManifest::read(&out.join(RUN_FILE)).unwrap().complete);
+
+        // Nothing left to do: a second resume reuses everything.
+        let report = resume_run(&out, CountingBackend::new(), 2).unwrap();
+        assert_eq!(report.reused, 4);
+        assert!(report.rerun.is_empty());
+        assert_eq!(report.attempts, 0);
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn resume_reruns_failed_and_pending_jobs_without_touching_done_ones() {
+        // Simulate a run killed after one of two jobs: job 0 persisted,
+        // job 1 pending.
+        let out = tmp_dir("killed");
+        let plan = two_shard_plan(&["a"]);
+        let writer =
+            RunWriter::create(&out, RunManifest::new(&plan, "local", &quick_args())).unwrap();
+        writer.job_done(
+            &ShardJob {
+                driver: "a".into(),
+                shard: (0, 2),
+            },
+            1,
+            &Ok(fake_docs("a", (0, 2))),
+        );
+        drop(writer); // the "kill": no finish, no job 1
+
+        let backend = CountingBackend::new();
+        let report = resume_run(&out, backend, 1).unwrap();
+        assert_eq!(report.reused, 1);
+        assert_eq!(report.rerun.len(), 1);
+        assert!(report.rerun[0].reason.contains("never completed"));
+        assert_eq!(validate_dir(&out).unwrap().len(), 1);
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_documents_from_a_different_run() {
+        let out = full_run("drift", &["a"]);
+        // Overwrite shard 0's document with one from a different seed:
+        // parses fine, but provenance disagrees with the manifest.
+        let path = out.join("a/shards/data.shard0of2.json");
+        let meta = RunMeta {
+            driver: "a".into(),
+            scale: "quick".into(),
+            seed: 999,
+            replicates: 1,
+            k: None,
+            shard: Some((0, 2)),
+        };
+        let sweep = SweepRef {
+            points: 6,
+            owned: vec![0, 2, 4],
+        };
+        let mut t = Table::new("data", &["point", "sub"]).for_sweep(&sweep);
+        t.push(vec![Cell::from("const"), Cell::from(0u64)]);
+        fs::write(&path, TableDoc::from_table(&t, &meta).render()).unwrap();
+
+        let report = resume_run(&out, CountingBackend::new(), 1).unwrap();
+        assert_eq!(report.rerun.len(), 1);
+        assert!(report.rerun[0]
+            .reason
+            .contains("does not match the run manifest"));
+        assert_eq!(validate_dir(&out).unwrap().len(), 1);
+        fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn resume_surfaces_a_still_failing_job() {
+        struct AlwaysFail(AtomicUsize);
+        impl Backend for AlwaysFail {
+            fn run_shard(&self, _: &ShardJob) -> Result<Vec<String>, String> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Err("still broken".into())
+            }
+        }
+        let out = full_run("still-failing", &["a"]);
+        fs::remove_file(out.join("a/shards/data.shard1of2.json")).unwrap();
+        let backend = AlwaysFail(AtomicUsize::new(0));
+        match resume_run(&out, backend, 1).unwrap_err() {
+            OrchestrateError::Job { job, error, .. } => {
+                assert_eq!(job.shard, (1, 2));
+                assert!(error.contains("still broken"));
+            }
+            other => panic!("expected Job error, got {other}"),
+        }
+        // The failure is durably recorded for the next resume.
+        let m = RunManifest::read(&out.join(RUN_FILE)).unwrap();
+        assert!(!m.complete);
+        let e = m
+            .jobs
+            .iter()
+            .find(|e| e.shard == (1, 2))
+            .expect("job entry");
+        assert_eq!(e.status, JobStatus::Failed);
+        assert_eq!(e.error.as_deref(), Some("still broken"));
+        fs::remove_dir_all(&out).unwrap();
+    }
+}

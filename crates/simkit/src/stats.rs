@@ -14,10 +14,21 @@ use crate::time::SimTime;
 /// Exact sample set with percentile and CDF queries.
 ///
 /// Stores every sample; suitable for up to tens of millions of points.
+///
+/// **NaN policy:** a NaN observation carries no ordering information,
+/// so it is counted ([`Samples::nan_count`]) but excluded from the
+/// stored set — [`Samples::len`], quantiles, mean, min/max and the CDFs
+/// are computed over the non-NaN observations only, and a set fed
+/// nothing but NaN behaves as empty (`None` summaries). One degenerate
+/// FCT sample therefore degrades one statistic instead of aborting the
+/// whole driver run. The sort itself uses [`f64::total_cmp`] as a
+/// second line of defense: even a NaN that somehow reached `values`
+/// could not panic the comparator.
 #[derive(Debug, Clone, Default)]
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
+    nan_seen: usize,
 }
 
 impl Samples {
@@ -26,26 +37,35 @@ impl Samples {
         Self::default()
     }
 
-    /// Add one observation.
+    /// Add one observation. NaN observations are counted separately and
+    /// excluded from every statistic (see the type-level NaN policy).
     pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            self.nan_seen += 1;
+            return;
+        }
         self.values.push(v);
         self.sorted = false;
     }
 
-    /// Number of observations.
+    /// Number of retained (non-NaN) observations.
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
-    /// True if no observations recorded.
+    /// Number of NaN observations dropped at ingestion.
+    pub fn nan_count(&self) -> usize {
+        self.nan_seen
+    }
+
+    /// True if no (non-NaN) observations recorded.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.values.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -300,6 +320,31 @@ mod tests {
         assert_eq!(s.quantile(0.5), None);
         assert_eq!(s.mean(), None);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn nan_samples_are_dropped_not_fatal() {
+        // Regression: `ensure_sorted` used `partial_cmp(..).expect("NaN
+        // sample")`, so a single NaN observation aborted the whole run
+        // the first time anything asked for a quantile.
+        let mut s = Samples::new();
+        s.push(f64::NAN);
+        assert!(s.is_empty());
+        assert_eq!(s.nan_count(), 1);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        for v in [2.0, f64::NAN, 1.0, 3.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.nan_count(), 2);
+        assert_eq!(s.quantile(0.5), Some(2.0));
+        assert_eq!(s.p99(), Some(3.0));
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.cdf_at(&[2.5]), vec![2.0 / 3.0]);
+        assert_eq!(s.cdf().len(), 3);
     }
 
     #[test]

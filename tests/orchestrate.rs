@@ -1,13 +1,19 @@
 //! Tier-1 acceptance tests for the sweep orchestrator: merged sharded
 //! output must be byte-identical to unsharded `--threads 1` runs for
-//! **every** driver, and an injected dropped shard must fail with the
-//! named missing-point-index error.
+//! **every** driver, an injected dropped shard must fail with the named
+//! missing-point-index error, retried jobs must reproduce their shard
+//! documents bit-for-bit, and an interrupted run must resume to a
+//! byte-identical final merge without re-running completed shards.
 
 use bench::backend::LocalBackend;
 use bench::figures;
-use expt::orchestrate::{validate_dir, OrchestrateError, Orchestrator, Plan};
+use expt::orchestrate::{validate_dir, Backend, OrchestrateError, Orchestrator, Plan, ShardJob};
 use expt::output::MergeError;
+use expt::runfile::{resume_run, RunManifest, RunWriter, RUN_FILE};
 use expt::{Ctx, ExptArgs, Scale, Table};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 fn quick_args() -> ExptArgs {
     ExptArgs {
@@ -49,8 +55,14 @@ fn orchestrated_4_shard_quick_run_matches_unsharded_threads_1() {
             "{}: table count differs",
             exp.name
         );
-        for (t, merged) in unsharded.iter().zip(&run.merged) {
-            assert_eq!(t.name, merged.table, "{}: table order differs", exp.name);
+        // Merged tables come back in canonical (sorted-by-name) order,
+        // independent of the driver's emission order; match by name.
+        for t in &unsharded {
+            let merged = run
+                .merged
+                .iter()
+                .find(|m| m.table == t.name)
+                .unwrap_or_else(|| panic!("{}: table {} missing from merge", exp.name, t.name));
             assert_eq!(
                 merged.to_csv(),
                 t.to_csv(),
@@ -98,6 +110,224 @@ fn dropped_shard_fails_with_missing_point_index() {
             assert_eq!(expected_shard, 1);
         }
         other => panic!("expected MissingPointIndex, got: {other}"),
+    }
+    std::fs::remove_dir_all(&out).unwrap();
+}
+
+const DRIVER: &str = "fig14_cycle_time_scaling";
+
+/// Fails every job's *first* attempt, then delegates to the real
+/// in-process backend.
+struct FlakyOnce {
+    inner: LocalBackend,
+    failed: Mutex<HashSet<String>>,
+}
+
+impl Backend for FlakyOnce {
+    fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+        let key = format!("{}:{}", job.driver, job.shard.0);
+        if self.failed.lock().unwrap().insert(key) {
+            return Err("injected transient failure".into());
+        }
+        self.inner.run_shard(job)
+    }
+}
+
+/// Satellite bar: a job that fails once and succeeds on retry must
+/// produce shard documents byte-identical to a first-try success —
+/// per-point seeds derive from the plan, never from the attempt.
+#[test]
+fn retried_jobs_are_bit_deterministic() {
+    let plan = Plan {
+        drivers: vec![DRIVER.to_string()],
+        shards: 2,
+        retries: 1,
+    };
+    let flaky = Orchestrator::new(
+        FlakyOnce {
+            inner: LocalBackend::new(quick_args()),
+            failed: Mutex::new(HashSet::new()),
+        },
+        2,
+    );
+    let retried = flaky
+        .run(&plan)
+        .expect("retry budget absorbs one failure per job");
+    assert_eq!(retried.drivers[0].retried, 2, "both jobs failed once");
+
+    let clean = Orchestrator::new(LocalBackend::new(quick_args()), 2)
+        .run(&plan)
+        .unwrap();
+    for (shard, (a, b)) in retried.drivers[0]
+        .shard_docs
+        .iter()
+        .zip(&clean.drivers[0].shard_docs)
+        .enumerate()
+    {
+        assert_eq!(a.len(), b.len());
+        for (da, db) in a.iter().zip(b) {
+            assert_eq!(
+                da.render(),
+                db.render(),
+                "{DRIVER} shard {shard} table {}: retried document differs from first-try",
+                da.table
+            );
+        }
+    }
+}
+
+/// Delegates to the real backend for the first `successes` jobs, then
+/// fails everything — simulating a run killed partway through. With
+/// one worker and retries 0, exactly the first `successes` jobs in
+/// plan order complete.
+struct FailAfter {
+    inner: LocalBackend,
+    successes: usize,
+    started: AtomicUsize,
+}
+
+impl Backend for FailAfter {
+    fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+        if self.started.fetch_add(1, Ordering::SeqCst) >= self.successes {
+            return Err("simulated kill".into());
+        }
+        self.inner.run_shard(job)
+    }
+}
+
+/// Records which jobs it actually ran — the proof that resume does not
+/// re-run completed shards.
+struct CountingLocal {
+    inner: LocalBackend,
+    ran: Mutex<Vec<String>>,
+}
+
+impl CountingLocal {
+    fn new() -> Self {
+        CountingLocal {
+            inner: LocalBackend::new(quick_args()),
+            ran: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Backend for CountingLocal {
+    fn run_shard(&self, job: &ShardJob) -> Result<Vec<String>, String> {
+        self.ran
+            .lock()
+            .unwrap()
+            .push(format!("{}:{}", job.driver, job.shard.0));
+        self.inner.run_shard(job)
+    }
+}
+
+/// Satellite bar: kill a 3-shard run after 2 shards persist, `resume`,
+/// and the merged CSV is byte-identical to an uninterrupted run — with
+/// the completed shards *not* re-run. Then corrupt one persisted shard
+/// document and resume again: the corruption is detected and only that
+/// shard re-runs.
+#[test]
+fn interrupted_run_resumes_to_byte_identical_merge() {
+    let out = std::env::temp_dir().join(format!("orch-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let plan = Plan {
+        drivers: vec![DRIVER.to_string()],
+        shards: 3,
+        retries: 0,
+    };
+
+    // The reference: what an uninterrupted unsharded --threads 1 run
+    // renders.
+    let serial = Ctx::new(ExptArgs {
+        threads: 1,
+        ..quick_args()
+    });
+    let (_, build) = figures::all()
+        .into_iter()
+        .find(|(e, _)| e.name == DRIVER)
+        .unwrap();
+    let reference: Vec<Table> = build(&serial);
+
+    // Interrupted run: one worker, jobs in plan order, killed after 2
+    // of 3 shards.
+    let writer = RunWriter::create(&out, RunManifest::new(&plan, "local", &quick_args())).unwrap();
+    let orch = Orchestrator::new(
+        FailAfter {
+            inner: LocalBackend::new(quick_args()),
+            successes: 2,
+            started: AtomicUsize::new(0),
+        },
+        1,
+    );
+    let err = orch.run_observed(&plan, &writer).unwrap_err();
+    assert!(matches!(err, OrchestrateError::Job { .. }));
+    drop(writer);
+
+    // The two completed shards are already durable.
+    for table in ["cycle_time", "bulk_threshold_mb"] {
+        for shard in 0..2 {
+            assert!(
+                out.join(DRIVER)
+                    .join(format!("shards/{table}.shard{shard}of3.json"))
+                    .is_file(),
+                "{table} shard {shard} should have been persisted before the kill"
+            );
+        }
+    }
+    let manifest = RunManifest::read(&out.join(RUN_FILE)).unwrap();
+    assert!(!manifest.complete);
+
+    // Resume: only shard 2 runs; the merge is byte-identical to the
+    // uninterrupted reference.
+    let backend = CountingLocal::new();
+    let report = resume_run(&out, &backend, 2).unwrap();
+    assert_eq!(report.reused, 2);
+    assert_eq!(report.rerun.len(), 1);
+    assert_eq!(report.rerun[0].job.shard, (2, 3));
+    assert_eq!(
+        backend.ran.lock().unwrap().as_slice(),
+        [format!("{DRIVER}:2")],
+        "resume must not re-run completed shards"
+    );
+    for t in &reference {
+        let csv =
+            std::fs::read_to_string(out.join(DRIVER).join(format!("{}.csv", t.name))).unwrap();
+        assert_eq!(
+            csv,
+            t.to_csv(),
+            "{}: resumed merge differs from uninterrupted --threads 1 run",
+            t.name
+        );
+    }
+    assert!(!validate_dir(&out).unwrap().is_empty());
+    assert!(RunManifest::read(&out.join(RUN_FILE)).unwrap().complete);
+
+    // Corrupt (truncate) one persisted shard document: resume must
+    // detect it, re-run exactly that shard, and restore identical
+    // bytes.
+    let victim = out.join(DRIVER).join("shards/cycle_time.shard1of3.json");
+    let text = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &text[..text.len() / 2]).unwrap();
+    let backend = CountingLocal::new();
+    let report = resume_run(&out, &backend, 2).unwrap();
+    assert_eq!(report.reused, 2);
+    assert_eq!(report.rerun.len(), 1);
+    assert_eq!(report.rerun[0].job.shard, (1, 3));
+    assert_eq!(
+        backend.ran.lock().unwrap().as_slice(),
+        [format!("{DRIVER}:1")],
+        "only the corrupt shard re-runs"
+    );
+    assert!(
+        report.rerun[0].reason.contains("corrupt"),
+        "{}",
+        report.rerun[0].reason
+    );
+    assert_eq!(std::fs::read_to_string(&victim).unwrap(), text);
+    for t in &reference {
+        let csv =
+            std::fs::read_to_string(out.join(DRIVER).join(format!("{}.csv", t.name))).unwrap();
+        assert_eq!(csv, t.to_csv());
     }
     std::fs::remove_dir_all(&out).unwrap();
 }
