@@ -11,6 +11,7 @@
 //! opera_orchestrate resume [DIR] [--backend local|subprocess]
 //!                   [--bin-dir DIR] [--workers W]
 //! opera_orchestrate validate [--out DIR]
+//! opera_orchestrate run-scenario FILE [--out DIR]
 //! ```
 //!
 //! The run mode writes a `run.json` manifest up front, then persists
@@ -53,6 +54,7 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("validate") => return validate(&argv[1..]),
         Some("resume") => return resume(&argv[1..]),
+        Some("run-scenario") => return run_scenario(&argv[1..]),
         _ => {}
     }
 
@@ -107,6 +109,13 @@ fn main() {
         (None, Some(list)) => list.clone(),
         (None, None) => known.iter().map(|s| s.to_string()).collect(),
     };
+    // Name errors are hard failures *before* any job is scheduled: an
+    // empty or misspelled driver list must never exit 0 having run
+    // nothing (a silently green CI job with zero work behind it).
+    if drivers.is_empty() {
+        eprintln!("error: empty driver list (from --drivers or the plan file); nothing to run");
+        std::process::exit(2);
+    }
     for d in &drivers {
         if !known.contains(&d.as_str()) {
             eprintln!("error: no experiment named {d:?}; known drivers: {known:?}");
@@ -251,6 +260,26 @@ fn resume(rest: &[String]) {
             std::process::exit(1);
         }
     };
+    // A manifest naming unknown drivers (hand-edited, or written by a
+    // newer binary) must fail by name here, not schedule jobs that all
+    // error out — or worse, "resume" to a green zero-job run.
+    let known: Vec<&str> = figures::all().iter().map(|(e, _)| e.name).collect();
+    if manifest.drivers.is_empty() {
+        eprintln!(
+            "error: manifest {} lists no drivers; nothing to resume",
+            dir.join(RUN_FILE).display()
+        );
+        std::process::exit(2);
+    }
+    for d in &manifest.drivers {
+        if !known.contains(&d.as_str()) {
+            eprintln!(
+                "error: manifest {} names unknown driver {d:?}; known drivers: {known:?}",
+                dir.join(RUN_FILE).display()
+            );
+            std::process::exit(2);
+        }
+    }
     // Default to the backend the original run used.
     let backend_name = backend_arg.unwrap_or_else(|| manifest.backend.clone());
     let backend = AnyBackend::from_name(&backend_name, manifest.expt_args(), bin_dir)
@@ -288,6 +317,69 @@ fn resume(rest: &[String]) {
                 "# run state under {} is preserved; resume again once the cause is fixed",
                 dir.display()
             );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `opera_orchestrate run-scenario FILE [--out DIR]`: run one
+/// declarative scenario file ([`expt::scenario`]) through
+/// [`bench::scenario::run_scenario`], with trace capture and jsonl ↔
+/// pcapng reconciliation when the scenario requests traces. Unknown
+/// topology / policy / transport names are hard errors (exit 2) before
+/// any simulation starts.
+fn run_scenario(rest: &[String]) {
+    let mut file: Option<PathBuf> = None;
+    let mut out = PathBuf::from("results/scenarios");
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = PathBuf::from(it.next().unwrap_or_else(|| usage("--out requires a value")))
+            }
+            "--help" | "-h" => usage(""),
+            flag if flag.starts_with("--") => usage(&format!("unknown argument: {flag}")),
+            path if file.is_none() => file = Some(PathBuf::from(path)),
+            other => usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(file) = file else {
+        usage("run-scenario requires a scenario file");
+    };
+    let sc = match expt::scenario::Scenario::load(&file) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = bench::scenario::check_names(&sc) {
+        eprintln!("error: {}: {e}", file.display());
+        std::process::exit(2);
+    }
+    match bench::scenario::run_scenario(&sc, &out.join(&sc.name)) {
+        Ok(report) => {
+            println!(
+                "# scenario {} ({} point(s))",
+                report.name,
+                report.rows.len()
+            );
+            println!("# wrote {}", report.csv.display());
+            if let Some(p) = &report.trace_jsonl {
+                println!("# wrote {}", p.display());
+            }
+            if let Some(p) = &report.trace_pcapng {
+                println!("# wrote {}", p.display());
+            }
+            if let Some(v) = &report.validation {
+                println!(
+                    "# traces reconciled: {} packet(s) on {} link(s), {} jsonl record(s)",
+                    v.pcapng_packets, v.links, v.jsonl_records
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
             std::process::exit(1);
         }
     }
@@ -344,7 +436,8 @@ fn usage(err: &str) -> ! {
          \x20                        [--bin-dir DIR] [--out DIR] [--plan FILE] [--no-write]\n\
          \x20      opera_orchestrate resume [DIR] [--backend local|subprocess]\n\
          \x20                        [--bin-dir DIR] [--workers W]\n\
-         \x20      opera_orchestrate validate [--out DIR]"
+         \x20      opera_orchestrate validate [--out DIR]\n\
+         \x20      opera_orchestrate run-scenario FILE [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,90 @@
+//! Run a declarative scenario file with trace capture.
+//!
+//! Standalone front-end to [`bench::scenario`] for interactive use:
+//!
+//! ```text
+//! trace_demo scenarios/tiny_incast.toml --out results/traces
+//! ```
+//!
+//! Parses the scenario, validates every referenced name against the
+//! registries, runs each sweep point, writes the metrics CSV (plus the
+//! JSON-lines / pcapng traces when the scenario asks for them), and —
+//! when both sinks are enabled — reconciles the two trace files. CI
+//! drives the same code path through `opera_orchestrate run-scenario`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_demo <scenario.toml|scenario.json> [--out DIR]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut scenario: Option<PathBuf> = None;
+    let mut out = PathBuf::from("results/traces");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(d) => out = PathBuf::from(d),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if scenario.is_none() && !a.starts_with('-') => scenario = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+    }
+    let Some(path) = scenario else { usage() };
+
+    let sc = match expt::scenario::Scenario::load(&path) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match bench::scenario::run_scenario(&sc, &out.join(&sc.name)) {
+        Ok(report) => {
+            println!(
+                "# scenario {} ({} point(s))",
+                report.name,
+                report.rows.len()
+            );
+            for (pt, m) in &report.rows {
+                println!(
+                    "{}/{} senders={}: {}/{} flows, avg_fct={:.1}us p99={:.1}us \
+                     dropped={} trimmed={} marked={}",
+                    pt.policy,
+                    pt.transport,
+                    pt.senders,
+                    m.completed,
+                    m.offered,
+                    m.avg_fct_us,
+                    m.p99_fct_us,
+                    m.dropped,
+                    m.trimmed,
+                    m.marked
+                );
+            }
+            println!("# wrote {}", report.csv.display());
+            if let Some(p) = &report.trace_jsonl {
+                println!("# wrote {}", p.display());
+            }
+            if let Some(p) = &report.trace_pcapng {
+                println!("# wrote {}", p.display());
+            }
+            if let Some(v) = &report.validation {
+                println!(
+                    "# traces reconciled: {} packets on {} link(s), {} jsonl record(s)",
+                    v.pcapng_packets, v.links, v.jsonl_records
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

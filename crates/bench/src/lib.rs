@@ -15,6 +15,7 @@
 pub mod backend;
 pub mod figures;
 pub mod record;
+pub mod scenario;
 pub mod spot;
 
 use expt::Scale;

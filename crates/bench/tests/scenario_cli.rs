@@ -1,0 +1,182 @@
+//! CLI acceptance tests for `opera_orchestrate`'s name validation and
+//! the `run-scenario` subcommand, driving the real binary.
+//!
+//! The regression of record: an empty or unknown driver list must be a
+//! hard named error *before any job is scheduled* — never an exit-0 run
+//! of zero jobs that CI reads as green. Same rule for `resume` against
+//! a corrupted manifest and for `run-scenario` with unknown names.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn orchestrate() -> &'static str {
+    env!("CARGO_BIN_EXE_opera_orchestrate")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("scenario-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(orchestrate())
+        .args(args)
+        .output()
+        .expect("spawn opera_orchestrate")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The repo-root `scenarios/` directory (tests run with the crate as
+/// cwd, two levels down).
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn unknown_driver_is_exit_2_with_known_list() {
+    let out = run(&["--drivers", "fig99_nonexistent", "--no-write"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("fig99_nonexistent"), "{err}");
+    assert!(err.contains("known drivers"), "{err}");
+}
+
+#[test]
+fn empty_plan_driver_list_is_a_hard_error() {
+    let dir = scratch("empty-plan");
+    let plan = dir.join("plan.json");
+    std::fs::write(&plan, r#"{"drivers": [], "shards": 1}"#).unwrap();
+    let out = run(&["--plan", plan.to_str().unwrap(), "--no-write"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "empty driver list must not exit 0: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        stderr_of(&out).contains("empty driver list"),
+        "{}",
+        stderr_of(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_manifest_with_unknown_driver() {
+    let dir = scratch("resume-unknown");
+    // A quick real run writes a valid manifest...
+    let out = run(&[
+        "--drivers",
+        "fig14_cycle_time_scaling",
+        "--shards",
+        "1",
+        "--quick",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    // ...which we then corrupt to name a driver that does not exist.
+    let manifest = dir.join("run.json");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(
+        &manifest,
+        text.replace("fig14_cycle_time_scaling", "fig14_cycle_time_scalng"),
+    )
+    .unwrap();
+    let out = run(&["resume", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("fig14_cycle_time_scalng"), "{err}");
+    assert!(err.contains("known drivers"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_scenario_missing_file_is_exit_2() {
+    let out = run(&["run-scenario", "/nonexistent/never.toml"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("never.toml"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn run_scenario_unknown_policy_is_exit_2_before_running() {
+    let dir = scratch("bad-policy");
+    let sc = dir.join("bad.toml");
+    std::fs::write(
+        &sc,
+        "[topology]\nkind = \"expander\"\n\
+         [workload]\nkind = \"incast\"\nsenders = 2\nflow_kb = 6\n\
+         [switch]\npolicy = \"redlight\"\n\
+         [transport]\nkind = \"ndp\"\n\
+         [run]\nduration_ms = 5\nseed = 1\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "run-scenario",
+        sc.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("redlight") && err.contains("known policies"),
+        "{err}"
+    );
+    // Nothing was written: validation failed before any simulation.
+    assert!(!dir.join("bad").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_scenario_unknown_key_is_exit_2() {
+    let dir = scratch("bad-key");
+    let sc = dir.join("typo.toml");
+    std::fs::write(
+        &sc,
+        "[topology]\nkind = \"expander\"\n\
+         [workload]\nkind = \"incast\"\nsenders = 2\nflow_kb = 6\n\
+         [switch]\npoliciy = \"ndp_trim\"\n\
+         [transport]\nkind = \"ndp\"\n\
+         [run]\nduration_ms = 5\nseed = 1\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "run-scenario",
+        sc.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("policiy"), "{}", stderr_of(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_scenario_tiny_incast_end_to_end() {
+    let dir = scratch("tiny");
+    let sc = scenarios_dir().join("tiny_incast.toml");
+    let out = run(&[
+        "run-scenario",
+        sc.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("traces reconciled"), "{stdout}");
+    let base = dir.join("tiny_incast");
+    assert!(base.join("tiny_incast.csv").exists());
+    assert!(base.join("trace.jsonl").exists());
+    assert!(base.join("trace.pcapng").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -53,6 +53,7 @@ pub mod output;
 pub mod replicate;
 pub mod runfile;
 pub mod runner;
+pub mod scenario;
 pub mod summary;
 pub mod sweep;
 pub mod table;

@@ -1,0 +1,580 @@
+//! Declarative scenario files: experiments as data, not code.
+//!
+//! A scenario file describes one simulation setup — topology, workload,
+//! switch policy, transport, run length, and trace options — in TOML or
+//! JSON. Parsing is strict: unknown tables or keys are named errors, so
+//! a typo'd `policiy` cannot silently select a default. The axis fields
+//! (`switch.policy`, `transport.kind`, `workload.senders`) accept a
+//! scalar *or* an array; arrays become sweep axes and
+//! [`Scenario::sweep`] expands their cartesian product into an ordered
+//! [`Sweep`](crate::Sweep) of [`ScenarioPoint`]s, exactly like the
+//! hand-written figure drivers.
+//!
+//! This module is deliberately *name-generic*: it validates structure
+//! and types but treats topology/policy/transport names as opaque
+//! strings, because the `expt` harness does not depend on the simulator
+//! crates. Mapping names to concrete `netsim`/`transport` types (and
+//! rejecting unknown names with the list of known ones) happens in
+//! `bench::scenario`, where the registry lives.
+//!
+//! ```toml
+//! name = "incast_smoke"
+//!
+//! [topology]
+//! kind = "opera"        # opera | opera_paper | expander | expander_paper | clos
+//! racks = 8             # optional, opera only
+//!
+//! [workload]
+//! kind = "incast"       # incast | victim
+//! senders = 8           # scalar or array (sweep axis)
+//! flow_kb = 15
+//!
+//! [switch]
+//! policy = "ndp_trim"   # scalar or array (sweep axis)
+//!
+//! [transport]
+//! kind = "ndp"          # scalar or array (sweep axis)
+//!
+//! [run]
+//! duration_ms = 40
+//! seed = 1
+//!
+//! [trace]               # optional; requires a single-point scenario
+//! jsonl = "trace.jsonl"
+//! pcapng = "trace.pcapng"
+//! ```
+
+use crate::json::Json;
+use crate::sweep::Sweep;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Trace output options of a scenario.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// JSON-lines event trace file, relative to the run's output dir.
+    pub jsonl: Option<String>,
+    /// pcapng capture file, relative to the run's output dir.
+    pub pcapng: Option<String>,
+}
+
+impl TraceSpec {
+    /// True when any trace output is requested.
+    pub fn enabled(&self) -> bool {
+        self.jsonl.is_some() || self.pcapng.is_some()
+    }
+}
+
+/// A parsed scenario file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Scenario name (defaults to the file stem).
+    pub name: String,
+    /// Topology kind (opaque here; resolved by the runner).
+    pub topology: String,
+    /// Rack-count override for sized topologies (optional).
+    pub racks: Option<usize>,
+    /// Workload kind (`incast` / `victim`; opaque here).
+    pub workload: String,
+    /// Sender counts — axis (singleton for a scalar field).
+    pub senders: Vec<usize>,
+    /// Per-flow payload bytes.
+    pub flow_bytes: u64,
+    /// Switch policy names — axis.
+    pub policies: Vec<String>,
+    /// Transport names — axis.
+    pub transports: Vec<String>,
+    /// Simulated run length, milliseconds.
+    pub duration_ms: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Trace outputs.
+    pub trace: TraceSpec,
+}
+
+/// One point of a scenario's sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioPoint {
+    /// Switch policy name.
+    pub policy: String,
+    /// Transport name.
+    pub transport: String,
+    /// Concurrent senders.
+    pub senders: usize,
+}
+
+impl Scenario {
+    /// Load a scenario from `path`, dispatching on the `.toml` / `.json`
+    /// extension.
+    pub fn load(path: &Path) -> Result<Scenario, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("scenario {}: {e}", path.display()))?;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "scenario".into());
+        let doc = match path.extension().and_then(|e| e.to_str()) {
+            Some("toml") => {
+                parse_toml(&text).map_err(|e| format!("scenario {}: {e}", path.display()))?
+            }
+            Some("json") => {
+                Json::parse(&text).map_err(|e| format!("scenario {}: {e}", path.display()))?
+            }
+            other => {
+                return Err(format!(
+                    "scenario {}: unsupported extension {other:?} (want .toml or .json)",
+                    path.display()
+                ))
+            }
+        };
+        Scenario::from_doc(&doc, &stem).map_err(|e| format!("scenario {}: {e}", path.display()))
+    }
+
+    /// Build a scenario from a parsed document tree (the common TOML/JSON
+    /// path). `default_name` is used when the file has no `name` key.
+    pub fn from_doc(doc: &Json, default_name: &str) -> Result<Scenario, String> {
+        let Json::Obj(top) = doc else {
+            return Err("top level must be a table/object".into());
+        };
+        check_keys(
+            top,
+            &[
+                "name",
+                "topology",
+                "workload",
+                "switch",
+                "transport",
+                "run",
+                "trace",
+            ],
+            "top level",
+        )?;
+        let name = match top.get("name") {
+            Some(v) => req_str(v, "name")?,
+            None => default_name.to_string(),
+        };
+
+        let topo = section(top, "topology")?;
+        check_keys(topo, &["kind", "racks"], "[topology]")?;
+        let topology = req_str(
+            topo.get("kind").ok_or("[topology] missing `kind`")?,
+            "topology.kind",
+        )?;
+        let racks = topo
+            .get("racks")
+            .map(|v| req_usize(v, "topology.racks"))
+            .transpose()?;
+
+        let wl = section(top, "workload")?;
+        check_keys(
+            wl,
+            &["kind", "senders", "flow_kb", "flow_bytes"],
+            "[workload]",
+        )?;
+        let workload = req_str(
+            wl.get("kind").ok_or("[workload] missing `kind`")?,
+            "workload.kind",
+        )?;
+        let senders = usize_axis(
+            wl.get("senders").ok_or("[workload] missing `senders`")?,
+            "workload.senders",
+        )?;
+        let flow_bytes = match (wl.get("flow_kb"), wl.get("flow_bytes")) {
+            (Some(_), Some(_)) => {
+                return Err("[workload]: give `flow_kb` or `flow_bytes`, not both".into())
+            }
+            (Some(kb), None) => 1000 * req_u64(kb, "workload.flow_kb")?,
+            (None, Some(b)) => req_u64(b, "workload.flow_bytes")?,
+            (None, None) => return Err("[workload] missing `flow_kb` (or `flow_bytes`)".into()),
+        };
+
+        let sw = section(top, "switch")?;
+        check_keys(sw, &["policy"], "[switch]")?;
+        let policies = str_axis(
+            sw.get("policy").ok_or("[switch] missing `policy`")?,
+            "switch.policy",
+        )?;
+
+        let tr = section(top, "transport")?;
+        check_keys(tr, &["kind"], "[transport]")?;
+        let transports = str_axis(
+            tr.get("kind").ok_or("[transport] missing `kind`")?,
+            "transport.kind",
+        )?;
+
+        let run = section(top, "run")?;
+        check_keys(run, &["duration_ms", "seed"], "[run]")?;
+        let duration_ms = req_u64(
+            run.get("duration_ms")
+                .ok_or("[run] missing `duration_ms`")?,
+            "run.duration_ms",
+        )?;
+        let seed = match run.get("seed") {
+            Some(v) => req_u64(v, "run.seed")?,
+            None => 0,
+        };
+
+        let trace = match top.get("trace") {
+            None => TraceSpec::default(),
+            Some(Json::Obj(t)) => {
+                check_keys(t, &["jsonl", "pcapng"], "[trace]")?;
+                TraceSpec {
+                    jsonl: t
+                        .get("jsonl")
+                        .map(|v| req_str(v, "trace.jsonl"))
+                        .transpose()?,
+                    pcapng: t
+                        .get("pcapng")
+                        .map(|v| req_str(v, "trace.pcapng"))
+                        .transpose()?,
+                }
+            }
+            Some(_) => return Err("[trace] must be a table/object".into()),
+        };
+
+        let sc = Scenario {
+            name,
+            topology,
+            racks,
+            workload,
+            senders,
+            flow_bytes,
+            policies,
+            transports,
+            duration_ms,
+            seed,
+            trace,
+        };
+        if sc.trace.enabled() && sc.point_count() != 1 {
+            return Err(format!(
+                "tracing requires a single-point scenario, but the axes expand to {} points \
+                 (make `switch.policy`, `transport.kind`, and `workload.senders` scalars)",
+                sc.point_count()
+            ));
+        }
+        Ok(sc)
+    }
+
+    /// Number of points the axes expand to.
+    pub fn point_count(&self) -> usize {
+        self.policies.len() * self.transports.len() * self.senders.len()
+    }
+
+    /// Expand the axes into an ordered cartesian point list
+    /// (policy-major, senders fastest — matching the figure drivers).
+    pub fn points(&self) -> Vec<ScenarioPoint> {
+        let mut pts = Vec::with_capacity(self.point_count());
+        for p in &self.policies {
+            for t in &self.transports {
+                for &s in &self.senders {
+                    pts.push(ScenarioPoint {
+                        policy: p.clone(),
+                        transport: t.clone(),
+                        senders: s,
+                    });
+                }
+            }
+        }
+        pts
+    }
+
+    /// The scenario's sweep, for the `Ctx`/`Runner` machinery.
+    pub fn sweep(&self) -> Sweep<ScenarioPoint> {
+        Sweep::from_points(self.points())
+    }
+}
+
+fn section<'a>(
+    top: &'a BTreeMap<String, Json>,
+    key: &str,
+) -> Result<&'a BTreeMap<String, Json>, String> {
+    match top.get(key) {
+        Some(Json::Obj(m)) => Ok(m),
+        Some(_) => Err(format!("[{key}] must be a table/object")),
+        None => Err(format!("missing required table [{key}]")),
+    }
+}
+
+fn check_keys(map: &BTreeMap<String, Json>, known: &[&str], what: &str) -> Result<(), String> {
+    for k in map.keys() {
+        if !known.contains(&k.as_str()) {
+            return Err(format!("{what}: unknown key {k:?} (known: {known:?})"));
+        }
+    }
+    Ok(())
+}
+
+fn req_str(v: &Json, what: &str) -> Result<String, String> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what} must be a string"))
+}
+
+fn req_u64(v: &Json, what: &str) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("{what} must be a non-negative integer"))
+}
+
+fn req_usize(v: &Json, what: &str) -> Result<usize, String> {
+    v.as_usize()
+        .ok_or_else(|| format!("{what} must be a non-negative integer"))
+}
+
+/// Scalar-or-array of strings.
+fn str_axis(v: &Json, what: &str) -> Result<Vec<String>, String> {
+    match v {
+        Json::Arr(xs) if xs.is_empty() => Err(format!("{what}: empty array")),
+        Json::Arr(xs) => xs.iter().map(|x| req_str(x, what)).collect(),
+        _ => Ok(vec![req_str(v, what)?]),
+    }
+}
+
+/// Scalar-or-array of integers.
+fn usize_axis(v: &Json, what: &str) -> Result<Vec<usize>, String> {
+    match v {
+        Json::Arr(xs) if xs.is_empty() => Err(format!("{what}: empty array")),
+        Json::Arr(xs) => xs.iter().map(|x| req_usize(x, what)).collect(),
+        _ => Ok(vec![req_usize(v, what)?]),
+    }
+}
+
+/// Parse the TOML subset scenario files use into a [`Json`] tree:
+/// comments, one level of `[table]` headers, and `key = value` pairs
+/// where a value is a string, integer, float, boolean, or a flat array
+/// of those. Duplicate keys and tables are errors.
+pub fn parse_toml(text: &str) -> Result<Json, String> {
+    let mut top: BTreeMap<String, Json> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated table header"))?
+                .trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(format!("line {lineno}: bad table name {name:?}"));
+            }
+            if top.contains_key(name) {
+                return Err(format!("line {lineno}: duplicate table [{name}]"));
+            }
+            top.insert(name.to_string(), Json::Obj(BTreeMap::new()));
+            current = Some(name.to_string());
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {lineno}: bad key {key:?}"));
+        }
+        let value = toml_value(value.trim(), lineno)?;
+        let target = match &current {
+            None => &mut top,
+            Some(t) => match top.get_mut(t) {
+                Some(Json::Obj(m)) => m,
+                _ => unreachable!("tables are always objects"),
+            },
+        };
+        if target.insert(key.to_string(), value).is_some() {
+            return Err(format!("line {lineno}: duplicate key {key:?}"));
+        }
+    }
+    Ok(Json::Obj(top))
+}
+
+/// Drop a `#`-comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn toml_value(s: &str, lineno: usize) -> Result<Json, String> {
+    if s.is_empty() {
+        return Err(format!("line {lineno}: missing value"));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {lineno}: unterminated array"))?
+            .trim();
+        if body.is_empty() {
+            return Ok(Json::Arr(Vec::new()));
+        }
+        return split_toml_items(body)
+            .map_err(|e| format!("line {lineno}: {e}"))?
+            .into_iter()
+            .map(|item| toml_scalar(item.trim(), lineno))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Json::Arr);
+    }
+    toml_scalar(s, lineno)
+}
+
+/// Split a flat array body on commas, respecting quoted strings.
+fn split_toml_items(body: &str) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string in array".into());
+    }
+    items.push(&body[start..]);
+    Ok(items)
+}
+
+fn toml_scalar(s: &str, lineno: usize) -> Result<Json, String> {
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("line {lineno}: unterminated string"))?;
+        if body.contains('"') || body.contains('\\') {
+            return Err(format!(
+                "line {lineno}: escapes/embedded quotes unsupported in {s:?}"
+            ));
+        }
+        return Ok(Json::Str(body.to_string()));
+    }
+    match s {
+        "true" => return Ok(Json::Bool(true)),
+        "false" => return Ok(Json::Bool(false)),
+        _ => {}
+    }
+    // Integer or float literal; underscores allowed TOML-style.
+    let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+    if cleaned.parse::<i64>().is_ok() || cleaned.parse::<f64>().is_ok() {
+        return Ok(Json::Num(cleaned));
+    }
+    Err(format!("line {lineno}: unrecognized value {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# A scenario with every section.
+name = "demo"
+
+[topology]
+kind = "opera"
+racks = 8
+
+[workload]
+kind = "incast"
+senders = [4, 8]   # axis
+flow_kb = 15
+
+[switch]
+policy = ["ndp_trim", "droptail"]
+
+[transport]
+kind = "ndp"
+
+[run]
+duration_ms = 40
+seed = 3
+"#;
+
+    #[test]
+    fn toml_example_parses_and_sweeps() {
+        let doc = parse_toml(EXAMPLE).unwrap();
+        let sc = Scenario::from_doc(&doc, "fallback").unwrap();
+        assert_eq!(sc.name, "demo");
+        assert_eq!(sc.topology, "opera");
+        assert_eq!(sc.racks, Some(8));
+        assert_eq!(sc.flow_bytes, 15_000);
+        assert_eq!(sc.seed, 3);
+        assert_eq!(sc.point_count(), 4);
+        let pts = sc.points();
+        assert_eq!(pts.len(), sc.sweep().len());
+        assert_eq!((pts[0].policy.as_str(), pts[0].senders), ("ndp_trim", 4));
+        assert_eq!((pts[3].policy.as_str(), pts[3].senders), ("droptail", 8));
+        assert!(!sc.trace.enabled());
+    }
+
+    #[test]
+    fn json_form_parses_identically() {
+        let json = r#"{
+            "name": "demo",
+            "topology": {"kind": "expander"},
+            "workload": {"kind": "victim", "senders": 8, "flow_bytes": 30000},
+            "switch": {"policy": "pfc"},
+            "transport": {"kind": "gbn"},
+            "run": {"duration_ms": 10, "seed": 1},
+            "trace": {"jsonl": "t.jsonl", "pcapng": "t.pcapng"}
+        }"#;
+        let sc = Scenario::from_doc(&Json::parse(json).unwrap(), "x").unwrap();
+        assert_eq!(sc.topology, "expander");
+        assert_eq!(sc.flow_bytes, 30_000);
+        assert_eq!(sc.trace.jsonl.as_deref(), Some("t.jsonl"));
+        assert!(sc.trace.enabled());
+        assert_eq!(sc.point_count(), 1);
+    }
+
+    #[test]
+    fn unknown_keys_are_named_errors() {
+        let doc = parse_toml(EXAMPLE.replace("[switch]", "[snitch]").as_str());
+        // Unknown table name caught at scenario level.
+        let err = Scenario::from_doc(&doc.unwrap(), "x").unwrap_err();
+        assert!(err.contains("snitch"), "{err}");
+
+        let doc = parse_toml(EXAMPLE.replace("racks = 8", "rakcs = 8").as_str()).unwrap();
+        let err = Scenario::from_doc(&doc, "x").unwrap_err();
+        assert!(err.contains("rakcs"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_fields_are_errors() {
+        let doc = parse_toml(EXAMPLE.replace("kind = \"incast\"", "").as_str()).unwrap();
+        let err = Scenario::from_doc(&doc, "x").unwrap_err();
+        assert!(err.contains("[workload] missing `kind`"), "{err}");
+    }
+
+    #[test]
+    fn tracing_rejects_multi_point_scenarios() {
+        let text = format!("{EXAMPLE}\n[trace]\njsonl = \"t.jsonl\"\n");
+        let err = Scenario::from_doc(&parse_toml(&text).unwrap(), "x").unwrap_err();
+        assert!(err.contains("single-point"), "{err}");
+    }
+
+    #[test]
+    fn toml_parser_rejects_malformed_input() {
+        assert!(parse_toml("[unclosed\n").is_err());
+        assert!(parse_toml("key\n").is_err());
+        assert!(parse_toml("k = \"unterminated\n").is_err());
+        assert!(parse_toml("k = [1, 2\n").is_err());
+        assert!(parse_toml("k = 1\nk = 2\n").is_err());
+        assert!(parse_toml("[a]\n[a]\n").is_err());
+        assert!(parse_toml("k = nope\n").is_err());
+    }
+
+    #[test]
+    fn toml_comments_and_underscores() {
+        let doc = parse_toml("x = 1_000 # one thousand\ns = \"a # b\"\n").unwrap();
+        assert_eq!(doc.get("x").unwrap().as_u64(), Some(1000));
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("a # b"));
+    }
+}

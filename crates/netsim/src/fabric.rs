@@ -20,6 +20,7 @@
 
 use crate::packet::{Packet, PacketArena, PacketRef, Priority, PRIORITY_LEVELS};
 use crate::policy::{QueueView, SwitchPolicyKind, Verdict};
+use crate::trace::{PacketMeta, TraceEvent, TraceRecord, TraceSink};
 use simkit::engine::EventContext;
 use simkit::time::serialization_ns;
 use simkit::SimTime;
@@ -258,6 +259,10 @@ pub struct Fabric {
     /// Random per-packet loss: `(probability, rng)`. Applied to every
     /// transmission, modeling transient physical-layer corruption.
     loss: Option<(f64, simkit::SimRng)>,
+    /// Opt-in event trace ([`crate::trace`]). `None` (the default) keeps
+    /// every hot-path hook a single branch; tracing is pure observation
+    /// and never changes simulation behavior.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Fabric {
@@ -344,6 +349,48 @@ impl Fabric {
         };
     }
 
+    /// Install an event trace sink ([`crate::trace`]). Tracing is pure
+    /// observation: simulation behavior and all outputs are identical
+    /// with or without a sink installed.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Remove and return the trace sink (call its
+    /// [`TraceSink::finish`] to flush).
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// True when a trace sink is installed.
+    pub fn has_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record an event against link `(node, port)` at `now`. No-op
+    /// without a sink. Used internally by the fabric hot paths and by
+    /// transports for host-level events (ACK receipt, timer firings)
+    /// that the fabric cannot see itself.
+    #[inline]
+    pub fn trace_event(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        port: PortId,
+        event: TraceEvent,
+        packet: Option<&Packet>,
+    ) {
+        if let Some(sink) = &mut self.trace {
+            sink.record(&TraceRecord {
+                t_ns: now.as_ns(),
+                node,
+                port,
+                event,
+                packet: packet.map(PacketMeta::of),
+            });
+        }
+    }
+
     /// Bytes queued at a port across all priorities.
     pub fn queued_bytes(&self, node: NodeId, port: PortId) -> u64 {
         self.nodes[node][port].total_queued()
@@ -382,20 +429,22 @@ impl Fabric {
         packet: Packet,
     ) -> SendOutcome {
         let p = &self.nodes[node][port];
-        let (packet, outcome) = match p.cfg.policy.as_dyn().admit(p.view(), &packet) {
-            Verdict::Enqueue => (packet, SendOutcome::Queued),
+        let (packet, outcome, ev) = match p.cfg.policy.as_dyn().admit(p.view(), &packet) {
+            Verdict::Enqueue => (packet, SendOutcome::Queued, TraceEvent::Enqueue),
             Verdict::Mark => {
                 let mut marked = packet;
                 marked.ecn_ce = true;
                 self.counters.ecn_marked += 1;
-                (marked, SendOutcome::Queued)
+                (marked, SendOutcome::Queued, TraceEvent::Mark)
             }
-            Verdict::Trim => (packet.trim(), SendOutcome::Trimmed),
+            Verdict::Trim => (packet.trim(), SendOutcome::Trimmed, TraceEvent::Trim),
             Verdict::Drop => {
                 self.counters.dropped += 1;
+                self.trace_event(ctx.now(), node, port, TraceEvent::Drop, Some(&packet));
                 return SendOutcome::Dropped;
             }
         };
+        self.trace_event(ctx.now(), node, port, ev, Some(&packet));
 
         let lvl = packet.prio as usize;
         let size = packet.size as u64;
@@ -418,7 +467,11 @@ impl Fabric {
     /// Dequeue the highest-priority packet and put it on the wire.
     fn start_tx(&mut self, ctx: &mut EventContext<'_, NetEvent>, node: NodeId, port: PortId) {
         let Fabric {
-            nodes, arena, loss, ..
+            nodes,
+            arena,
+            loss,
+            trace,
+            ..
         } = self;
         let p = &mut nodes[node][port];
         debug_assert!(!p.busy && !p.paused);
@@ -427,6 +480,15 @@ impl Fabric {
         };
         let r = p.queues[lvl].pop_front().expect("non-empty");
         let packet = arena.take(r);
+        if let Some(sink) = trace {
+            sink.record(&TraceRecord {
+                t_ns: ctx.now().as_ns(),
+                node,
+                port,
+                event: TraceEvent::Tx,
+                packet: Some(PacketMeta::of(&packet)),
+            });
+        }
         p.queued_bytes[lvl] -= packet.size as u64;
         p.busy = true;
         let ser = p.link.serialize(packet.size);
@@ -481,6 +543,12 @@ impl Fabric {
         port: PortId,
         paused: bool,
     ) {
+        let ev = if paused {
+            TraceEvent::Pause
+        } else {
+            TraceEvent::Resume
+        };
+        self.trace_event(ctx.now(), node, port, ev, None);
         let p = &mut self.nodes[node][port];
         p.paused = paused;
         if !paused && !p.busy && p.queues.iter().any(|q| !q.is_empty()) {
@@ -943,6 +1011,60 @@ mod tests {
             sim.world.inner.fabric.counters.failed_drops as usize,
             400 - got
         );
+    }
+
+    #[test]
+    fn trace_records_match_counters() {
+        use crate::trace::{TraceEvent, TraceRecord, TraceSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        /// Sink sharing its record buffer with the test body.
+        #[derive(Debug, Default)]
+        struct SharedSink(Rc<RefCell<Vec<TraceRecord>>>);
+        impl TraceSink for SharedSink {
+            fn record(&mut self, rec: &TraceRecord) {
+                self.0.borrow_mut().push(*rec);
+            }
+        }
+
+        // 1 serializing + 8 queued + 1 trimmed (the trimming_when_data_
+        // queue_full scenario), with a trace installed.
+        let records: Rc<RefCell<Vec<TraceRecord>>> = Rc::default();
+        let burst: Vec<Packet> = (0..10).map(|s| Packet::data(0, 0, 1, s, MTU)).collect();
+        let mut world = BurstWorld {
+            inner: two_nodes(QueueConfig::builder().build()),
+            burst,
+        };
+        world
+            .inner
+            .fabric
+            .set_trace(Box::new(SharedSink(Rc::clone(&records))));
+        let mut sim = Simulator::new(world);
+        sim.schedule_at(SimTime::ZERO, NetEvent::Timer { token: 0 });
+        sim.run();
+        let fabric = &mut sim.world.inner.fabric;
+        let count =
+            |ev: TraceEvent| records.borrow().iter().filter(|r| r.event == ev).count() as u64;
+        assert_eq!(count(TraceEvent::Enqueue), fabric.counters.queued);
+        assert_eq!(count(TraceEvent::Trim), fabric.counters.trimmed);
+        assert_eq!(count(TraceEvent::Tx), fabric.counters.delivered);
+        assert_eq!(count(TraceEvent::Drop), 0);
+        // Timestamps arrive in simulation order.
+        let ts: Vec<u64> = records.borrow().iter().map(|r| r.t_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        // Every packet event carries metadata; the trimmed admit shows
+        // header size.
+        let trim = records
+            .borrow()
+            .iter()
+            .find(|r| r.event == TraceEvent::Trim)
+            .copied()
+            .expect("trim traced");
+        let meta = trim.packet.expect("packet meta");
+        assert_eq!(meta.size, HEADER_SIZE);
+        assert!(meta.trimmed);
+        fabric.take_trace().expect("sink still installed");
     }
 
     #[test]

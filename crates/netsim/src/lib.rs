@@ -18,16 +18,24 @@
 //!   queueing policies (drop-tail, NDP trim, PFC, ECN marking),
 //! * [`logic`] — the [`logic::NetLogic`] trait and the
 //!   [`logic::NetWorld`] event-loop adapter,
-//! * [`flows`] — flow registry and FCT accounting.
+//! * [`flows`] — flow registry and FCT accounting,
+//! * [`trace`] — opt-in structured per-link event tracing
+//!   ([`trace::TraceSink`], JSON-lines sink),
+//! * [`pcapng`] — self-contained pcapng writer/reader and the
+//!   [`pcapng::PcapngSink`] capture adapter.
 
 pub mod fabric;
 pub mod flows;
 pub mod logic;
 pub mod packet;
+pub mod pcapng;
 pub mod policy;
+pub mod trace;
 
 pub use fabric::{Fabric, LinkSpec, NetEvent, NodeId, PortId, QueueConfig, SendOutcome};
 pub use flows::{FlowClass, FlowId, FlowRecord, FlowTracker};
 pub use logic::{NetLogic, NetWorld};
 pub use packet::{Packet, PacketArena, PacketKind, PacketRef, Priority, HEADER_SIZE, MTU};
+pub use pcapng::{PcapngFile, PcapngSink, PcapngWriter};
 pub use policy::{DropTail, EcnMark, NdpTrim, Pfc, SwitchPolicy, SwitchPolicyKind};
+pub use trace::{JsonlSink, MemorySink, MultiSink, PacketMeta, TraceEvent, TraceRecord, TraceSink};

@@ -1,0 +1,393 @@
+//! Opt-in structured per-link event tracing.
+//!
+//! A [`TraceSink`] installed on a [`Fabric`](crate::Fabric) with
+//! [`Fabric::set_trace`](crate::Fabric::set_trace) receives one
+//! [`TraceRecord`] per observable event on the fabric's hot paths —
+//! enqueue / ECN mark / trim / drop verdicts, wire transmissions, PFC
+//! pause and resume, plus transport-level ACK receipt and timer firings
+//! recorded by the hosts. With no sink installed every hook is a single
+//! `Option` check, and tracing is pure observation: installing a sink
+//! never changes simulation behavior, so golden outputs stay
+//! byte-identical whether or not a trace is captured.
+//!
+//! Two concrete sinks ship: [`JsonlSink`] (one JSON object per line, the
+//! whole event stream) and [`crate::pcapng::PcapngSink`] (wire
+//! transmissions only, as a pcapng capture openable in Wireshark).
+//! [`MultiSink`] fans one stream out to several sinks, and
+//! [`MemorySink`] buffers records in memory for tests.
+
+use crate::fabric::{NodeId, PortId};
+use crate::packet::{Packet, PacketKind, Priority};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// What happened at a trace point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Packet admitted to an output queue unchanged.
+    Enqueue,
+    /// Packet admitted with the ECN congestion-experienced bit set.
+    Mark,
+    /// Packet trimmed to a header and admitted at control priority.
+    Trim,
+    /// Packet rejected at a full queue.
+    Drop,
+    /// Packet dequeued and put on the wire.
+    Tx,
+    /// A PFC pause frame took effect at this port.
+    Pause,
+    /// A PFC resume frame took effect at this port.
+    Resume,
+    /// A transport processed an acknowledgment at its NIC.
+    Ack,
+    /// A transport timer fired at this host.
+    Timer,
+}
+
+impl TraceEvent {
+    /// Stable lowercase name used in the JSON-lines encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEvent::Enqueue => "enqueue",
+            TraceEvent::Mark => "mark",
+            TraceEvent::Trim => "trim",
+            TraceEvent::Drop => "drop",
+            TraceEvent::Tx => "tx",
+            TraceEvent::Pause => "pause",
+            TraceEvent::Resume => "resume",
+            TraceEvent::Ack => "ack",
+            TraceEvent::Timer => "timer",
+        }
+    }
+}
+
+/// Packet fields captured in a trace record (a flat, owned projection of
+/// [`Packet`], so records outlive the arena slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// Flow id (`u32::MAX` for flow-less control traffic).
+    pub flow: u32,
+    /// Source host node id.
+    pub src: usize,
+    /// Destination host node id.
+    pub dst: usize,
+    /// Sequence number (pull counter for `Pull`, 0 for `Hello`).
+    pub seq: u32,
+    /// Bytes on the wire.
+    pub size: u32,
+    /// Queueing priority class.
+    pub prio: Priority,
+    /// Packet kind, as its stable lowercase name.
+    pub kind: &'static str,
+    /// The payload was trimmed at an overloaded queue.
+    pub trimmed: bool,
+    /// ECN congestion-experienced bit.
+    pub ce: bool,
+}
+
+impl PacketMeta {
+    /// Capture the traced fields of `p`.
+    pub fn of(p: &Packet) -> Self {
+        let (kind, seq, trimmed) = match p.kind {
+            PacketKind::Data { seq, trimmed } => ("data", seq, trimmed),
+            PacketKind::Ack { seq } => ("ack", seq, false),
+            PacketKind::Nack { seq } => ("nack", seq, false),
+            PacketKind::Pull { count } => ("pull", count, false),
+            PacketKind::BulkData { seq, .. } => ("bulk", seq, false),
+            PacketKind::BulkNack { seq } => ("bulk_nack", seq, false),
+            PacketKind::Hello => ("hello", 0, false),
+        };
+        PacketMeta {
+            flow: p.flow,
+            src: p.src,
+            dst: p.dst,
+            seq,
+            size: p.size,
+            prio: p.prio,
+            kind,
+            trimmed,
+            ce: p.ecn_ce,
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time, nanoseconds.
+    pub t_ns: u64,
+    /// Node where the event happened (the transmitting/queueing side for
+    /// packet events; the paused port's owner for pause/resume; the host
+    /// NIC for ack/timer).
+    pub node: NodeId,
+    /// Port within `node`.
+    pub port: PortId,
+    /// What happened.
+    pub event: TraceEvent,
+    /// The packet involved, if any (`None` for pause/resume/timer).
+    pub packet: Option<PacketMeta>,
+}
+
+/// Receiver of trace records.
+///
+/// `Debug` is required so a fabric holding a sink stays debuggable.
+pub trait TraceSink: fmt::Debug {
+    /// Observe one event. Sinks must not panic on I/O trouble — stash
+    /// the error and surface it from [`TraceSink::finish`].
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Flush and report any deferred error. Called once, at end of run.
+    fn finish(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// In-memory sink: buffers every record. For tests and programmatic
+/// inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Every record observed, in order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.records.push(*rec);
+    }
+}
+
+/// Fan one event stream out to several sinks.
+#[derive(Debug, Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl MultiSink {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sink; returns `self` for chaining.
+    pub fn with(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for MultiSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        for s in &mut self.sinks {
+            s.record(rec);
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        for s in &mut self.sinks {
+            s.finish()?;
+        }
+        Ok(())
+    }
+}
+
+/// JSON-lines sink: one JSON object per record, stable key order, no
+/// external dependencies. The full event stream (every [`TraceEvent`]).
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<String>,
+}
+
+impl<W: Write> fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncate) `path` and write records to it, buffered.
+    pub fn create(path: &Path) -> Result<Self, String> {
+        let f = File::create(path).map_err(|e| format!("trace jsonl {}: {e}", path.display()))?;
+        Ok(JsonlSink::new(BufWriter::new(f)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap any writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Records written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Consume the sink and return the inner writer (tests).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+/// Render one record as its JSON-lines object (no trailing newline).
+/// Key order is part of the format: `t`, `event`, `node`, `port`, then —
+/// for packet events — `flow`, `src`, `dst`, `seq`, `size`, `prio`,
+/// `kind`, `trimmed`, `ce`.
+pub fn jsonl_line(rec: &TraceRecord) -> String {
+    let mut s = format!(
+        "{{\"t\":{},\"event\":\"{}\",\"node\":{},\"port\":{}",
+        rec.t_ns,
+        rec.event.name(),
+        rec.node,
+        rec.port
+    );
+    if let Some(m) = &rec.packet {
+        use std::fmt::Write as _;
+        let _ = write!(
+            s,
+            ",\"flow\":{},\"src\":{},\"dst\":{},\"seq\":{},\"size\":{},\"prio\":{},\
+             \"kind\":\"{}\",\"trimmed\":{},\"ce\":{}",
+            m.flow, m.src, m.dst, m.seq, m.size, m.prio as u8, m.kind, m.trimmed, m.ce
+        );
+    }
+    s.push('}');
+    s
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = jsonl_line(rec);
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(format!("trace jsonl write: {e}"));
+            return;
+        }
+        self.lines += 1;
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out
+            .flush()
+            .map_err(|e| format!("trace jsonl flush: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(event: TraceEvent, packet: Option<PacketMeta>) -> TraceRecord {
+        TraceRecord {
+            t_ns: 1700,
+            node: 2,
+            port: 1,
+            event,
+            packet,
+        }
+    }
+
+    #[test]
+    fn jsonl_packet_line_is_stable() {
+        let p = Packet::data(7, 0, 3, 5, 1500);
+        let line = jsonl_line(&rec(TraceEvent::Tx, Some(PacketMeta::of(&p))));
+        assert_eq!(
+            line,
+            "{\"t\":1700,\"event\":\"tx\",\"node\":2,\"port\":1,\"flow\":7,\"src\":0,\
+             \"dst\":3,\"seq\":5,\"size\":1500,\"prio\":1,\"kind\":\"data\",\
+             \"trimmed\":false,\"ce\":false}"
+        );
+    }
+
+    #[test]
+    fn jsonl_portonly_line_omits_packet_keys() {
+        let line = jsonl_line(&rec(TraceEvent::Pause, None));
+        assert_eq!(
+            line,
+            "{\"t\":1700,\"event\":\"pause\",\"node\":2,\"port\":1}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let p = Packet::data(1, 0, 1, 0, 64);
+        sink.record(&rec(TraceEvent::Enqueue, Some(PacketMeta::of(&p))));
+        sink.record(&rec(TraceEvent::Timer, None));
+        sink.finish().unwrap();
+        assert_eq!(sink.lines(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for l in text.lines() {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let multi = MultiSink::new()
+            .with(Box::new(MemorySink::new()))
+            .with(Box::new(MemorySink::new()));
+        assert_eq!(multi.len(), 2);
+        let mut multi = multi;
+        multi.record(&rec(TraceEvent::Drop, None));
+        multi.finish().unwrap();
+        let dbg = format!("{multi:?}");
+        assert!(dbg.contains("MemorySink"));
+    }
+
+    #[test]
+    fn meta_captures_kind_names() {
+        let kinds = [
+            (
+                PacketKind::Data {
+                    seq: 3,
+                    trimmed: true,
+                },
+                "data",
+                3,
+                true,
+            ),
+            (PacketKind::Ack { seq: 9 }, "ack", 9, false),
+            (PacketKind::Nack { seq: 2 }, "nack", 2, false),
+            (PacketKind::Pull { count: 4 }, "pull", 4, false),
+            (PacketKind::Hello, "hello", 0, false),
+        ];
+        for (kind, name, seq, trimmed) in kinds {
+            let mut p = Packet::data(1, 0, 1, 0, 64);
+            p.kind = kind;
+            let m = PacketMeta::of(&p);
+            assert_eq!((m.kind, m.seq, m.trimmed), (name, seq, trimmed));
+        }
+    }
+}

@@ -188,6 +188,10 @@ impl Transport for GoBackNHost {
         tracker: &mut FlowTracker,
         pkt: Packet,
     ) -> Actions {
+        if let PacketKind::Ack { .. } = pkt.kind {
+            let (nic, port) = (self.nic, self.nic_port);
+            fabric.trace_event(ctx.now(), nic, port, netsim::TraceEvent::Ack, Some(&pkt));
+        }
         match pkt.kind {
             PacketKind::Data { seq, trimmed } => {
                 let flow = pkt.flow;
@@ -239,6 +243,8 @@ impl Transport for GoBackNHost {
         which: TransportTimer,
     ) -> Actions {
         let mut actions = Actions::default();
+        let (nic, port) = (self.nic, self.nic_port);
+        fabric.trace_event(ctx.now(), nic, port, netsim::TraceEvent::Timer, None);
         let TransportTimer::Rto(flow) = which else {
             return actions; // no pacer in go-back-N
         };

@@ -273,6 +273,10 @@ impl Transport for NdpHost {
         pkt: Packet,
     ) -> Actions {
         let mut actions = Actions::default();
+        if let PacketKind::Ack { .. } = pkt.kind {
+            let (nic, port) = (self.nic, self.nic_port);
+            fabric.trace_event(ctx.now(), nic, port, netsim::TraceEvent::Ack, Some(&pkt));
+        }
         match pkt.kind {
             PacketKind::Data { seq, trimmed } => {
                 self.on_data(fabric, ctx, tracker, pkt, seq, trimmed, &mut actions);
@@ -315,6 +319,8 @@ impl Transport for NdpHost {
         which: TransportTimer,
     ) -> Actions {
         let mut actions = Actions::default();
+        let (nic, port) = (self.nic, self.nic_port);
+        fabric.trace_event(ctx.now(), nic, port, netsim::TraceEvent::Timer, None);
         match which {
             TransportTimer::PullPacer => {
                 self.pacer_armed = false;
